@@ -1,0 +1,90 @@
+// Ablation (DESIGN.md deviations): the paper's exact §4 training recipe
+// (k = 3 similarity classes, 200 concept epochs, hidden 64, absolute cosine
+// bins) versus this reproduction's tuned defaults (k = 7, 60 epochs, hidden
+// 96, per-concept percentile bins), which compensate for the hashed-n-gram
+// embedding substitute. Also sweeps the quantizer resolution k on CC, the
+// application most sensitive to it.
+#include <cstdio>
+
+#include "apps/abr_bundle.hpp"
+#include "apps/cc_bundle.hpp"
+#include "apps/ddos_bundle.hpp"
+#include "bench/bench_util.hpp"
+
+namespace {
+
+using namespace agua;
+
+double run_config(core::Dataset& train, core::Dataset& test,
+                  const concepts::ConceptSet& concept_set,
+                  const core::DescribeFn& describe, const core::AguaConfig& config,
+                  std::uint64_t seed) {
+  common::Rng rng(seed);
+  core::AguaArtifacts artifacts = core::train_agua(train, concept_set, describe, config, rng);
+  return core::fidelity(*artifacts.model, test);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "Paper's exact recipe vs tuned substitution defaults");
+
+  apps::AbrBundle abr_bundle = apps::make_abr_bundle(11);
+  apps::CcBundle cc_bundle = apps::make_cc_bundle(12);
+  apps::DdosBundle ddos_bundle = apps::make_ddos_bundle(13);
+
+  struct App {
+    const char* name;
+    core::Dataset* train;
+    core::Dataset* test;
+    const concepts::ConceptSet* concepts;
+    core::DescribeFn describe;
+  };
+  App apps_list[] = {
+      {"ABR", &abr_bundle.train, &abr_bundle.test, &abr_bundle.describer.concept_set(),
+       abr_bundle.describe_fn()},
+      {"CC", &cc_bundle.train, &cc_bundle.test, &cc_bundle.describer->concept_set(),
+       cc_bundle.describe_fn()},
+      {"DDoS", &ddos_bundle.train, &ddos_bundle.test,
+       &ddos_bundle.describer.concept_set(), ddos_bundle.describe_fn()},
+  };
+
+  std::printf("\nRecipe comparison (test fidelity):\n");
+  common::TablePrinter table({"application", "paper recipe (k=3)", "tuned (k=7)",
+                              "paper recipe, no calibration"});
+  std::uint64_t seed = 1401;
+  for (App& app : apps_list) {
+    core::AguaConfig paper = core::paper_agua_config();
+    core::AguaConfig tuned;  // defaults
+    core::AguaConfig uncalibrated = core::paper_agua_config();
+    uncalibrated.calibrate_quantizer = false;  // the paper's absolute bins
+    table.add_row(
+        {app.name,
+         common::format_double(run_config(*app.train, *app.test, *app.concepts,
+                                          app.describe, paper, seed)),
+         common::format_double(run_config(*app.train, *app.test, *app.concepts,
+                                          app.describe, tuned, seed + 1)),
+         common::format_double(run_config(*app.train, *app.test, *app.concepts,
+                                          app.describe, uncalibrated, seed + 2))});
+    seed += 10;
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nQuantizer-resolution sweep on CC (test fidelity):\n");
+  std::vector<std::vector<double>> rows;
+  for (std::size_t k : {2, 3, 5, 7, 9}) {
+    core::AguaConfig config;
+    config.quantizer_levels = k;
+    rows.push_back({static_cast<double>(k),
+                    run_config(cc_bundle.train, cc_bundle.test,
+                               cc_bundle.describer->concept_set(),
+                               cc_bundle.describe_fn(), config, seed++)});
+  }
+  bench::print_series({"k (similarity classes)", "fidelity"}, rows);
+
+  std::printf(
+      "\nReading: with dense LLM embeddings the paper's k=3 suffices; the\n"
+      "hashed-n-gram substitute needs finer classes and per-concept bins to\n"
+      "carry the same information through the concept bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the bench harnesses: paper-vs-measured tables and
+// series printing. Each bench binary regenerates one table or figure of the
+// paper (see DESIGN.md experiment index) and prints the measured values next
+// to the paper's, so shape-level agreement can be checked at a glance.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace agua::bench {
+
+inline void print_header(const std::string& experiment, const std::string& description) {
+  std::printf("%s", common::section(experiment + " — " + description).c_str());
+}
+
+/// One paper-vs-measured metric row.
+struct MetricRow {
+  std::string label;
+  double paper = 0.0;
+  double measured = 0.0;
+};
+
+inline void print_metrics(const std::vector<MetricRow>& rows, int precision = 3) {
+  common::TablePrinter table({"metric", "paper", "measured"});
+  for (const MetricRow& row : rows) {
+    table.add_row({row.label, common::format_double(row.paper, precision),
+                   common::format_double(row.measured, precision)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+/// Print an (x, series...) block for re-plotting a figure.
+inline void print_series(const std::vector<std::string>& columns,
+                         const std::vector<std::vector<double>>& rows,
+                         int precision = 3) {
+  common::TablePrinter table(columns);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (double v : row) cells.push_back(common::format_double(v, precision));
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace agua::bench

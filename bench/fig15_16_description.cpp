@@ -1,0 +1,41 @@
+// Figs. 15/16 (Appendix): the structured input-description artifact. The
+// paper shows the LLM prompt template (Fig. 15) and a generated description
+// (Fig. 16) for an example ABR state. This bench emits the reproduction's
+// equivalents: the deterministic template description of the motivating
+// state, the alternate "human annotator" voice, and a noisy re-query — the
+// three description variants the validation and robustness experiments use.
+#include <cstdio>
+
+#include "abr/describe.hpp"
+#include "abr/env.hpp"
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+
+int main() {
+  using namespace agua;
+  bench::print_header("Figures 15/16", "Structured input descriptions (Appendix)");
+
+  const abr::AbrDescriber describer;
+  const std::vector<double> state = abr::AbrEnv::motivating_state();
+
+  std::printf("\n--- deterministic description (the Fig. 16 analogue) ---\n%s\n",
+              describer.describe(state).c_str());
+
+  text::DescriberOptions human;
+  human.human_style = true;
+  std::printf("\n--- human-annotator voice (Fig. 14's comparison basis) ---\n%s\n",
+              describer.describe(state, human).c_str());
+
+  common::Rng rng(1601);
+  text::DescriberOptions noisy;
+  noisy.temperature = 0.7;
+  noisy.rng = &rng;
+  std::printf("\n--- one noisy re-query (Fig. 12a's variability axis) ---\n%s\n",
+              describer.describe(state, noisy).c_str());
+
+  std::printf(
+      "\nNote: the template structure (initial/middle/end patterns per feature\n"
+      "group, overall trend, concept correlation) mirrors the paper's Fig. 15\n"
+      "fill-in-the-blank prompt; see DESIGN.md for the substitution rationale.\n");
+  return 0;
+}

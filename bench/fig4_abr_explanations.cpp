@@ -1,0 +1,55 @@
+// Fig. 4: Agua's concept-level explanation for the ABR motivating scenario —
+// (a) a factual explanation for the controller's chosen low bitrate, and
+// (b) a counterfactual explanation for the operator's preferred medium
+// bitrate. Paper: the factual explanation is dominated by 'Extreme Network
+// Degradation' with a minor 'Recent Network Improvement'; the counterfactual
+// highlights 'Avoiding Large Quality Fluctuations' and 'Moderate Network
+// Throughput' with 'High Network Throughput' absent.
+#include <cstdio>
+
+#include "apps/abr_bundle.hpp"
+#include "bench/bench_util.hpp"
+#include "core/explain.hpp"
+
+int main() {
+  using namespace agua;
+  bench::print_header("Figure 4", "Concept explanations for the ABR motivating state");
+
+  apps::AbrBundle bundle = apps::make_abr_bundle(11);
+  core::AguaConfig config;
+  config.embedder = text::closed_source_embedder_config();
+  common::Rng rng(301);
+  core::AguaArtifacts agua = core::train_agua(bundle.train, bundle.describer.concept_set(),
+                                              bundle.describe_fn(), config, rng);
+  std::printf("surrogate fidelity (test): %.3f\n",
+              core::fidelity(*agua.model, bundle.test));
+
+  const std::vector<double> state = abr::AbrEnv::motivating_state();
+  const std::vector<double> embedding = bundle.controller->embedding(state);
+  const std::size_t chosen = bundle.controller->act(state);
+  std::printf("controller's chosen quality level: %zu (0 = lowest of 5)\n", chosen);
+
+  std::printf("\n(a) Factual explanation for the chosen bitrate:\n");
+  const core::Explanation factual = core::explain_factual(*agua.model, embedding);
+  std::printf("%s", factual.format(6).c_str());
+
+  // The operator's preferred medium-quality bitrate (level 2 of 0..4).
+  const std::size_t medium = 2;
+  std::printf("\n(b) Counterfactual explanation for the medium-quality bitrate:\n");
+  const core::Explanation counterfactual =
+      core::explain_for_class(*agua.model, embedding, medium);
+  std::printf("%s", counterfactual.format(6).c_str());
+
+  // Rule-based ground truth for reference: what the describer detects.
+  std::printf("\nDescriber-detected concepts in the motivating state (reference):\n");
+  auto detected = bundle.describer.detect_concepts(state);
+  std::sort(detected.begin(), detected.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (std::size_t i = 0; i < 5 && i < detected.size(); ++i) {
+    std::printf("  %.2f  %s\n", detected[i].second, detected[i].first.c_str());
+  }
+  std::printf(
+      "\nShape check: the factual explanation should be led by degradation-\n"
+      "related concepts rather than throughput-abundance ones.\n");
+  return 0;
+}

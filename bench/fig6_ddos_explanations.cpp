@@ -1,0 +1,73 @@
+// Fig. 6: Agua's explanations of LUCID's decision making — (a) a batched
+// factual explanation for benign flows (paper: driven by 'Typical
+// Application Behavior' and absence of 'Payload Anomalies'), and (b) for
+// TCP SYN flood flows (paper: flagged via 'Payload Anomalies' and 'Protocol
+// Anomalies').
+#include <cstdio>
+
+#include "apps/ddos_bundle.hpp"
+#include "bench/bench_util.hpp"
+#include "core/explain.hpp"
+
+namespace {
+
+std::vector<std::vector<double>> embeddings_for(agua::apps::DdosBundle& bundle,
+                                                const std::vector<agua::ddos::Flow>& flows) {
+  std::vector<std::vector<double>> out;
+  out.reserve(flows.size());
+  for (const auto& flow : flows) {
+    out.push_back(bundle.controller->embedding(agua::ddos::extract_features(flow)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace agua;
+  bench::print_header("Figure 6", "Agua explanations for LUCID's DDoS detection");
+
+  apps::DdosBundle bundle = apps::make_ddos_bundle(13);
+  core::AguaConfig config;
+  config.embedder = text::closed_source_embedder_config();
+  common::Rng rng(501);
+  core::AguaArtifacts agua = core::train_agua(bundle.train, bundle.describer.concept_set(),
+                                              bundle.describe_fn(), config, rng);
+  std::printf("surrogate fidelity (test): %.3f\n",
+              core::fidelity(*agua.model, bundle.test));
+
+  common::Rng flow_rng(502);
+  const auto benign = ddos::generate_flows(ddos::FlowType::kBenignWeb, 60, flow_rng);
+  const auto syn_flood = ddos::generate_flows(ddos::FlowType::kSynFlood, 60, flow_rng);
+
+  // Sanity: the controller classifies both groups correctly.
+  std::size_t benign_ok = 0;
+  std::size_t flood_ok = 0;
+  for (const auto& f : benign) {
+    if (bundle.controller->classify(ddos::extract_features(f)) == ddos::kBenignClass) {
+      ++benign_ok;
+    }
+  }
+  for (const auto& f : syn_flood) {
+    if (bundle.controller->classify(ddos::extract_features(f)) == ddos::kAttackClass) {
+      ++flood_ok;
+    }
+  }
+  std::printf("controller accuracy: benign %zu/60, SYN flood %zu/60\n", benign_ok,
+              flood_ok);
+
+  std::printf("\n(a) Batched factual explanation for benign flows (class=benign):\n");
+  const core::Explanation benign_exp =
+      core::explain_batched(*agua.model, embeddings_for(bundle, benign));
+  std::printf("%s", benign_exp.format(6).c_str());
+
+  std::printf("\n(b) Batched factual explanation for TCP SYN flood flows (class=DDoS):\n");
+  const core::Explanation flood_exp =
+      core::explain_batched(*agua.model, embeddings_for(bundle, syn_flood));
+  std::printf("%s", flood_exp.format(6).c_str());
+
+  std::printf(
+      "\nShape check: SYN-flood explanations should be led by protocol/payload\n"
+      "anomaly concepts; benign explanations by typical-behaviour concepts.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 9: Agua's batched explanations of Aurora's behaviour over time under
+// cross-traffic. The controller's throughput is plotted against available
+// capacity, with the dominant concept of each interval tagged.
+// Paper: stable throughput when no 'volatile network conditions'; sharp
+// throughput reductions on 'rapidly increasing latency'; recovery with
+// 'decreasing packet loss'.
+#include <cstdio>
+
+#include "apps/cc_bundle.hpp"
+#include "bench/bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/drift.hpp"
+#include "core/explain.hpp"
+
+int main() {
+  using namespace agua;
+  bench::print_header("Figure 9", "Aurora behaviour timeline with dominant concepts");
+
+  apps::CcBundle bundle = apps::make_cc_bundle(12);
+  core::AguaConfig config;
+  config.embedder = text::closed_source_embedder_config();
+  common::Rng rng(801);
+  core::AguaArtifacts agua = core::train_agua(bundle.train, bundle.describer->concept_set(),
+                                              bundle.describe_fn(), config, rng);
+  std::printf("surrogate fidelity (test): %.3f\n",
+              core::fidelity(*agua.model, bundle.test));
+
+  // Roll the controller under the bursty cross-traffic pattern of Fig. 9.
+  common::Rng roll_rng(802);
+  const auto samples = cc::rollout(*bundle.controller, bundle.variant.env,
+                                   cc::LinkPattern::kBurstyCross, roll_rng);
+
+  // Batched view per 20-MI window: tag each window with its most distinctive
+  // concept — the window's δ-intensity z-scored against the whole rollout
+  // (the same normalization the drift detector uses), so window-to-window
+  // differences stand out rather than globally-common concepts.
+  const std::size_t window = 20;
+  std::vector<core::TraceEmbeddings> windows;
+  std::vector<double> window_throughput;
+  std::vector<double> window_capacity;
+  for (std::size_t start = 0; start + window <= samples.size(); start += window) {
+    core::TraceEmbeddings embeddings;
+    std::vector<double> throughput;
+    std::vector<double> capacity;
+    for (std::size_t i = start; i < start + window; ++i) {
+      embeddings.push_back(bundle.controller->embedding(samples[i].observation));
+      throughput.push_back(samples[i].throughput_mbps);
+      capacity.push_back(samples[i].capacity_mbps);
+    }
+    windows.push_back(std::move(embeddings));
+    window_throughput.push_back(common::mean(throughput));
+    window_capacity.push_back(common::mean(capacity));
+  }
+  // Per-concept normalization across windows.
+  const std::size_t C = agua.model->num_concepts();
+  std::vector<std::vector<double>> intensities;
+  for (const auto& w : windows) {
+    intensities.push_back(core::trace_concept_intensity(*agua.model, w));
+  }
+  std::vector<double> mean_c(C, 0.0);
+  std::vector<double> std_c(C, 0.0);
+  for (std::size_t c = 0; c < C; ++c) {
+    std::vector<double> column;
+    for (const auto& v : intensities) column.push_back(v[c]);
+    mean_c[c] = common::mean(column);
+    std_c[c] = std::max(1e-9, common::stddev(column));
+  }
+  common::TablePrinter table(
+      {"t (s)", "throughput (Mbps)", "capacity (Mbps)", "dominant concept"});
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    std::vector<double> z(C);
+    for (std::size_t c = 0; c < C; ++c) z[c] = (intensities[w][c] - mean_c[c]) / std_c[c];
+    const std::size_t top = common::top_k_indices(z, 1).front();
+    table.add_row({common::format_double(static_cast<double>(w * window) * 0.1, 1),
+                   common::format_double(window_throughput[w], 2),
+                   common::format_double(window_capacity[w], 2),
+                   agua.model->concept_set().at(top).name});
+  }
+  std::printf("\n%s", table.render().c_str());
+  std::printf(
+      "\nShape check: bursts (capacity drops) coincide with latency/volatility\n"
+      "concepts; recovery phases with loss-decreasing or stable concepts.\n");
+  return 0;
+}

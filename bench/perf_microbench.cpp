@@ -1,0 +1,112 @@
+// Performance microbenchmarks (not a paper figure): latency of the hot paths
+// a deployment would care about — explanation generation (no LLM involved at
+// explanation time, §3.5), the text-embedding substitute, concept-similarity
+// tagging, decision-tree prediction, and controller inference.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "concepts/concept_set.hpp"
+#include "core/explain.hpp"
+#include "core/labeler.hpp"
+#include "ddos/controller.hpp"
+#include "ddos/flows.hpp"
+#include "text/embedder.hpp"
+#include "trustee/decision_tree.hpp"
+
+namespace {
+
+using namespace agua;
+
+core::AguaModel make_model() {
+  common::Rng rng(1);
+  core::ConceptMapping::Config cm;
+  cm.embedding_dim = 48;
+  cm.num_concepts = 16;
+  cm.num_levels = 3;
+  core::ConceptMapping mapping(cm, rng);
+  core::OutputMapping::Config om;
+  om.concept_dim = 48;
+  om.num_outputs = 5;
+  core::OutputMapping output(om, rng);
+  return core::AguaModel(concepts::abr_concepts(), std::move(mapping), std::move(output));
+}
+
+void BM_ExplainFactual(benchmark::State& state) {
+  core::AguaModel model = make_model();
+  common::Rng rng(2);
+  std::vector<double> embedding(48);
+  for (double& x : embedding) x = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::explain_factual(model, embedding));
+  }
+}
+BENCHMARK(BM_ExplainFactual);
+
+void BM_SurrogateForward(benchmark::State& state) {
+  core::AguaModel model = make_model();
+  common::Rng rng(3);
+  std::vector<double> embedding(48);
+  for (double& x : embedding) x = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_class(embedding));
+  }
+}
+BENCHMARK(BM_SurrogateForward);
+
+void BM_TextEmbedding(benchmark::State& state) {
+  text::TextEmbedder embedder;
+  const std::string description =
+      "Network conditions: Initially starts off with a stable pattern, as "
+      "observed from the features Transmission Time of Chunk, Network "
+      "Throughput. Overall, the trend is volatile, indicating the presence "
+      "of unstable network conditions.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embedder.embed(description));
+  }
+}
+BENCHMARK(BM_TextEmbedding);
+
+void BM_ConceptTagging(benchmark::State& state) {
+  core::ConceptLabeler labeler(concepts::abr_concepts(), text::TextEmbedder(),
+                               text::SimilarityQuantizer::paper_default());
+  labeler.fit({}, false);
+  const std::string description =
+      "Viewer's video buffer: rapidly depleting toward empty with stalls.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(labeler.levels(description));
+  }
+}
+BENCHMARK(BM_ConceptTagging);
+
+void BM_TreePredict(benchmark::State& state) {
+  common::Rng rng(4);
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> x(80);
+    for (double& v : x) v = rng.uniform(0.0, 1.0);
+    labels.push_back(static_cast<std::size_t>(x[0] * 4.99));
+    inputs.push_back(std::move(x));
+  }
+  trustee::DecisionTree tree;
+  tree.fit(inputs, labels, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(inputs[state.iterations() % 2000]));
+  }
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_ControllerInference(benchmark::State& state) {
+  ddos::DdosController controller(5);
+  common::Rng rng(6);
+  const auto features = ddos::extract_features(
+      ddos::generate_flow(ddos::FlowType::kBenignWeb, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.output_probs(features));
+  }
+}
+BENCHMARK(BM_ControllerInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

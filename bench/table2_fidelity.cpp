@@ -1,0 +1,110 @@
+// Table 2: fidelity of Trustee (full / pruned) vs Agua (open-source and
+// closed-source embedding stacks) on ABR, congestion control, and DDoS
+// detection. Fidelity is eq. 11 on a held-out test set.
+#include <cstdio>
+
+#include "apps/abr_bundle.hpp"
+#include "apps/cc_bundle.hpp"
+#include "apps/ddos_bundle.hpp"
+#include "bench/bench_util.hpp"
+#include "trustee/trustee.hpp"
+
+namespace {
+
+using namespace agua;
+
+struct AppResult {
+  double trustee_full = 0.0;
+  double trustee_pruned = 0.0;
+  double agua_open = 0.0;
+  double agua_closed = 0.0;
+};
+
+AppResult evaluate(core::Dataset& train, core::Dataset& test,
+                   const std::function<std::size_t(const std::vector<double>&)>& controller,
+                   const concepts::ConceptSet& concept_set,
+                   const core::DescribeFn& describe, std::uint64_t seed) {
+  AppResult result;
+  common::Rng rng(seed);
+
+  // Trustee baseline on raw inputs.
+  std::vector<std::vector<double>> train_inputs;
+  std::vector<std::vector<double>> test_inputs;
+  for (const core::Sample& s : train.samples) train_inputs.push_back(s.input);
+  for (const core::Sample& s : test.samples) test_inputs.push_back(s.input);
+  trustee::TrusteeExplainer explainer;
+  const trustee::TrustReport report =
+      explainer.train(train_inputs, controller, train.num_outputs, test_inputs, rng);
+  result.trustee_full = report.full_fidelity;
+  result.trustee_pruned = report.pruned_fidelity;
+
+  // Agua, two embedding stacks.
+  for (const bool open_variant : {true, false}) {
+    core::AguaConfig config;
+    config.embedder = open_variant ? text::open_source_embedder_config()
+                                   : text::closed_source_embedder_config();
+    common::Rng agua_rng(seed ^ (open_variant ? 0x0BEE : 0xCAFE));
+    core::AguaArtifacts artifacts =
+        core::train_agua(train, concept_set, describe, config, agua_rng);
+    const double f = core::fidelity(*artifacts.model, test);
+    (open_variant ? result.agua_open : result.agua_closed) = f;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace agua;
+  bench::print_header("Table 2", "Explanation fidelity: Trustee vs Agua");
+
+  std::printf("\n[ABR] training Gelato-like controller and collecting 4,000 pairs...\n");
+  apps::AbrBundle abr = apps::make_abr_bundle(11);
+  const AppResult abr_result =
+      evaluate(abr.train, abr.test, abr.controller_fn(), abr.describer.concept_set(),
+               abr.describe_fn(), 101);
+
+  std::printf("[CC] training Aurora-like controller (2,000 train / 4,000 test pairs)...\n");
+  apps::CcBundle cc = apps::make_cc_bundle(12);
+  const AppResult cc_result =
+      evaluate(cc.train, cc.test, cc.controller_fn(), cc.describer->concept_set(),
+               cc.describe_fn(), 102);
+
+  std::printf("[DDoS] training LUCID-like classifier (1,000 train / 450 test flows)...\n");
+  apps::DdosBundle ddos = apps::make_ddos_bundle(13);
+  const AppResult ddos_result =
+      evaluate(ddos.train, ddos.test, ddos.controller_fn(), ddos.describer.concept_set(),
+               ddos.describe_fn(), 103);
+
+  struct Row {
+    const char* app;
+    AppResult paper;
+    AppResult measured;
+  };
+  const Row rows[] = {
+      {"ABR", {0.946, 0.949, 0.982, 0.983}, abr_result},
+      {"CC", {0.215, 0.235, 0.932, 0.936}, cc_result},
+      {"DDoS", {0.991, 0.977, 0.996, 1.000}, ddos_result},
+  };
+
+  common::TablePrinter table({"application", "variant", "paper", "measured"});
+  for (const Row& row : rows) {
+    table.add_row({row.app, "Trustee full", common::format_double(row.paper.trustee_full),
+                   common::format_double(row.measured.trustee_full)});
+    table.add_row({row.app, "Trustee pruned",
+                   common::format_double(row.paper.trustee_pruned),
+                   common::format_double(row.measured.trustee_pruned)});
+    table.add_row({row.app, "Agua (open embeddings)",
+                   common::format_double(row.paper.agua_open),
+                   common::format_double(row.measured.agua_open)});
+    table.add_row({row.app, "Agua (closed embeddings)",
+                   common::format_double(row.paper.agua_closed),
+                   common::format_double(row.measured.agua_closed)});
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  std::printf(
+      "\nShape checks: Agua >= 0.9 everywhere; Agua > Trustee on CC by a wide\n"
+      "margin; Trustee competitive on ABR/DDoS.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// A small CLI driver over the library: trains a controller + surrogate for
+// one of the three applications and prints the Agua report, a sample
+// explanation, and (optionally) a checkpoint.
+//
+//   agua_cli <abr|cc|ddos> [--seed N] [--open] [--save PATH] [--paper-config]
+//
+//   --open          use the open-source embedding stack (default: closed)
+//   --paper-config  train with the paper's exact §4 hyperparameters
+//   --save PATH     write the trained surrogate to PATH (binary archive)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/abr_bundle.hpp"
+#include "apps/cc_bundle.hpp"
+#include "apps/ddos_bundle.hpp"
+#include "core/explain.hpp"
+#include "core/model_io.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace agua;
+
+struct CliOptions {
+  std::string app;
+  std::uint64_t seed = 42;
+  bool open_embeddings = false;
+  bool paper_config = false;
+  std::string save_path;
+};
+
+bool parse(int argc, char** argv, CliOptions& options) {
+  if (argc < 2) return false;
+  options.app = argv[1];
+  if (options.app != "abr" && options.app != "cc" && options.app != "ddos") {
+    return false;
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      options.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--open") == 0) {
+      options.open_embeddings = true;
+    } else if (std::strcmp(argv[i], "--paper-config") == 0) {
+      options.paper_config = true;
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      options.save_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void run(const CliOptions& options, core::Dataset& train, core::Dataset& test,
+         const concepts::ConceptSet& concept_set, const core::DescribeFn& describe) {
+  core::AguaConfig config =
+      options.paper_config ? core::paper_agua_config() : core::AguaConfig{};
+  config.embedder = options.open_embeddings ? text::open_source_embedder_config()
+                                            : text::closed_source_embedder_config();
+  common::Rng rng(options.seed ^ 0xA90A);
+  std::printf("training Agua (%s embeddings, %s recipe)...\n",
+              options.open_embeddings ? "open" : "closed",
+              options.paper_config ? "paper" : "tuned");
+  core::AguaArtifacts agua = core::train_agua(train, concept_set, describe, config, rng);
+
+  const core::AguaReport report = core::build_report(*agua.model, train, test);
+  std::printf("\n%s\n", report.format().c_str());
+
+  std::printf("sample factual explanation (first test sample):\n%s\n",
+              core::explain_factual(*agua.model, test.samples.front().embedding)
+                  .format(5)
+                  .c_str());
+
+  if (!options.save_path.empty()) {
+    if (core::save_model_file(options.save_path, *agua.model)) {
+      std::printf("checkpoint written to %s\n", options.save_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", options.save_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse(argc, argv, options)) {
+    std::fprintf(stderr,
+                 "usage: %s <abr|cc|ddos> [--seed N] [--open] [--save PATH]"
+                 " [--paper-config]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::printf("building the %s application bundle (seed %llu)...\n",
+              options.app.c_str(), static_cast<unsigned long long>(options.seed));
+  if (options.app == "abr") {
+    apps::AbrBundle bundle = apps::make_abr_bundle(options.seed);
+    run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
+        bundle.describe_fn());
+  } else if (options.app == "cc") {
+    apps::CcBundle bundle = apps::make_cc_bundle(options.seed);
+    run(options, bundle.train, bundle.test, bundle.describer->concept_set(),
+        bundle.describe_fn());
+  } else {
+    apps::DdosBundle bundle = apps::make_ddos_bundle(options.seed);
+    run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
+        bundle.describe_fn());
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "abr/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace agua::abr {
+namespace {
+
+nn::PolicyNetwork make_network(std::uint64_t seed, std::size_t hidden_dim,
+                               std::size_t embed_dim) {
+  nn::PolicyNetwork::Config cfg;
+  cfg.input_dim = ObsLayout::kTotal;
+  cfg.hidden_dim = hidden_dim;
+  cfg.embed_dim = embed_dim;
+  cfg.num_outputs = AbrController::kActions;
+  cfg.input_scales = AbrEnv::feature_scales();
+  common::Rng rng(seed);
+  return nn::PolicyNetwork(cfg, rng);
+}
+
+}  // namespace
+
+AbrController::AbrController(std::uint64_t seed, std::size_t hidden_dim,
+                             std::size_t embed_dim)
+    : network_(make_network(seed, hidden_dim, embed_dim)) {}
+
+Rollout rollout_episode(AbrController& controller, AbrEnv env, bool greedy,
+                        common::Rng* rng) {
+  Rollout rollout;
+  double qoe_total = 0.0;
+  while (!env.done()) {
+    RolloutSample sample;
+    sample.observation = env.observation();
+    sample.action = greedy ? controller.act(sample.observation)
+                           : controller.network().sample_action(sample.observation, *rng);
+    const AbrEnv::StepResult result = env.step(sample.action);
+    sample.qoe = result.qoe;
+    qoe_total += result.qoe;
+    rollout.total_stall_s += result.stall_s;
+    rollout.samples.push_back(std::move(sample));
+  }
+  rollout.mean_qoe = rollout.samples.empty()
+                         ? 0.0
+                         : qoe_total / static_cast<double>(rollout.samples.size());
+  return rollout;
+}
+
+std::vector<RolloutSample> collect_rollouts(AbrController& controller,
+                                            const std::vector<NetworkTrace>& traces,
+                                            std::size_t chunks_per_video,
+                                            common::Rng& rng) {
+  std::vector<RolloutSample> samples;
+  for (const NetworkTrace& trace : traces) {
+    AbrEnv env(VideoManifest::generate(chunks_per_video, rng), trace);
+    Rollout rollout = rollout_episode(controller, std::move(env), /*greedy=*/true, nullptr);
+    for (auto& s : rollout.samples) samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+void train_behavior_cloning(AbrController& controller, const MpcTeacher& teacher,
+                            const std::vector<NetworkTrace>& traces,
+                            std::size_t chunks_per_video, std::size_t epochs,
+                            double learning_rate, common::Rng& rng) {
+  // Pass 1: teacher-driven episodes.
+  std::vector<std::vector<double>> observations;
+  std::vector<std::size_t> actions;
+  for (const NetworkTrace& trace : traces) {
+    AbrEnv env(VideoManifest::generate(chunks_per_video, rng), trace);
+    while (!env.done()) {
+      std::vector<double> obs = env.observation();
+      const std::size_t action = teacher.act(obs);
+      env.step(action);
+      observations.push_back(std::move(obs));
+      actions.push_back(action);
+    }
+  }
+  // Pass 2 (DAgger-style): controller-driven states relabeled by the teacher,
+  // so cloning covers the states the student actually visits.
+  for (const NetworkTrace& trace : traces) {
+    AbrEnv env(VideoManifest::generate(chunks_per_video, rng), trace);
+    while (!env.done()) {
+      std::vector<double> obs = env.observation();
+      const std::size_t student_action = controller.act(obs);
+      env.step(student_action);
+      actions.push_back(teacher.act(obs));
+      observations.push_back(std::move(obs));
+    }
+  }
+
+  nn::SgdOptimizer::Options opt;
+  opt.learning_rate = learning_rate;
+  opt.momentum = 0.9;
+  opt.gradient_clip = 5.0;
+  nn::SgdOptimizer optimizer(controller.network().parameters(), opt);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    controller.network().train_supervised_epoch(observations, actions, /*batch_size=*/64,
+                                                optimizer, rng);
+  }
+}
+
+std::vector<double> train_reinforce(AbrController& controller,
+                                    const std::vector<NetworkTrace>& traces,
+                                    const ReinforceOptions& options, common::Rng& rng) {
+  std::vector<double> qoe_curve;
+  if (traces.empty()) return qoe_curve;
+  nn::SgdOptimizer::Options opt;
+  opt.learning_rate = options.learning_rate;
+  opt.momentum = 0.9;
+  opt.gradient_clip = 2.0;
+  nn::SgdOptimizer optimizer(controller.network().parameters(), opt);
+
+  for (std::size_t update = 0; update < options.updates; ++update) {
+    std::vector<std::vector<double>> observations;
+    std::vector<std::size_t> actions;
+    std::vector<double> returns;
+    double update_qoe = 0.0;
+    std::size_t update_chunks = 0;
+    for (std::size_t e = 0; e < options.episodes_per_update; ++e) {
+      const NetworkTrace& trace =
+          traces[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(traces.size()) - 1))];
+      AbrEnv env(VideoManifest::generate(options.chunks_per_video, rng), trace);
+      Rollout rollout = rollout_episode(controller, std::move(env), /*greedy=*/false, &rng);
+      // Discounted reward-to-go.
+      double running = 0.0;
+      std::vector<double> episode_returns(rollout.samples.size());
+      for (std::size_t i = rollout.samples.size(); i-- > 0;) {
+        running = rollout.samples[i].qoe + options.discount * running;
+        episode_returns[i] = running;
+      }
+      for (std::size_t i = 0; i < rollout.samples.size(); ++i) {
+        observations.push_back(std::move(rollout.samples[i].observation));
+        actions.push_back(rollout.samples[i].action);
+        returns.push_back(episode_returns[i]);
+        update_qoe += rollout.samples[i].qoe;
+        ++update_chunks;
+      }
+    }
+    // Batch-normalized advantages (the variance-reduction baseline).
+    const double baseline = common::mean(returns);
+    const double scale = std::max(1e-6, common::stddev(returns));
+    std::vector<double> advantages(returns.size());
+    for (std::size_t i = 0; i < returns.size(); ++i) {
+      advantages[i] = (returns[i] - baseline) / scale;
+    }
+    controller.network().policy_gradient_update(observations, actions, advantages,
+                                                options.entropy_coef, optimizer);
+    qoe_curve.push_back(update_chunks > 0
+                            ? update_qoe / static_cast<double>(update_chunks)
+                            : 0.0);
+  }
+  return qoe_curve;
+}
+
+double evaluate_qoe(AbrController& controller, const std::vector<NetworkTrace>& traces,
+                    std::size_t chunks_per_video, common::Rng& rng) {
+  if (traces.empty()) return 0.0;
+  double total = 0.0;
+  for (const NetworkTrace& trace : traces) {
+    AbrEnv env(VideoManifest::generate(chunks_per_video, rng), trace);
+    total += rollout_episode(controller, std::move(env), /*greedy=*/true, nullptr).mean_qoe;
+  }
+  return total / static_cast<double>(traces.size());
+}
+
+}  // namespace agua::abr

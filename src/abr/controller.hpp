@@ -1,0 +1,93 @@
+// The Gelato-like deep-RL ABR controller and its trainers.
+//
+// The controller is a PolicyNetwork over the 80-dim Fig. 15 observation:
+// an embedding network h(x) (what Agua's concept mapping consumes) and a
+// 5-way quality head. Training follows the practical recipe for this class
+// of controller: behaviour-clone an MPC-style teacher, then fine-tune with
+// REINFORCE on simulated QoE — both fully deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "abr/env.hpp"
+#include "abr/teacher.hpp"
+#include "nn/policy.hpp"
+
+namespace agua::abr {
+
+class AbrController {
+ public:
+  static constexpr std::size_t kActions = kQualityLevels;
+
+  explicit AbrController(std::uint64_t seed, std::size_t hidden_dim = 96,
+                         std::size_t embed_dim = 48);
+
+  std::vector<double> embedding(const std::vector<double>& observation) {
+    return network_.embedding(observation);
+  }
+  std::vector<double> output_probs(const std::vector<double>& observation) {
+    return network_.output_probs(observation);
+  }
+  std::size_t act(const std::vector<double>& observation) {
+    return network_.greedy_action(observation);
+  }
+
+  nn::PolicyNetwork& network() { return network_; }
+
+ private:
+  nn::PolicyNetwork network_;
+};
+
+/// One (state, action, reward) step of an episode.
+struct RolloutSample {
+  std::vector<double> observation;
+  std::size_t action = 0;
+  double qoe = 0.0;
+};
+
+/// A full episode plus its summary metrics.
+struct Rollout {
+  std::vector<RolloutSample> samples;
+  double mean_qoe = 0.0;
+  double total_stall_s = 0.0;
+};
+
+/// Play one video through `env` with the controller (greedy or sampled).
+Rollout rollout_episode(AbrController& controller, AbrEnv env, bool greedy,
+                        common::Rng* rng);
+
+/// Roll the controller over each trace (fresh manifest per trace) and gather
+/// the visited states — the dataset-collection step of §5.1.
+std::vector<RolloutSample> collect_rollouts(AbrController& controller,
+                                            const std::vector<NetworkTrace>& traces,
+                                            std::size_t chunks_per_video,
+                                            common::Rng& rng);
+
+/// Behaviour cloning against the MPC teacher (teacher-driven episodes plus a
+/// DAgger-style pass of controller-driven states relabeled by the teacher).
+void train_behavior_cloning(AbrController& controller, const MpcTeacher& teacher,
+                            const std::vector<NetworkTrace>& traces,
+                            std::size_t chunks_per_video, std::size_t epochs,
+                            double learning_rate, common::Rng& rng);
+
+struct ReinforceOptions {
+  std::size_t updates = 60;
+  std::size_t episodes_per_update = 6;
+  std::size_t chunks_per_video = 60;
+  double learning_rate = 2e-3;
+  double entropy_coef = 0.01;
+  double discount = 0.95;
+};
+
+/// REINFORCE fine-tuning on simulated QoE. Returns the mean-QoE learning
+/// curve (one point per update) — the series plotted in Fig. 8.
+std::vector<double> train_reinforce(AbrController& controller,
+                                    const std::vector<NetworkTrace>& traces,
+                                    const ReinforceOptions& options, common::Rng& rng);
+
+/// Mean per-chunk QoE of the greedy policy over the given traces.
+double evaluate_qoe(AbrController& controller, const std::vector<NetworkTrace>& traces,
+                    std::size_t chunks_per_video, common::Rng& rng);
+
+}  // namespace agua::abr

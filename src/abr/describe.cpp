@@ -1,0 +1,184 @@
+#include "abr/describe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "abr/env.hpp"
+#include "common/stats.hpp"
+
+namespace agua::abr {
+namespace {
+
+std::vector<double> block(const std::vector<double>& obs, std::size_t offset,
+                          std::size_t count) {
+  return {obs.begin() + static_cast<std::ptrdiff_t>(offset),
+          obs.begin() + static_cast<std::ptrdiff_t>(offset + count)};
+}
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+AbrDescriber::AbrDescriber() : concepts_(concepts::abr_concepts()) {}
+
+AbrDescriber::AbrDescriber(concepts::ConceptSet concept_set)
+    : concepts_(std::move(concept_set)) {}
+
+std::vector<std::pair<std::string, double>> AbrDescriber::detect_concepts(
+    const std::vector<double>& obs) const {
+  const auto quality = block(obs, ObsLayout::kQuality, kHistory);
+  const auto transmit = block(obs, ObsLayout::kTransmitTime, kHistory);
+  const auto throughput = block(obs, ObsLayout::kThroughput, kHistory);
+  const auto buffer = block(obs, ObsLayout::kBuffer, kHistory);
+  const auto stall = block(obs, ObsLayout::kStall, kHistory);
+  const auto up_quality = block(obs, ObsLayout::kUpcomingQuality, kHorizon);
+  const auto up_size = block(obs, ObsLayout::kUpcomingSize, kHorizon);
+
+  const double thr_mean = common::mean(throughput);
+  const double thr_cv = thr_mean > 1e-6 ? common::stddev(throughput) / thr_mean : 0.0;
+  const double thr_slope = common::slope(throughput) * static_cast<double>(kHistory - 1);
+  const double tt_mean = common::mean(transmit);
+  const double tt_slope = common::slope(transmit) * static_cast<double>(kHistory - 1);
+  const double buf_last = buffer.back();
+  const double buf_slope = common::slope(buffer) * static_cast<double>(kHistory - 1);
+  const double buf_cv = common::stddev(buffer) / 15.0;
+  const double q_change = common::stddev(quality) / 25.0;
+  const double size_mean = common::mean(up_size);
+  const double stall_total = common::mean(stall);
+  // Startup: leading history slots still zeroed out.
+  std::size_t zero_prefix = 0;
+  while (zero_prefix < kHistory && quality[zero_prefix] == 0.0 &&
+         throughput[zero_prefix] == 0.0) {
+    ++zero_prefix;
+  }
+  const double startup_score = static_cast<double>(zero_prefix) / kHistory;
+  // Recent improvement: last two transmit times falling / throughput rising.
+  const double recent_tt_drop =
+      transmit[kHistory - 2] > 1e-6
+          ? (transmit[kHistory - 2] - transmit[kHistory - 1]) / transmit[kHistory - 2]
+          : 0.0;
+  const double recent_thr_rise =
+      throughput[kHistory - 2] > 1e-6
+          ? (throughput[kHistory - 1] - throughput[kHistory - 2]) / throughput[kHistory - 2]
+          : 0.0;
+
+  std::vector<std::pair<std::string, double>> scores;
+  scores.reserve(concepts_.size());
+  auto add = [&](const char* name, double score) {
+    // Only emit scores for concepts present in the (possibly subset) set.
+    if (concepts_.index_of(name) != static_cast<std::size_t>(-1)) {
+      scores.emplace_back(name, clamp01(score));
+    }
+  };
+
+  add("Volatile Network Throughput", thr_cv * 2.2);
+  add("Rapidly Depleting Buffer",
+      (-buf_slope / 6.0) + (buf_last < 4.0 ? 0.3 : 0.0) + stall_total * 0.5);
+  add("Low Content Complexity", (0.85 - size_mean) * 1.4);
+  add("Recent Network Improvement",
+      std::max(recent_tt_drop * 1.8, recent_thr_rise * 1.5));
+  add("Extreme Network Degradation",
+      (tt_slope / 2.5) + (tt_mean > 1.5 ? 0.3 : 0.0) + (thr_slope < -0.4 ? 0.25 : 0.0));
+  add("Moderate Network Throughput",
+      1.0 - std::abs(thr_mean - 1.1) / 0.8 - thr_cv * 0.8);
+  add("Anticipation of Network Congestion",
+      (-thr_slope / 2.0) + (buf_last > 6.0 ? 0.1 : 0.0));
+  add("Content requiring High Quality", (size_mean - 1.0) * 1.3);
+  add("Stable Buffer", (buf_last > 6.0 ? 0.5 : 0.1) + (0.12 - buf_cv) * 3.0);
+  add("Nearly Full Buffer", (buf_last - 11.0) / 4.0);
+  add("Startup of video", startup_score * 1.2);
+  add("High Content Complexity", (size_mean - 1.05) * 1.5 + q_change * 0.5);
+  add("Network volatility needing switches", thr_cv * 1.4 + q_change * 1.5);
+  add("Avoiding Large Quality Fluctuations",
+      (thr_cv > 0.15 ? 0.3 : 0.0) + (0.08 - q_change) * 4.0);
+  add("Switch to higher quality after startup",
+      startup_score * 0.6 + (common::slope(quality) > 0.3 ? 0.4 : 0.0));
+  add("High Network Throughput", (thr_mean - 1.5) / 1.0 - thr_cv * 0.5);
+  // Concepts not covered above (subset configurations) default to 0 score.
+  for (const auto& c : concepts_.concepts()) {
+    bool present = false;
+    for (const auto& [name, score] : scores) {
+      if (name == c.name) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) scores.emplace_back(c.name, 0.0);
+  }
+  return scores;
+}
+
+std::string AbrDescriber::describe(const std::vector<double>& obs) const {
+  return describe(obs, text::DescriberOptions{});
+}
+
+std::string AbrDescriber::describe(const std::vector<double>& obs,
+                                   const text::DescriberOptions& options) const {
+  std::ostringstream os;
+  os << text::describe_group(
+            "Network conditions",
+            {{"Transmission Time of Chunk", block(obs, ObsLayout::kTransmitTime, kHistory),
+              20.0},
+             {"Network Throughput", block(obs, ObsLayout::kThroughput, kHistory), 10.0}},
+            options)
+     << '\n';
+  // Qualitative throughput magnitude (numbers are elided by the embedder's
+  // tokenizer, so the level must be stated in words — as the LLM does).
+  {
+    const double thr_mean = common::mean(block(obs, ObsLayout::kThroughput, kHistory));
+    const char* level = thr_mean < 0.3   ? "a starved, barely usable"
+                        : thr_mean < 0.8 ? "a low cellular-grade"
+                        : thr_mean < 1.4 ? "a moderate mid-tier"
+                        : thr_mean < 2.2 ? "a high broadband-grade"
+                                         : "a very high fiber-grade";
+    os << "The average delivery rate corresponds to " << level
+       << " connection level.\n";
+  }
+  os << text::describe_group(
+            "Viewer's video buffer",
+            {{"Client Buffer", block(obs, ObsLayout::kBuffer, kHistory), 15.0}}, options)
+     << '\n';
+  os << text::describe_group(
+            "Viewer's Quality of Experience",
+            {{"Quality of Experience", block(obs, ObsLayout::kQoe, kHistory), 5.0},
+             {"Stalling", block(obs, ObsLayout::kStall, kHistory), 3.0}},
+            options)
+     << '\n';
+  os << text::describe_group(
+            "Upcoming video sizes",
+            {{"Mean Upcoming Video Sizes", block(obs, ObsLayout::kUpcomingSize, kHorizon),
+              3.0}},
+            options)
+     << '\n';
+  os << text::describe_group(
+            "Upcoming video qualities",
+            {{"Mean Upcoming Video Qualities",
+              block(obs, ObsLayout::kUpcomingQuality, kHorizon), 25.0}},
+            options)
+     << '\n';
+
+  // Closing concept-correlation sentence: the top detected concepts.
+  auto detected = detect_concepts(obs);
+  std::stable_sort(detected.begin(), detected.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> mentioned;
+  for (const auto& [name, score] : detected) {
+    if (score > 0.15 && mentioned.size() < 5) {
+      // Echo the concept's own phrasing, as the LLM does when the concepts
+      // (with descriptions) are part of its prompt (Fig. 15).
+      const std::size_t index = concepts_.index_of(name);
+      const std::string& description = concepts_.at(index).description;
+      // A human annotator names the concept with a short gloss; the LLM
+      // echoes the full first clause of the prompt's concept description.
+      const std::string clause = description.substr(0, description.find(','));
+      const std::string gloss = clause.substr(0, clause.find(' ', 24));
+      mentioned.push_back(name + " (" + (options.human_style ? gloss : clause) + ")");
+    }
+  }
+  if (mentioned.empty() && !detected.empty()) mentioned.push_back(detected.front().first);
+  os << text::concept_correlation_summary(mentioned, options);
+  return os.str();
+}
+
+}  // namespace agua::abr

@@ -1,0 +1,40 @@
+// Stage ② of Fig. 2 for ABR: converts an 80-dim controller observation into
+// the structured Fig. 16 text description. Trend paragraphs come from the
+// generic template engine; the closing "correlates with the key concept of"
+// sentence comes from rule-based detectors over the same input features the
+// paper's LLM sees (see DESIGN.md substitution table).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "concepts/concept_set.hpp"
+#include "text/describer.hpp"
+
+namespace agua::abr {
+
+class AbrDescriber {
+ public:
+  AbrDescriber();
+  explicit AbrDescriber(concepts::ConceptSet concept_set);
+
+  /// Deterministic description (temperature 0).
+  std::string describe(const std::vector<double>& observation) const;
+
+  /// Description with explicit options (noise / human-style variants).
+  std::string describe(const std::vector<double>& observation,
+                       const text::DescriberOptions& options) const;
+
+  /// Rule-based concept detection: (concept name, score in [0,1]) for every
+  /// base concept, in concept-set order.
+  std::vector<std::pair<std::string, double>> detect_concepts(
+      const std::vector<double>& observation) const;
+
+  const concepts::ConceptSet& concept_set() const { return concepts_; }
+
+ private:
+  concepts::ConceptSet concepts_;
+};
+
+}  // namespace agua::abr

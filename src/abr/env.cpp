@@ -1,0 +1,200 @@
+#include "abr/env.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace agua::abr {
+namespace {
+
+void shift_push(std::vector<double>& history, double value) {
+  std::rotate(history.begin(), history.begin() + 1, history.end());
+  history.back() = value;
+}
+
+}  // namespace
+
+AbrEnv::AbrEnv(VideoManifest manifest, NetworkTrace trace)
+    : AbrEnv(std::move(manifest), std::move(trace), Config()) {}
+
+AbrEnv::AbrEnv(VideoManifest manifest, NetworkTrace trace, Config config)
+    : manifest_(std::move(manifest)),
+      trace_(std::move(trace)),
+      config_(config),
+      buffer_s_(config.startup_buffer_s),
+      hist_quality_(kHistory, 0.0),
+      hist_chunk_size_(kHistory, 0.0),
+      hist_transmit_time_(kHistory, 0.0),
+      hist_throughput_(kHistory, 0.0),
+      hist_buffer_(kHistory, config.startup_buffer_s),
+      hist_qoe_(kHistory, 0.0),
+      hist_stall_(kHistory, 0.0) {}
+
+std::vector<double> AbrEnv::observation() const {
+  std::vector<double> obs(ObsLayout::kTotal, 0.0);
+  std::copy(hist_quality_.begin(), hist_quality_.end(), obs.begin() + ObsLayout::kQuality);
+  std::copy(hist_chunk_size_.begin(), hist_chunk_size_.end(),
+            obs.begin() + ObsLayout::kChunkSize);
+  std::copy(hist_transmit_time_.begin(), hist_transmit_time_.end(),
+            obs.begin() + ObsLayout::kTransmitTime);
+  std::copy(hist_throughput_.begin(), hist_throughput_.end(),
+            obs.begin() + ObsLayout::kThroughput);
+  std::copy(hist_buffer_.begin(), hist_buffer_.end(), obs.begin() + ObsLayout::kBuffer);
+  std::copy(hist_qoe_.begin(), hist_qoe_.end(), obs.begin() + ObsLayout::kQoe);
+  std::copy(hist_stall_.begin(), hist_stall_.end(), obs.begin() + ObsLayout::kStall);
+  for (std::size_t i = 0; i < kHorizon; ++i) {
+    const std::size_t chunk = next_chunk_ + i;
+    if (chunk >= manifest_.chunk_count()) break;
+    const ChunkLadder& ladder = manifest_.chunks[chunk];
+    double mean_quality = 0.0;
+    double mean_size = 0.0;
+    for (std::size_t q = 0; q < kQualityLevels; ++q) {
+      mean_quality += ladder.ssim_db[q];
+      mean_size += ladder.size_mb[q];
+    }
+    obs[ObsLayout::kUpcomingQuality + i] = mean_quality / kQualityLevels;
+    obs[ObsLayout::kUpcomingSize + i] = mean_size / kQualityLevels;
+  }
+  return obs;
+}
+
+AbrEnv::StepResult AbrEnv::step(std::size_t level) {
+  assert(!done());
+  level = std::min(level, kQualityLevels - 1);
+  const ChunkLadder& ladder = manifest_.chunks[next_chunk_];
+  const double size_mb = ladder.size_mb[level];
+
+  // Download second-by-second against the trace's available bandwidth.
+  StepResult result;
+  double remaining_mb = size_mb;
+  double transmit_time = 0.0;
+  while (remaining_mb > 1e-9) {
+    const double bw = trace_.bandwidth_at(clock_s_ + transmit_time);  // Mbps
+    const double second_fraction = 1.0 - std::fmod(transmit_time, 1.0);
+    // bandwidth_mbps is megabits/s; chunk sizes are megabits, so Mb/s == Mbps.
+    const double downloadable = bw * second_fraction;
+    if (downloadable >= remaining_mb) {
+      transmit_time += remaining_mb / bw;
+      remaining_mb = 0.0;
+    } else {
+      transmit_time += second_fraction;
+      remaining_mb -= downloadable;
+    }
+    if (transmit_time > 60.0) {  // hard cap: pathological stall
+      remaining_mb = 0.0;
+    }
+  }
+
+  // Buffer dynamics.
+  const double stall = std::max(0.0, transmit_time - buffer_s_);
+  buffer_s_ = std::max(0.0, buffer_s_ - transmit_time) + manifest_.chunk_seconds;
+  double wait = 0.0;
+  if (buffer_s_ > config_.buffer_max_s) {
+    wait = buffer_s_ - config_.buffer_max_s;
+    buffer_s_ = config_.buffer_max_s;
+  }
+  clock_s_ += transmit_time + wait;
+
+  // QoE (Puffer-style SSIM quality minus rebuffer and switching penalties).
+  const double ssim = ladder.ssim_db[level];
+  double qoe = config_.qoe.quality_scale * ssim - config_.qoe.rebuffer_penalty * stall;
+  if (has_previous_quality_) {
+    qoe -= config_.qoe.switch_penalty * std::abs(ssim - previous_ssim_db_);
+  }
+  previous_ssim_db_ = ssim;
+  has_previous_quality_ = true;
+
+  result.qoe = qoe;
+  result.ssim_db = ssim;
+  result.stall_s = stall;
+  result.transmit_time_s = transmit_time;
+  result.throughput_mbps = transmit_time > 0.0 ? size_mb / transmit_time : 0.0;
+  result.buffer_s = buffer_s_;
+
+  push_history(result, level);
+  ++next_chunk_;
+  return result;
+}
+
+void AbrEnv::push_history(const StepResult& result, std::size_t level) {
+  (void)level;
+  shift_push(hist_quality_, result.ssim_db);
+  shift_push(hist_chunk_size_, std::min(3.0, result.transmit_time_s * result.throughput_mbps));
+  shift_push(hist_transmit_time_, std::min(20.0, result.transmit_time_s));
+  shift_push(hist_throughput_, result.throughput_mbps);
+  shift_push(hist_buffer_, result.buffer_s);
+  shift_push(hist_qoe_, result.qoe);
+  shift_push(hist_stall_, std::min(3.0, result.stall_s));
+}
+
+std::vector<std::string> AbrEnv::feature_names() {
+  std::vector<std::string> names;
+  names.reserve(ObsLayout::kTotal);
+  auto history_block = [&](const std::string& base) {
+    for (std::size_t i = 0; i < kHistory; ++i) {
+      names.push_back(base + " t-" + std::to_string(kHistory - i));
+    }
+  };
+  history_block("quality");
+  history_block("chunk size");
+  history_block("transmit time");
+  history_block("throughput");
+  history_block("buffer");
+  history_block("qoe");
+  history_block("stall");
+  for (std::size_t i = 0; i < kHorizon; ++i) {
+    names.push_back("upcoming quality +" + std::to_string(i + 1));
+  }
+  for (std::size_t i = 0; i < kHorizon; ++i) {
+    names.push_back("upcoming size +" + std::to_string(i + 1));
+  }
+  return names;
+}
+
+std::vector<double> AbrEnv::feature_scales() {
+  std::vector<double> scales(ObsLayout::kTotal, 1.0);
+  auto fill = [&](std::size_t offset, std::size_t count, double value) {
+    for (std::size_t i = 0; i < count; ++i) scales[offset + i] = value;
+  };
+  fill(ObsLayout::kQuality, kHistory, 25.0);
+  fill(ObsLayout::kChunkSize, kHistory, 3.0);
+  fill(ObsLayout::kTransmitTime, kHistory, 20.0);
+  fill(ObsLayout::kThroughput, kHistory, 3.0);
+  fill(ObsLayout::kBuffer, kHistory, 15.0);
+  fill(ObsLayout::kQoe, kHistory, 5.0);
+  fill(ObsLayout::kStall, kHistory, 3.0);
+  fill(ObsLayout::kUpcomingQuality, kHorizon, 25.0);
+  fill(ObsLayout::kUpcomingSize, kHorizon, 3.0);
+  return scales;
+}
+
+std::vector<double> AbrEnv::motivating_state() {
+  std::vector<double> obs(ObsLayout::kTotal, 0.0);
+  // Transmission times degraded from ~1s to ~3s, improving to 2s at the end.
+  const double transmit[kHistory] = {1.0, 1.1, 1.3, 1.6, 2.0, 2.4, 2.8, 3.0, 3.0, 2.0};
+  // Throughput mirrors the degradation (chunk ~1.2 Mb at low levels).
+  const double throughput[kHistory] = {1.8, 1.6, 1.3, 1.0, 0.8, 0.65, 0.55, 0.5, 0.5, 0.75};
+  // Buffer drained hard, then started recovering.
+  const double buffer[kHistory] = {9.0, 8.0, 6.5, 5.0, 3.5, 2.5, 2.0, 2.2, 3.0, 4.2};
+  // The controller already stepped down in quality.
+  const double quality[kHistory] = {16.5, 16.5, 16.0, 15.0, 13.5, 12.5, 11.5, 11.0, 11.0, 11.0};
+  const double qoe[kHistory] = {3.2, 3.1, 2.9, 2.5, 2.0, 1.6, 1.4, 1.5, 1.8, 2.0};
+  for (std::size_t i = 0; i < kHistory; ++i) {
+    obs[ObsLayout::kQuality + i] = quality[i];
+    obs[ObsLayout::kChunkSize + i] = transmit[i] * throughput[i];
+    obs[ObsLayout::kTransmitTime + i] = transmit[i];
+    obs[ObsLayout::kThroughput + i] = throughput[i];
+    obs[ObsLayout::kBuffer + i] = buffer[i];
+    obs[ObsLayout::kQoe + i] = qoe[i];
+    obs[ObsLayout::kStall + i] = 0.0;
+  }
+  const double upcoming_quality[kHorizon] = {15.9, 15.5, 14.6, 11.1, 10.7};
+  const double upcoming_size[kHorizon] = {0.9, 1.0, 1.1, 1.2, 1.2};
+  for (std::size_t i = 0; i < kHorizon; ++i) {
+    obs[ObsLayout::kUpcomingQuality + i] = upcoming_quality[i];
+    obs[ObsLayout::kUpcomingSize + i] = upcoming_size[i];
+  }
+  return obs;
+}
+
+}  // namespace agua::abr

@@ -1,0 +1,101 @@
+// Chunk-level adaptive-bitrate streaming simulator (the Gelato/Puffer
+// substitute). Reproduces the observation layout of Fig. 15: per-step
+// histories of selected quality, chunk size, transmission time, throughput,
+// buffer, QoE and stalls, plus mean upcoming qualities/sizes over a
+// five-chunk horizon.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "abr/trace.hpp"
+#include "abr/video.hpp"
+
+namespace agua::abr {
+
+inline constexpr std::size_t kHistory = 10;
+inline constexpr std::size_t kHorizon = 5;
+
+/// Observation layout offsets (each history block spans kHistory entries,
+/// each horizon block spans kHorizon entries).
+struct ObsLayout {
+  static constexpr std::size_t kQuality = 0;                       // SSIM dB
+  static constexpr std::size_t kChunkSize = kHistory;              // Mb
+  static constexpr std::size_t kTransmitTime = 2 * kHistory;       // s
+  static constexpr std::size_t kThroughput = 3 * kHistory;         // Mbps
+  static constexpr std::size_t kBuffer = 4 * kHistory;             // s
+  static constexpr std::size_t kQoe = 5 * kHistory;
+  static constexpr std::size_t kStall = 6 * kHistory;              // s
+  static constexpr std::size_t kUpcomingQuality = 7 * kHistory;    // SSIM dB
+  static constexpr std::size_t kUpcomingSize = 7 * kHistory + kHorizon;  // Mb
+  static constexpr std::size_t kTotal = 7 * kHistory + 2 * kHorizon;
+};
+
+/// QoE model parameters (SSIM-based, Puffer-style).
+struct QoeParams {
+  double quality_scale = 0.2;     ///< QoE per SSIM dB
+  double rebuffer_penalty = 2.0;  ///< QoE per stalled second
+  double switch_penalty = 0.1;    ///< QoE per |ΔSSIM| dB
+};
+
+class AbrEnv {
+ public:
+  struct Config {
+    double buffer_max_s = 15.0;
+    double startup_buffer_s = 4.0;  ///< pre-roll before the first decision
+    QoeParams qoe;
+  };
+
+  AbrEnv(VideoManifest manifest, NetworkTrace trace);
+  AbrEnv(VideoManifest manifest, NetworkTrace trace, Config config);
+
+  bool done() const { return next_chunk_ >= manifest_.chunk_count(); }
+  std::size_t chunks_played() const { return next_chunk_; }
+
+  /// The current 80-dim observation (Fig. 15 layout).
+  std::vector<double> observation() const;
+
+  struct StepResult {
+    double qoe = 0.0;
+    double ssim_db = 0.0;
+    double stall_s = 0.0;
+    double transmit_time_s = 0.0;
+    double throughput_mbps = 0.0;
+    double buffer_s = 0.0;
+  };
+
+  /// Download the next chunk at `level`; returns the per-chunk outcome.
+  StepResult step(std::size_t level);
+
+  /// Feature names / full-scale values matching the observation layout
+  /// (used by Trustee, the describer, and input-noise experiments).
+  static std::vector<std::string> feature_names();
+  static std::vector<double> feature_scales();
+
+  /// The motivating state of §2.2 / Fig. 1a / Fig. 4: transmission times that
+  /// degraded from 1s to 3s then improved to 2s, with a recovering buffer.
+  static std::vector<double> motivating_state();
+
+ private:
+  void push_history(const StepResult& result, std::size_t level);
+
+  VideoManifest manifest_;
+  NetworkTrace trace_;
+  Config config_;
+  double clock_s_ = 0.0;
+  double buffer_s_ = 0.0;
+  std::size_t next_chunk_ = 0;
+  bool has_previous_quality_ = false;
+  double previous_ssim_db_ = 0.0;
+  // History ring (oldest first), each kHistory long.
+  std::vector<double> hist_quality_;
+  std::vector<double> hist_chunk_size_;
+  std::vector<double> hist_transmit_time_;
+  std::vector<double> hist_throughput_;
+  std::vector<double> hist_buffer_;
+  std::vector<double> hist_qoe_;
+  std::vector<double> hist_stall_;
+};
+
+}  // namespace agua::abr

@@ -1,0 +1,67 @@
+#include "abr/teacher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agua::abr {
+namespace {
+
+/// Harmonic mean of the positive entries (robust throughput estimator).
+double harmonic_mean(const double* values, std::size_t count) {
+  double denom = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (values[i] > 1e-6) {
+      denom += 1.0 / values[i];
+      ++n;
+    }
+  }
+  if (n == 0) return 0.3;  // cold start: assume a weak link
+  return static_cast<double>(n) / denom;
+}
+
+}  // namespace
+
+MpcTeacher::MpcTeacher() : MpcTeacher(Options()) {}
+
+MpcTeacher::MpcTeacher(Options options) : options_(options) {}
+
+std::size_t MpcTeacher::act(const std::vector<double>& observation) const {
+  // Throughput estimate from the last 5 samples of history.
+  const double* throughput = observation.data() + ObsLayout::kThroughput;
+  const double estimate =
+      options_.safety_factor * harmonic_mean(throughput + kHistory - 5, 5);
+  const double buffer = observation[ObsLayout::kBuffer + kHistory - 1];
+  // Estimate per-level sizes for the next chunk from the upcoming mean size:
+  // the ladder spreads roughly 0.25x..1.8x around the mean.
+  const double mean_size = std::max(0.1, observation[ObsLayout::kUpcomingSize]);
+  constexpr double kLadderRatio[kQualityLevels] = {0.19, 0.45, 0.83, 1.36, 1.96};
+  // Infer the previous level from the last selected quality vs upcoming mean.
+  const double last_quality = observation[ObsLayout::kQuality + kHistory - 1];
+  std::size_t previous_level = 0;
+  double best_gap = 1e9;
+  constexpr double kLadderSsim[kQualityLevels] = {10.5, 13.5, 16.5, 19.5, 22.5};
+  for (std::size_t q = 0; q < kQualityLevels; ++q) {
+    const double gap = std::abs(kLadderSsim[q] - last_quality);
+    if (gap < best_gap) {
+      best_gap = gap;
+      previous_level = q;
+    }
+  }
+
+  std::size_t choice = 0;
+  for (std::size_t q = 0; q < kQualityLevels; ++q) {
+    const double size = mean_size * kLadderRatio[q];
+    const double download_time = estimate > 1e-6 ? size / estimate : 1e9;
+    if (download_time <= std::max(0.5, buffer - options_.buffer_reserve_s)) {
+      choice = q;
+    }
+  }
+  // Damp upward switches.
+  if (choice > previous_level + static_cast<std::size_t>(options_.max_step_up)) {
+    choice = previous_level + static_cast<std::size_t>(options_.max_step_up);
+  }
+  return choice;
+}
+
+}  // namespace agua::abr

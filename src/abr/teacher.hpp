@@ -1,0 +1,32 @@
+// Rule-based ABR teacher (RobustMPC/BBA-style) used to behaviour-clone the
+// initial Gelato-like policy before REINFORCE fine-tuning. The teacher picks
+// the highest quality whose download fits a conservative throughput estimate
+// within the buffer budget, with switch damping.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abr/env.hpp"
+
+namespace agua::abr {
+
+class MpcTeacher {
+ public:
+  struct Options {
+    double safety_factor = 0.85;   ///< discount on the throughput estimate
+    double buffer_reserve_s = 3.0; ///< keep at least this much buffer
+    int max_step_up = 1;           ///< limit upward level jumps per decision
+  };
+
+  MpcTeacher();
+  explicit MpcTeacher(Options options);
+
+  /// Choose a quality level from the 80-dim observation.
+  std::size_t act(const std::vector<double>& observation) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace agua::abr

@@ -1,0 +1,103 @@
+#include "abr/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agua::abr {
+namespace {
+
+/// Family parameters for the AR(1) log-bandwidth process.
+struct FamilyParams {
+  double mean_mbps;     ///< long-run mean bandwidth
+  double sigma;         ///< per-step log-noise
+  double rho;           ///< AR(1) persistence
+  double dropout_rate;  ///< per-second probability of a deep fade starting
+  double dropout_depth; ///< multiplicative fade depth
+};
+
+FamilyParams params_for(TraceFamily family) {
+  // Means sit in the 0.3-3 Mbps range of the paper's Fig. 15 observation
+  // scales, so the encoding ladder (<= 2.6 Mb per 2 s chunk) actually
+  // stresses quality decisions.
+  switch (family) {
+    case TraceFamily::k3G:
+      return {0.45, 0.25, 0.90, 0.020, 0.30};
+    case TraceFamily::k4G:
+      return {1.10, 0.18, 0.92, 0.012, 0.30};
+    case TraceFamily::k5G:
+      return {2.60, 0.13, 0.94, 0.005, 0.35};
+    case TraceFamily::kBroadband:
+      return {1.80, 0.06, 0.97, 0.002, 0.50};
+    case TraceFamily::kPuffer2021:
+      // Mostly stable broadband-class links with a modest 4G tail.
+      return {1.15, 0.10, 0.95, 0.006, 0.40};
+    case TraceFamily::kPuffer2024:
+      // Slightly higher headline throughput, but much choppier: more mobile
+      // clients, more deep fades (the drift of Fig. 7), so buffers deplete
+      // and recover far more often than in 2021.
+      return {1.25, 0.30, 0.86, 0.035, 0.25};
+  }
+  return {1.00, 0.1, 0.95, 0.005, 0.4};
+}
+
+}  // namespace
+
+const char* family_name(TraceFamily family) {
+  switch (family) {
+    case TraceFamily::k3G:
+      return "3G";
+    case TraceFamily::k4G:
+      return "4G";
+    case TraceFamily::k5G:
+      return "5G";
+    case TraceFamily::kBroadband:
+      return "broadband";
+    case TraceFamily::kPuffer2021:
+      return "puffer-2021";
+    case TraceFamily::kPuffer2024:
+      return "puffer-2024";
+  }
+  return "unknown";
+}
+
+double NetworkTrace::bandwidth_at(double time_s) const {
+  if (bandwidth_mbps.empty()) return 0.0;
+  auto index = static_cast<std::size_t>(std::max(0.0, time_s));
+  // Loop the trace if playback outlasts it (standard ABR-sim behaviour).
+  index %= bandwidth_mbps.size();
+  return bandwidth_mbps[index];
+}
+
+NetworkTrace generate_trace(TraceFamily family, std::size_t seconds, common::Rng& rng) {
+  const FamilyParams p = params_for(family);
+  NetworkTrace trace;
+  trace.family = family;
+  trace.bandwidth_mbps.reserve(seconds);
+  const double log_mean = std::log(p.mean_mbps);
+  double log_bw = log_mean + rng.normal(0.0, p.sigma);
+  std::size_t fade_remaining = 0;
+  for (std::size_t t = 0; t < seconds; ++t) {
+    log_bw = log_mean + p.rho * (log_bw - log_mean) + rng.normal(0.0, p.sigma);
+    double bw = std::exp(log_bw);
+    if (fade_remaining > 0) {
+      bw *= p.dropout_depth;
+      --fade_remaining;
+    } else if (rng.bernoulli(p.dropout_rate)) {
+      fade_remaining = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    }
+    trace.bandwidth_mbps.push_back(std::max(0.05, bw));
+  }
+  return trace;
+}
+
+std::vector<NetworkTrace> generate_traces(TraceFamily family, std::size_t count,
+                                          std::size_t seconds, common::Rng& rng) {
+  std::vector<NetworkTrace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    traces.push_back(generate_trace(family, seconds, rng));
+  }
+  return traces;
+}
+
+}  // namespace agua::abr

@@ -1,0 +1,41 @@
+// Synthetic network-trace substrate replacing the Puffer measurement data
+// (DESIGN.md substitution table). Traces are per-second available-bandwidth
+// series drawn from family-specific AR(1) log-bandwidth processes with
+// occasional dropout events.
+//
+// Families:
+//  * k3G / k4G / k5G / kBroadband — the workload families of Fig. 11.
+//  * kPuffer2021 — stands in for the April-May 2021 training distribution.
+//  * kPuffer2024 — stands in for the June 2024 deployment distribution:
+//    higher mean throughput but markedly more volatility and more deep fades,
+//    matching the drift narrative of §5.2.1 / Fig. 5 / Fig. 7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agua::abr {
+
+enum class TraceFamily { k3G, k4G, k5G, kBroadband, kPuffer2021, kPuffer2024 };
+
+const char* family_name(TraceFamily family);
+
+/// A per-second available-bandwidth series (Mbps).
+struct NetworkTrace {
+  TraceFamily family = TraceFamily::kBroadband;
+  std::vector<double> bandwidth_mbps;
+
+  double bandwidth_at(double time_s) const;
+  double duration_s() const { return static_cast<double>(bandwidth_mbps.size()); }
+};
+
+/// Generate one trace of the given family and duration.
+NetworkTrace generate_trace(TraceFamily family, std::size_t seconds, common::Rng& rng);
+
+/// Generate a batch of traces.
+std::vector<NetworkTrace> generate_traces(TraceFamily family, std::size_t count,
+                                          std::size_t seconds, common::Rng& rng);
+
+}  // namespace agua::abr

@@ -1,0 +1,44 @@
+#include "abr/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agua::abr {
+
+VideoManifest VideoManifest::generate(std::size_t chunk_count, common::Rng& rng) {
+  VideoManifest manifest;
+  manifest.chunks.reserve(chunk_count);
+  // Nominal ladder at complexity 1.0. Sizes in Mb for a 2-second chunk,
+  // SSIM in dB, both roughly matching the Fig. 15 example scales
+  // (sizes max=3, qualities max=25).
+  constexpr std::array<double, kQualityLevels> base_size = {0.25, 0.60, 1.10, 1.80, 2.60};
+  constexpr std::array<double, kQualityLevels> base_ssim = {10.5, 13.5, 16.5, 19.5, 22.5};
+  double complexity = 1.0;
+  std::size_t scene_remaining = 0;
+  double scene_target = 1.0;
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    if (scene_remaining == 0) {
+      // New scene: pick a complexity target; scenes last 10-40 chunks.
+      scene_target = rng.uniform(0.55, 1.5);
+      scene_remaining = static_cast<std::size_t>(rng.uniform_int(10, 40));
+    }
+    --scene_remaining;
+    complexity += 0.3 * (scene_target - complexity) + rng.normal(0.0, 0.02);
+    complexity = std::clamp(complexity, 0.4, 1.7);
+    ChunkLadder ladder;
+    ladder.complexity = complexity;
+    for (std::size_t q = 0; q < kQualityLevels; ++q) {
+      // Complex content needs more bits at equal quality and scores lower
+      // SSIM at equal bitrate.
+      ladder.size_mb[q] =
+          std::min(3.0, base_size[q] * complexity * rng.uniform(0.92, 1.08));
+      ladder.ssim_db[q] =
+          std::clamp(base_ssim[q] - 3.0 * (complexity - 1.0) + rng.normal(0.0, 0.2),
+                     5.0, 25.0);
+    }
+    manifest.chunks.push_back(ladder);
+  }
+  return manifest;
+}
+
+}  // namespace agua::abr

@@ -1,0 +1,34 @@
+// Video manifest: chunk ladder sizes and SSIM qualities, with a wandering
+// content-complexity process (talk-show vs high-action segments) so that
+// "content complexity" concepts are inferable from upcoming chunk metadata.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agua::abr {
+
+inline constexpr std::size_t kQualityLevels = 5;
+
+/// Per-chunk encoding ladder.
+struct ChunkLadder {
+  std::array<double, kQualityLevels> size_mb{};
+  std::array<double, kQualityLevels> ssim_db{};
+  double complexity = 1.0;
+};
+
+/// A pre-encoded video: 2-second chunks at kQualityLevels bitrates.
+struct VideoManifest {
+  double chunk_seconds = 2.0;
+  std::vector<ChunkLadder> chunks;
+
+  std::size_t chunk_count() const { return chunks.size(); }
+
+  /// Generate a manifest with an AR(1) complexity process.
+  static VideoManifest generate(std::size_t chunk_count, common::Rng& rng);
+};
+
+}  // namespace agua::abr

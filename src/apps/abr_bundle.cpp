@@ -1,0 +1,106 @@
+#include "apps/abr_bundle.hpp"
+
+#include <algorithm>
+
+namespace agua::apps {
+namespace {
+
+core::Sample to_sample(abr::AbrController& controller, std::vector<double> observation) {
+  core::Sample sample;
+  sample.embedding = controller.embedding(observation);
+  sample.output_probs = controller.output_probs(observation);
+  sample.output_class = common::argmax(sample.output_probs);
+  sample.input = std::move(observation);
+  return sample;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> AbrBundle::raw_inputs(const core::Dataset& dataset) {
+  std::vector<std::vector<double>> out;
+  out.reserve(dataset.size());
+  for (const core::Sample& s : dataset.samples) out.push_back(s.input);
+  return out;
+}
+
+std::function<std::size_t(const std::vector<double>&)> AbrBundle::controller_fn() {
+  abr::AbrController* ctrl = controller.get();
+  return [ctrl](const std::vector<double>& input) { return ctrl->act(input); };
+}
+
+core::DescribeFn AbrBundle::describe_fn() const {
+  const abr::AbrDescriber* desc = &describer;
+  return [desc](const std::vector<double>& input, const text::DescriberOptions& options) {
+    return desc->describe(input, options);
+  };
+}
+
+core::Dataset collect_abr_dataset(abr::AbrController& controller,
+                                  const std::vector<abr::NetworkTrace>& traces,
+                                  std::size_t chunks_per_video, std::size_t max_pairs,
+                                  common::Rng& rng) {
+  core::Dataset dataset;
+  dataset.num_outputs = abr::AbrController::kActions;
+  auto samples = abr::collect_rollouts(controller, traces, chunks_per_video, rng);
+  dataset.samples.reserve(std::min(max_pairs, samples.size()));
+  for (auto& rollout_sample : samples) {
+    if (dataset.samples.size() >= max_pairs) break;
+    dataset.samples.push_back(to_sample(controller, std::move(rollout_sample.observation)));
+  }
+  return dataset;
+}
+
+std::vector<core::TraceEmbeddings> collect_abr_trace_embeddings(
+    abr::AbrController& controller, const std::vector<abr::NetworkTrace>& traces,
+    std::size_t chunks_per_video, common::Rng& rng) {
+  std::vector<core::TraceEmbeddings> out;
+  out.reserve(traces.size());
+  for (const abr::NetworkTrace& trace : traces) {
+    abr::AbrEnv env(abr::VideoManifest::generate(chunks_per_video, rng), trace);
+    const abr::Rollout rollout =
+        abr::rollout_episode(controller, std::move(env), /*greedy=*/true, nullptr);
+    core::TraceEmbeddings embeddings;
+    embeddings.reserve(rollout.samples.size());
+    for (const auto& sample : rollout.samples) {
+      embeddings.push_back(controller.embedding(sample.observation));
+    }
+    out.push_back(std::move(embeddings));
+  }
+  return out;
+}
+
+AbrBundle make_abr_bundle(std::uint64_t seed, std::size_t train_pairs,
+                          std::size_t test_pairs) {
+  AbrBundle bundle;
+  bundle.controller = std::make_unique<abr::AbrController>(seed);
+  common::Rng rng(seed ^ 0xAB12);
+
+  // The 2021-era training mix: mostly stable broadband/4G-class links.
+  std::vector<abr::NetworkTrace> training_traces =
+      abr::generate_traces(abr::TraceFamily::kPuffer2021, 18, 180, rng);
+  {
+    auto extra = abr::generate_traces(abr::TraceFamily::k4G, 6, 180, rng);
+    for (auto& t : extra) training_traces.push_back(std::move(t));
+  }
+
+  abr::MpcTeacher teacher;
+  abr::train_behavior_cloning(*bundle.controller, teacher, training_traces,
+                              /*chunks_per_video=*/60, /*epochs=*/30,
+                              /*learning_rate=*/0.02, rng);
+  abr::ReinforceOptions pg;
+  pg.updates = 20;
+  pg.episodes_per_update = 4;
+  pg.chunks_per_video = 45;
+  pg.learning_rate = 3e-4;
+  abr::train_reinforce(*bundle.controller, training_traces, pg, rng);
+
+  // Rollout datasets: disjoint trace draws for train and test.
+  const auto train_traces = abr::generate_traces(abr::TraceFamily::kPuffer2021, 14, 160, rng);
+  const auto test_traces = abr::generate_traces(abr::TraceFamily::kPuffer2021, 14, 160, rng);
+  bundle.train =
+      collect_abr_dataset(*bundle.controller, train_traces, 60, train_pairs, rng);
+  bundle.test = collect_abr_dataset(*bundle.controller, test_traces, 60, test_pairs, rng);
+  return bundle;
+}
+
+}  // namespace agua::apps

@@ -1,0 +1,50 @@
+// ABR experiment bundle: builds the trained Gelato-like controller, its
+// rollout datasets (the "4,000 input-output pairs" of §5.1), the describe
+// adapter, and raw-input accessors used by the Trustee baseline. All benches
+// and examples share this so every experiment sees the same controller.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "abr/controller.hpp"
+#include "abr/describe.hpp"
+#include "core/dataset.hpp"
+#include "core/drift.hpp"
+#include "core/pipeline.hpp"
+
+namespace agua::apps {
+
+struct AbrBundle {
+  std::unique_ptr<abr::AbrController> controller;
+  abr::AbrDescriber describer;
+  core::Dataset train;
+  core::Dataset test;
+
+  /// Raw inputs of a dataset (Trustee consumes these).
+  static std::vector<std::vector<double>> raw_inputs(const core::Dataset& dataset);
+
+  /// Controller-as-function adapter for Trustee.
+  std::function<std::size_t(const std::vector<double>&)> controller_fn();
+
+  /// Describe adapter for the Agua pipeline.
+  core::DescribeFn describe_fn() const;
+};
+
+/// Train the controller (behaviour cloning + REINFORCE fine-tune) on the
+/// 2021-style trace mix and collect train/test rollout datasets.
+AbrBundle make_abr_bundle(std::uint64_t seed, std::size_t train_pairs = 2000,
+                          std::size_t test_pairs = 2000);
+
+/// Convert a set of traces into a rollout Dataset with the given controller.
+core::Dataset collect_abr_dataset(abr::AbrController& controller,
+                                  const std::vector<abr::NetworkTrace>& traces,
+                                  std::size_t chunks_per_video, std::size_t max_pairs,
+                                  common::Rng& rng);
+
+/// Per-trace embeddings for drift analysis (one TraceEmbeddings per trace).
+std::vector<core::TraceEmbeddings> collect_abr_trace_embeddings(
+    abr::AbrController& controller, const std::vector<abr::NetworkTrace>& traces,
+    std::size_t chunks_per_video, common::Rng& rng);
+
+}  // namespace agua::apps

@@ -1,0 +1,77 @@
+#include "apps/cc_bundle.hpp"
+
+#include "cc/teacher.hpp"
+
+namespace agua::apps {
+
+std::function<std::size_t(const std::vector<double>&)> CcBundle::controller_fn() {
+  cc::CcController* ctrl = controller.get();
+  return [ctrl](const std::vector<double>& input) { return ctrl->act(input); };
+}
+
+core::DescribeFn CcBundle::describe_fn() const {
+  const cc::CcDescriber* desc = describer.get();
+  return [desc](const std::vector<double>& input, const text::DescriberOptions& options) {
+    return desc->describe(input, options);
+  };
+}
+
+core::Dataset collect_cc_dataset(cc::CcController& controller,
+                                 const cc::CcEnv::Config& env_config,
+                                 const std::vector<cc::LinkPattern>& patterns,
+                                 std::size_t max_pairs, common::Rng& rng) {
+  core::Dataset dataset;
+  dataset.num_outputs = cc::CcController::kActions;
+  std::size_t pattern_index = 0;
+  while (dataset.samples.size() < max_pairs) {
+    const cc::LinkPattern pattern = patterns[pattern_index % patterns.size()];
+    ++pattern_index;
+    for (const cc::CcSample& step : cc::rollout(controller, env_config, pattern, rng)) {
+      if (dataset.samples.size() >= max_pairs) break;
+      core::Sample sample;
+      sample.embedding = controller.embedding(step.observation);
+      sample.output_probs = controller.output_probs(step.observation);
+      sample.output_class = common::argmax(sample.output_probs);
+      sample.input = step.observation;
+      dataset.samples.push_back(std::move(sample));
+    }
+  }
+  return dataset;
+}
+
+CcBundle make_cc_bundle(std::uint64_t seed, std::size_t train_pairs,
+                        std::size_t test_pairs) {
+  CcBundle bundle;
+  bundle.variant = cc::original_variant();
+  bundle.controller = std::make_unique<cc::CcController>(seed, bundle.variant.env);
+  bundle.describer = std::make_unique<cc::CcDescriber>(bundle.variant.env);
+  common::Rng rng(seed ^ 0xCC34);
+
+  // Behaviour-clone the AIMD-style teacher, then REINFORCE fine-tune with the
+  // original variant's hyperparameters (the paper's "before" controller).
+  const std::vector<cc::LinkPattern> training_patterns = {
+      cc::LinkPattern::kSteady, cc::LinkPattern::kStepChanges,
+      cc::LinkPattern::kBurstyCross};
+  cc::CcTeacher teacher;
+  cc::train_behavior_cloning(*bundle.controller, teacher, bundle.variant.env,
+                             training_patterns, /*episodes=*/10, /*epochs=*/10,
+                             /*learning_rate=*/0.03, rng);
+  cc::ControllerVariant finetune = bundle.variant;
+  finetune.updates = 25;
+  cc::train_reinforce(*bundle.controller, finetune, training_patterns, rng);
+
+  // Train pairs come from a narrow pattern mix; test pairs from a broader one
+  // (including volatile links), reproducing the train/test mismatch under
+  // which the CC fidelity gap of Table 2 appears.
+  bundle.train = collect_cc_dataset(*bundle.controller, bundle.variant.env,
+                                    {cc::LinkPattern::kSteady, cc::LinkPattern::kBurstyCross},
+                                    train_pairs, rng);
+  bundle.test = collect_cc_dataset(
+      *bundle.controller, bundle.variant.env,
+      {cc::LinkPattern::kSteady, cc::LinkPattern::kStepChanges,
+       cc::LinkPattern::kBurstyCross, cc::LinkPattern::kVolatile},
+      test_pairs, rng);
+  return bundle;
+}
+
+}  // namespace agua::apps

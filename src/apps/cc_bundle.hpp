@@ -1,0 +1,40 @@
+// Congestion-control experiment bundle: the trained Aurora-like controller
+// (original hyperparameters), rollout datasets (§5.1: 2,000 train / 4,000
+// test pairs, drawn from different cross-traffic mixes so the test
+// distribution is broader — the regime where Trustee collapses in Table 2),
+// and the describe adapter.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cc/controller.hpp"
+#include "cc/describe.hpp"
+#include "core/dataset.hpp"
+#include "core/pipeline.hpp"
+
+namespace agua::apps {
+
+struct CcBundle {
+  cc::ControllerVariant variant;
+  std::unique_ptr<cc::CcController> controller;
+  std::unique_ptr<cc::CcDescriber> describer;
+  core::Dataset train;
+  core::Dataset test;
+
+  std::function<std::size_t(const std::vector<double>&)> controller_fn();
+  core::DescribeFn describe_fn() const;
+};
+
+/// Train the original-variant controller with REINFORCE and collect datasets.
+CcBundle make_cc_bundle(std::uint64_t seed, std::size_t train_pairs = 2000,
+                        std::size_t test_pairs = 4000);
+
+/// Rollout datasets from specific patterns.
+core::Dataset collect_cc_dataset(cc::CcController& controller,
+                                 const cc::CcEnv::Config& env_config,
+                                 const std::vector<cc::LinkPattern>& patterns,
+                                 std::size_t max_pairs, common::Rng& rng);
+
+}  // namespace agua::apps

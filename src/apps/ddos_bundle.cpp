@@ -1,0 +1,49 @@
+#include "apps/ddos_bundle.hpp"
+
+namespace agua::apps {
+
+std::function<std::size_t(const std::vector<double>&)> DdosBundle::controller_fn() {
+  ddos::DdosController* ctrl = controller.get();
+  return [ctrl](const std::vector<double>& input) { return ctrl->classify(input); };
+}
+
+core::DescribeFn DdosBundle::describe_fn() const {
+  const ddos::DdosDescriber* desc = &describer;
+  return [desc](const std::vector<double>& input, const text::DescriberOptions& options) {
+    return desc->describe(input, options);
+  };
+}
+
+core::Dataset collect_ddos_dataset(ddos::DdosController& controller,
+                                   const std::vector<ddos::Flow>& flows) {
+  core::Dataset dataset;
+  dataset.num_outputs = ddos::DdosController::kClasses;
+  dataset.samples.reserve(flows.size());
+  for (const ddos::Flow& flow : flows) {
+    core::Sample sample;
+    sample.input = ddos::extract_features(flow);
+    sample.embedding = controller.embedding(sample.input);
+    sample.output_probs = controller.output_probs(sample.input);
+    sample.output_class = common::argmax(sample.output_probs);
+    dataset.samples.push_back(std::move(sample));
+  }
+  return dataset;
+}
+
+DdosBundle make_ddos_bundle(std::uint64_t seed, std::size_t train_flows,
+                            std::size_t test_flows) {
+  DdosBundle bundle;
+  bundle.controller = std::make_unique<ddos::DdosController>(seed);
+  common::Rng rng(seed ^ 0xDD05);
+
+  const auto training = ddos::generate_dataset(train_flows, 0.5, rng);
+  const auto testing = ddos::generate_dataset(test_flows, 0.5, rng);
+  ddos::train_supervised(*bundle.controller, training, /*epochs=*/40,
+                         /*learning_rate=*/0.05, rng);
+  bundle.test_accuracy = ddos::evaluate_accuracy(*bundle.controller, testing);
+  bundle.train = collect_ddos_dataset(*bundle.controller, training);
+  bundle.test = collect_ddos_dataset(*bundle.controller, testing);
+  return bundle;
+}
+
+}  // namespace agua::apps

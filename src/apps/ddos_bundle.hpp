@@ -1,0 +1,35 @@
+// DDoS experiment bundle: the trained LUCID-like classifier, flow datasets
+// following the paper's split (1,000 training / 450 testing samples), and
+// the describe adapter.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/pipeline.hpp"
+#include "ddos/controller.hpp"
+#include "ddos/describe.hpp"
+
+namespace agua::apps {
+
+struct DdosBundle {
+  std::unique_ptr<ddos::DdosController> controller;
+  ddos::DdosDescriber describer;
+  core::Dataset train;
+  core::Dataset test;
+  double test_accuracy = 0.0;  ///< controller accuracy vs ground truth
+
+  std::function<std::size_t(const std::vector<double>&)> controller_fn();
+  core::DescribeFn describe_fn() const;
+};
+
+DdosBundle make_ddos_bundle(std::uint64_t seed, std::size_t train_flows = 1000,
+                            std::size_t test_flows = 450);
+
+/// Build a Dataset from flows using the trained controller.
+core::Dataset collect_ddos_dataset(ddos::DdosController& controller,
+                                   const std::vector<ddos::Flow>& flows);
+
+}  // namespace agua::apps

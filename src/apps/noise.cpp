@@ -1,0 +1,18 @@
+#include "apps/noise.hpp"
+
+#include <algorithm>
+
+namespace agua::apps {
+
+std::vector<double> add_relative_noise(const std::vector<double>& input,
+                                       const std::vector<double>& scales,
+                                       double fraction, common::Rng& rng) {
+  std::vector<double> out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double scale = i < scales.size() ? scales[i] : 1.0;
+    out[i] += rng.normal(0.0, fraction * scale);
+  }
+  return out;
+}
+
+}  // namespace agua::apps

@@ -1,0 +1,16 @@
+// Input-noise injection for the robustness experiments (§5.3, Fig. 12b/12c):
+// adds zero-mean Gaussian noise of `fraction` × the feature's full scale
+// (the paper uses 0.07 × the input's standard deviation ≈ 5% noise).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agua::apps {
+
+std::vector<double> add_relative_noise(const std::vector<double>& input,
+                                       const std::vector<double>& scales,
+                                       double fraction, common::Rng& rng);
+
+}  // namespace agua::apps

@@ -1,0 +1,150 @@
+#include "baselines/lime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+
+namespace agua::baselines {
+
+std::vector<double> solve_ridge(std::vector<std::vector<double>> a,
+                                std::vector<double> b, double ridge) {
+  const std::size_t n = b.size();
+  for (std::size_t i = 0; i < n; ++i) a[i][i] += ridge;
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::abs(diag) < 1e-12) continue;  // singular direction: leave zero
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= a[i][k] * x[k];
+    x[i] = std::abs(a[i][i]) < 1e-12 ? 0.0 : acc / a[i][i];
+  }
+  return x;
+}
+
+LimeExplainer::LimeExplainer(std::vector<double> feature_scales, Options options)
+    : scales_(std::move(feature_scales)), options_(options) {}
+
+LimeExplainer::LimeExplainer(std::vector<double> feature_scales)
+    : LimeExplainer(std::move(feature_scales), Options()) {}
+
+LimeExplainer::Explanation LimeExplainer::explain(const ControllerProbFn& controller,
+                                                  const std::vector<double>& input,
+                                                  std::size_t target_class,
+                                                  common::Rng& rng) const {
+  const std::size_t d = input.size();
+  Explanation exp;
+  exp.target_class = target_class;
+
+  // Perturbed neighbourhood in *scaled* coordinates (z-space).
+  std::vector<std::vector<double>> z_samples(options_.num_samples,
+                                             std::vector<double>(d));
+  std::vector<double> y(options_.num_samples);
+  std::vector<double> weights(options_.num_samples);
+  std::vector<double> perturbed(d);
+  for (std::size_t s = 0; s < options_.num_samples; ++s) {
+    double distance_sq = 0.0;
+    for (std::size_t f = 0; f < d; ++f) {
+      const double scale = f < scales_.size() && scales_[f] != 0.0 ? scales_[f] : 1.0;
+      const double dz = rng.normal(0.0, options_.perturbation);
+      z_samples[s][f] = dz;
+      perturbed[f] = input[f] + dz * scale;
+      distance_sq += dz * dz;
+    }
+    y[s] = controller(perturbed)[target_class];
+    const double kw = options_.kernel_width * options_.perturbation *
+                      std::sqrt(static_cast<double>(d));
+    weights[s] = std::exp(-distance_sq / (2.0 * kw * kw));
+  }
+
+  // Weighted ridge regression with intercept: minimize
+  // sum_s w_s (y_s - b0 - z_s . beta)^2 + ridge ||beta||^2.
+  const std::size_t dim = d + 1;  // intercept last
+  std::vector<std::vector<double>> gram(dim, std::vector<double>(dim, 0.0));
+  std::vector<double> rhs(dim, 0.0);
+  for (std::size_t s = 0; s < options_.num_samples; ++s) {
+    const double w = weights[s];
+    for (std::size_t i = 0; i < d; ++i) {
+      const double zi = z_samples[s][i];
+      if (zi == 0.0) continue;
+      for (std::size_t j = i; j < d; ++j) {
+        gram[i][j] += w * zi * z_samples[s][j];
+      }
+      gram[i][d] += w * zi;
+      rhs[i] += w * zi * y[s];
+    }
+    gram[d][d] += w;
+    rhs[d] += w * y[s];
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < i; ++j) gram[i][j] = gram[j][i];
+  }
+  std::vector<double> solution = solve_ridge(std::move(gram), std::move(rhs),
+                                             options_.ridge);
+  exp.intercept = solution[d];
+  solution.resize(d);
+  exp.coefficients = std::move(solution);
+
+  // Weighted R^2 of the fit on the neighbourhood.
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  double weighted_mean = 0.0;
+  double weight_total = 0.0;
+  for (std::size_t s = 0; s < options_.num_samples; ++s) {
+    weighted_mean += weights[s] * y[s];
+    weight_total += weights[s];
+  }
+  weighted_mean /= std::max(1e-12, weight_total);
+  for (std::size_t s = 0; s < options_.num_samples; ++s) {
+    double prediction = exp.intercept;
+    for (std::size_t f = 0; f < d; ++f) {
+      prediction += exp.coefficients[f] * z_samples[s][f];
+    }
+    ss_res += weights[s] * (y[s] - prediction) * (y[s] - prediction);
+    ss_tot += weights[s] * (y[s] - weighted_mean) * (y[s] - weighted_mean);
+  }
+  exp.local_fit = ss_tot > 1e-12 ? 1.0 - ss_res / ss_tot : 1.0;
+  return exp;
+}
+
+std::vector<std::size_t> LimeExplainer::Explanation::top_features(std::size_t k) const {
+  std::vector<double> magnitude(coefficients.size());
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    magnitude[i] = std::abs(coefficients[i]);
+  }
+  return common::top_k_indices(magnitude, k);
+}
+
+std::string LimeExplainer::Explanation::format(
+    const std::vector<std::string>& feature_names, std::size_t top_k) const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t f : top_features(top_k)) {
+    if (!first) os << "; ";
+    first = false;
+    const std::string name =
+        f < feature_names.size() ? feature_names[f] : "f" + std::to_string(f);
+    os << name << " (" << (coefficients[f] >= 0 ? "+" : "")
+       << common::format_double(coefficients[f], 3) << ")";
+  }
+  return os.str();
+}
+
+}  // namespace agua::baselines

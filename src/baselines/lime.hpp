@@ -1,0 +1,69 @@
+// LIME-style local feature explainer (Ribeiro et al., KDD'16) — the "local
+// explainers" category of §2.1. Perturbs the input around x, queries the
+// controller's class probability on the perturbed samples, and fits a
+// distance-weighted ridge regression whose coefficients rank the input
+// features for this one prediction.
+//
+// Included as a second baseline next to Trustee: it demonstrates the
+// feature-level view's limitation the paper motivates — rankings over dozens
+// of time-indexed low-level features rather than a concept-level answer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agua::baselines {
+
+/// The controller under explanation: input features -> class probabilities.
+using ControllerProbFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+class LimeExplainer {
+ public:
+  struct Options {
+    std::size_t num_samples = 400;    ///< perturbed samples drawn around x
+    double perturbation = 0.08;       ///< noise std as a fraction of scale
+    double kernel_width = 1.0;        ///< RBF width in scaled-distance units
+    double ridge = 1e-3;              ///< L2 regularization of the fit
+  };
+
+  /// A local feature-level explanation for one (input, class) pair.
+  struct Explanation {
+    std::size_t target_class = 0;
+    double intercept = 0.0;
+    std::vector<double> coefficients;  ///< per input feature, scaled units
+    /// Weighted R^2 of the linear fit on the perturbed neighbourhood — the
+    /// local analogue of the fidelity metric.
+    double local_fit = 0.0;
+
+    /// Indices of the k features with the largest |coefficient|.
+    std::vector<std::size_t> top_features(std::size_t k) const;
+
+    /// Render "name (+0.123); name (-0.045); ..." for the top-k features.
+    std::string format(const std::vector<std::string>& feature_names,
+                       std::size_t top_k = 8) const;
+  };
+
+  LimeExplainer(std::vector<double> feature_scales, Options options);
+  explicit LimeExplainer(std::vector<double> feature_scales);
+
+  /// Explain the controller's probability of `target_class` near `input`.
+  Explanation explain(const ControllerProbFn& controller,
+                      const std::vector<double>& input, std::size_t target_class,
+                      common::Rng& rng) const;
+
+ private:
+  std::vector<double> scales_;
+  Options options_;
+};
+
+/// Solve (A + ridge*I) w = b for symmetric positive-definite A via Gaussian
+/// elimination with partial pivoting. Exposed for testing.
+std::vector<double> solve_ridge(std::vector<std::vector<double>> a,
+                                std::vector<double> b, double ridge);
+
+}  // namespace agua::baselines

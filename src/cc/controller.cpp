@@ -1,0 +1,190 @@
+#include "cc/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cc/teacher.hpp"
+#include "common/stats.hpp"
+
+namespace agua::cc {
+namespace {
+
+nn::PolicyNetwork make_network(std::uint64_t seed, const CcEnv::Config& env_config,
+                               std::size_t hidden_dim, std::size_t embed_dim) {
+  // Scales depend on the env config's feature layout.
+  common::Rng scratch(seed ^ 0x5EED);
+  CcEnv probe(env_config, scratch);
+  nn::PolicyNetwork::Config cfg;
+  cfg.input_dim = probe.observation_dim();
+  cfg.hidden_dim = hidden_dim;
+  cfg.embed_dim = embed_dim;
+  cfg.num_outputs = CcController::kActions;
+  cfg.input_scales = probe.feature_scales();
+  common::Rng rng(seed);
+  return nn::PolicyNetwork(cfg, rng);
+}
+
+}  // namespace
+
+ControllerVariant original_variant() {
+  ControllerVariant v;
+  v.env.history = 10;
+  v.env.average_latency_feature = false;
+  // The paper's "before" recipe: lr 1e-4 at Aurora's scale maps to an
+  // aggressive rate here; low entropy lets the policy collapse onto
+  // over-reactive latency responses.
+  v.updates = 80;
+  v.learning_rate = 2e-3;
+  v.entropy_coef = 0.006;
+  return v;
+}
+
+ControllerVariant debugged_variant() {
+  ControllerVariant v;
+  v.env.history = 15;
+  v.env.average_latency_feature = true;
+  // "lowering the learning rate from 1e-4 to 7.5e-5 and increasing entropy".
+  v.updates = 140;
+  v.learning_rate = 1.5e-3;
+  v.entropy_coef = 0.02;
+  return v;
+}
+
+CcController::CcController(std::uint64_t seed, const CcEnv::Config& env_config,
+                           std::size_t hidden_dim, std::size_t embed_dim)
+    : network_(make_network(seed, env_config, hidden_dim, embed_dim)) {}
+
+std::vector<double> train_reinforce(CcController& controller,
+                                    const ControllerVariant& variant,
+                                    const std::vector<LinkPattern>& patterns,
+                                    common::Rng& rng) {
+  std::vector<double> reward_curve;
+  if (patterns.empty()) return reward_curve;
+  nn::SgdOptimizer::Options opt;
+  opt.learning_rate = variant.learning_rate;
+  opt.momentum = 0.9;
+  opt.gradient_clip = 2.0;
+  nn::SgdOptimizer optimizer(controller.network().parameters(), opt);
+
+  for (std::size_t update = 0; update < variant.updates; ++update) {
+    std::vector<std::vector<double>> observations;
+    std::vector<std::size_t> actions;
+    std::vector<double> returns;
+    double update_reward = 0.0;
+    std::size_t update_steps = 0;
+    for (std::size_t e = 0; e < variant.episodes_per_update; ++e) {
+      CcEnv::Config env_config = variant.env;
+      env_config.pattern = patterns[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(patterns.size()) - 1))];
+      CcEnv env(env_config, rng);
+      std::vector<double> episode_rewards;
+      while (!env.done()) {
+        std::vector<double> obs = env.observation();
+        const std::size_t action = controller.network().sample_action(obs, rng);
+        const CcEnv::StepResult result = env.step(action);
+        observations.push_back(std::move(obs));
+        actions.push_back(action);
+        episode_rewards.push_back(result.reward);
+        update_reward += result.reward;
+        ++update_steps;
+      }
+      // Discounted reward-to-go with a per-episode baseline: input-driven
+      // environments have huge cross-episode return variance (different link
+      // patterns / starting rates), so the baseline must be episode-local
+      // (Mao et al., "Variance reduction for RL in input-driven
+      // environments").
+      double running = 0.0;
+      std::vector<double> episode_returns(episode_rewards.size());
+      for (std::size_t i = episode_rewards.size(); i-- > 0;) {
+        running = episode_rewards[i] + variant.discount * running;
+        episode_returns[i] = running;
+      }
+      const double episode_baseline = common::mean(episode_returns);
+      for (double r : episode_returns) returns.push_back(r - episode_baseline);
+    }
+    const double scale = std::max(1e-6, common::stddev(returns));
+    std::vector<double> advantages(returns.size());
+    for (std::size_t i = 0; i < returns.size(); ++i) {
+      advantages[i] = returns[i] / scale;
+    }
+    // Several minibatched gradient steps per collected batch.
+    for (std::size_t epoch = 0; epoch < variant.epochs_per_update; ++epoch) {
+      const auto order = rng.permutation(observations.size());
+      for (std::size_t start = 0; start < order.size(); start += variant.minibatch) {
+        const std::size_t end = std::min(order.size(), start + variant.minibatch);
+        std::vector<std::vector<double>> mb_obs;
+        std::vector<std::size_t> mb_actions;
+        std::vector<double> mb_adv;
+        mb_obs.reserve(end - start);
+        for (std::size_t i = start; i < end; ++i) {
+          mb_obs.push_back(observations[order[i]]);
+          mb_actions.push_back(actions[order[i]]);
+          mb_adv.push_back(advantages[order[i]]);
+        }
+        controller.network().policy_gradient_update(mb_obs, mb_actions, mb_adv,
+                                                    variant.entropy_coef, optimizer);
+      }
+    }
+    reward_curve.push_back(
+        update_steps > 0 ? update_reward / static_cast<double>(update_steps) : 0.0);
+  }
+  return reward_curve;
+}
+
+void train_behavior_cloning(CcController& controller, const CcTeacher& teacher,
+                            const CcEnv::Config& env_config,
+                            const std::vector<LinkPattern>& patterns,
+                            std::size_t episodes, std::size_t epochs,
+                            double learning_rate, common::Rng& rng) {
+  std::vector<std::vector<double>> observations;
+  std::vector<std::size_t> actions;
+  auto run_episode = [&](bool teacher_driven) {
+    CcEnv::Config cfg = env_config;
+    cfg.pattern = patterns[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(patterns.size()) - 1))];
+    CcEnv env(cfg, rng);
+    while (!env.done()) {
+      std::vector<double> obs = env.observation();
+      const std::size_t label = teacher.act(obs, cfg);
+      const std::size_t executed = teacher_driven ? label : controller.act(obs);
+      env.step(executed);
+      observations.push_back(std::move(obs));
+      actions.push_back(label);
+    }
+  };
+  for (std::size_t e = 0; e < episodes; ++e) run_episode(/*teacher_driven=*/true);
+  for (std::size_t e = 0; e < episodes / 2; ++e) run_episode(/*teacher_driven=*/false);
+
+  nn::SgdOptimizer::Options opt;
+  opt.learning_rate = learning_rate;
+  opt.momentum = 0.9;
+  opt.gradient_clip = 5.0;
+  nn::SgdOptimizer optimizer(controller.network().parameters(), opt);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    controller.network().train_supervised_epoch(observations, actions, /*batch_size=*/64,
+                                                optimizer, rng);
+  }
+}
+
+std::vector<CcSample> rollout(CcController& controller, const CcEnv::Config& env_config,
+                              LinkPattern pattern, common::Rng& rng) {
+  CcEnv::Config cfg = env_config;
+  cfg.pattern = pattern;
+  CcEnv env(cfg, rng);
+  std::vector<CcSample> samples;
+  samples.reserve(cfg.episode_mis);
+  while (!env.done()) {
+    CcSample sample;
+    sample.observation = env.observation();
+    sample.action = controller.act(sample.observation);
+    const CcEnv::StepResult result = env.step(sample.action);
+    sample.throughput_mbps = result.throughput_mbps;
+    sample.capacity_mbps = result.capacity_mbps;
+    sample.latency_ms = result.latency_ms;
+    sample.loss_rate = result.loss_rate;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace agua::cc

@@ -1,0 +1,89 @@
+// The Aurora-like deep-RL congestion controller and its REINFORCE trainer.
+//
+// Two standard configurations reproduce the Fig. 10 debugging story:
+//  * original_variant(): 10-MI history, no average-latency feature, the
+//    paper's "before" hyperparameters (higher lr, low entropy) — converges to
+//    a policy that over-throttles on perceived latency rises.
+//  * debugged_variant(): 15-MI history + average-latency feature, lower lr,
+//    higher entropy — converges to stable near-capacity operation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/env.hpp"
+#include "nn/policy.hpp"
+
+namespace agua::cc {
+
+/// Bundles an env config with the training hyperparameters used for it.
+struct ControllerVariant {
+  CcEnv::Config env;
+  std::size_t updates = 80;
+  std::size_t episodes_per_update = 4;
+  std::size_t minibatch = 512;        ///< gradient minibatch within an update
+  std::size_t epochs_per_update = 2;  ///< passes over each update's batch
+  double learning_rate = 1e-3;
+  double entropy_coef = 0.003;
+  double discount = 0.9;
+};
+
+ControllerVariant original_variant();
+ControllerVariant debugged_variant();
+
+class CcController {
+ public:
+  static constexpr std::size_t kActions = kNumRateActions;
+
+  CcController(std::uint64_t seed, const CcEnv::Config& env_config,
+               std::size_t hidden_dim = 64, std::size_t embed_dim = 32);
+
+  std::vector<double> embedding(const std::vector<double>& observation) {
+    return network_.embedding(observation);
+  }
+  std::vector<double> output_probs(const std::vector<double>& observation) {
+    return network_.output_probs(observation);
+  }
+  std::size_t act(const std::vector<double>& observation) {
+    return network_.greedy_action(observation);
+  }
+
+  nn::PolicyNetwork& network() { return network_; }
+
+ private:
+  nn::PolicyNetwork network_;
+};
+
+/// REINFORCE training over episodes drawn from the given link patterns.
+/// Returns the mean-reward curve (one point per update).
+std::vector<double> train_reinforce(CcController& controller,
+                                    const ControllerVariant& variant,
+                                    const std::vector<LinkPattern>& patterns,
+                                    common::Rng& rng);
+
+class CcTeacher;
+
+/// Behaviour cloning against the AIMD-style teacher: teacher-driven episodes
+/// plus a DAgger-style pass of student-visited states relabeled by the
+/// teacher.
+void train_behavior_cloning(CcController& controller, const CcTeacher& teacher,
+                            const CcEnv::Config& env_config,
+                            const std::vector<LinkPattern>& patterns,
+                            std::size_t episodes, std::size_t epochs,
+                            double learning_rate, common::Rng& rng);
+
+/// One state/step record from a greedy rollout.
+struct CcSample {
+  std::vector<double> observation;
+  std::size_t action = 0;
+  double throughput_mbps = 0.0;
+  double capacity_mbps = 0.0;
+  double latency_ms = 0.0;
+  double loss_rate = 0.0;
+};
+
+/// Greedy rollout of one episode under a pattern; returns the per-MI trace.
+std::vector<CcSample> rollout(CcController& controller, const CcEnv::Config& env_config,
+                              LinkPattern pattern, common::Rng& rng);
+
+}  // namespace agua::cc

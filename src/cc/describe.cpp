@@ -1,0 +1,137 @@
+#include "cc/describe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+
+namespace agua::cc {
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+CcDescriber::CcDescriber(CcEnv::Config env_config)
+    : env_config_(env_config), concepts_(concepts::cc_concepts()) {}
+
+CcDescriber::CcDescriber(CcEnv::Config env_config, concepts::ConceptSet concept_set)
+    : env_config_(env_config), concepts_(std::move(concept_set)) {}
+
+std::vector<std::pair<std::string, double>> CcDescriber::detect_concepts(
+    const std::vector<double>& obs) const {
+  const std::size_t h = env_config_.history;
+  auto block = [&](std::size_t index) {
+    return std::vector<double>(obs.begin() + static_cast<std::ptrdiff_t>(index * h),
+                               obs.begin() + static_cast<std::ptrdiff_t>((index + 1) * h));
+  };
+  const auto latency_gradient = block(0);
+  const auto latency_ratio = block(1);
+  const auto send_ratio = block(2);
+  const auto loss = block(3);
+
+  const double loss_slope = common::slope(loss) * static_cast<double>(h - 1);
+  const double loss_mean = common::mean(loss);
+  const double lr_slope = common::slope(latency_ratio) * static_cast<double>(h - 1);
+  const double lr_mean = common::mean(latency_ratio);
+  const double lr_std = common::stddev(latency_ratio);
+  const double lg_std = common::stddev(latency_gradient);
+  const double send_mean = common::mean(send_ratio);
+
+  std::vector<std::pair<std::string, double>> scores;
+  auto add = [&](const char* name, double score) {
+    if (concepts_.index_of(name) != static_cast<std::size_t>(-1)) {
+      scores.emplace_back(name, clamp01(score));
+    }
+  };
+
+  add("Increasing Packet Loss", loss_slope * 8.0 + (loss.back() > 0.02 ? 0.2 : 0.0));
+  add("Decreasing Packet Loss",
+      -loss_slope * 8.0 + (loss_mean > 0.01 && loss.back() < 0.5 * loss_mean ? 0.2 : 0.0));
+  add("Stable Network Conditions",
+      0.9 - lr_std * 4.0 - loss_mean * 10.0 - std::abs(lr_slope) * 2.0);
+  add("Rapidly Increasing Latency", lr_slope * 2.5 + (latency_gradient.back() > 0.3 ? 0.25 : 0.0));
+  add("Rapidly Decreasing Latency",
+      -lr_slope * 2.5 + (latency_gradient.back() < -0.3 ? 0.25 : 0.0));
+  add("Volatile Network Conditions", lg_std * 3.0 + lr_std * 2.0);
+  add("Low Network Utilization",
+      (lr_mean < 1.08 ? 0.5 : 0.0) + (loss_mean < 0.002 ? 0.25 : 0.0) -
+          (send_mean > 1.15 ? 0.3 : 0.0));
+  add("High Network Utilization",
+      (lr_mean - 1.05) * 2.0 + (send_mean > 1.02 ? 0.25 : 0.0) + loss_mean * 4.0);
+  for (const auto& c : concepts_.concepts()) {
+    bool present = false;
+    for (const auto& [name, score] : scores) {
+      if (name == c.name) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) scores.emplace_back(c.name, 0.0);
+  }
+  return scores;
+}
+
+std::string CcDescriber::describe(const std::vector<double>& obs) const {
+  return describe(obs, text::DescriberOptions{});
+}
+
+std::string CcDescriber::describe(const std::vector<double>& obs,
+                                  const text::DescriberOptions& options) const {
+  const std::size_t h = env_config_.history;
+  auto block = [&](std::size_t index) {
+    return std::vector<double>(obs.begin() + static_cast<std::ptrdiff_t>(index * h),
+                               obs.begin() + static_cast<std::ptrdiff_t>((index + 1) * h));
+  };
+  std::ostringstream os;
+  os << text::describe_group("Latency behavior",
+                             {{"Latency Ratio", block(1), 2.0},
+                              {"Latency Gradient", block(0), 1.0}},
+                             options)
+     << '\n';
+  // Qualitative queueing magnitude (numbers are elided by the embedder's
+  // tokenizer, so the level must be stated in words — as the LLM does).
+  {
+    const auto ratios = block(1);
+    const double lr_mean = common::mean(ratios);
+    const char* level = lr_mean < 1.05   ? "an empty, queue-free"
+                        : lr_mean < 1.2  ? "a lightly queued"
+                        : lr_mean < 1.5  ? "a moderately queued"
+                        : lr_mean < 2.0  ? "a heavily queued"
+                                         : "a saturated, bufferbloated";
+    os << "The sustained delay level corresponds to " << level
+       << " bottleneck state.\n";
+  }
+  os << text::describe_group("Loss behavior", {{"Loss Rate", block(3), 0.2}}, options)
+     << '\n';
+  os << text::describe_group("Sending behavior", {{"Sending Ratio", block(2), 2.0}},
+                             options)
+     << '\n';
+  if (env_config_.average_latency_feature) {
+    os << text::describe_group("Absolute latency",
+                               {{"Latency (ms)", block(4), 200.0}}, options)
+       << '\n';
+  }
+  auto detected = detect_concepts(obs);
+  std::stable_sort(detected.begin(), detected.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> mentioned;
+  for (const auto& [name, score] : detected) {
+    if (score > 0.15 && mentioned.size() < 4) {
+      // Echo the concept's own phrasing (the concepts sit in the LLM prompt).
+      const std::size_t index = concepts_.index_of(name);
+      const std::string& description = concepts_.at(index).description;
+      // A human annotator names the concept with a short gloss; the LLM
+      // echoes the full first clause of the prompt's concept description.
+      const std::string clause = description.substr(0, description.find(','));
+      const std::string gloss = clause.substr(0, clause.find(' ', 24));
+      mentioned.push_back(name + " (" + (options.human_style ? gloss : clause) + ")");
+    }
+  }
+  if (mentioned.empty() && !detected.empty()) mentioned.push_back(detected.front().first);
+  os << text::concept_correlation_summary(mentioned, options);
+  return os.str();
+}
+
+}  // namespace agua::cc

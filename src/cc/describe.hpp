@@ -1,0 +1,38 @@
+// Stage ② of Fig. 2 for congestion control: renders the Aurora observation
+// (latency gradient / latency ratio / sending ratio / loss histories) into a
+// structured template description with rule-based concept correlations over
+// the Table 1b concepts.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cc/env.hpp"
+#include "concepts/concept_set.hpp"
+#include "text/describer.hpp"
+
+namespace agua::cc {
+
+class CcDescriber {
+ public:
+  /// The describer must know the env feature layout (history length and
+  /// whether the average-latency block exists).
+  explicit CcDescriber(CcEnv::Config env_config);
+  CcDescriber(CcEnv::Config env_config, concepts::ConceptSet concept_set);
+
+  std::string describe(const std::vector<double>& observation) const;
+  std::string describe(const std::vector<double>& observation,
+                       const text::DescriberOptions& options) const;
+
+  std::vector<std::pair<std::string, double>> detect_concepts(
+      const std::vector<double>& observation) const;
+
+  const concepts::ConceptSet& concept_set() const { return concepts_; }
+
+ private:
+  CcEnv::Config env_config_;
+  concepts::ConceptSet concepts_;
+};
+
+}  // namespace agua::cc

@@ -1,0 +1,199 @@
+#include "cc/env.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace agua::cc {
+
+const char* pattern_name(LinkPattern pattern) {
+  switch (pattern) {
+    case LinkPattern::kSteady:
+      return "steady";
+    case LinkPattern::kStepChanges:
+      return "step-changes";
+    case LinkPattern::kBurstyCross:
+      return "bursty-cross";
+    case LinkPattern::kVolatile:
+      return "volatile";
+  }
+  return "unknown";
+}
+
+std::vector<double> rate_multipliers() {
+  return {0.5, 0.67, 0.8, 0.93, 1.0, 1.08, 1.25, 1.5, 2.0};
+}
+
+CcEnv::CcEnv(Config config, common::Rng& rng)
+    : config_(config),
+      rng_(rng.fork(0xCC)),
+      rate_mbps_(config.base_capacity_mbps),
+      min_latency_ms_(config.base_rtt_ms),
+      previous_latency_ms_(config.base_rtt_ms),
+      hist_latency_gradient_(config.history, 0.0),
+      hist_latency_ratio_(config.history, 1.0),
+      hist_send_ratio_(config.history, 1.0),
+      hist_loss_(config.history, 0.0),
+      hist_latency_ms_(config.history, config.base_rtt_ms) {
+  // Precompute the capacity available to this sender per MI.
+  capacity_series_.reserve(config_.episode_mis);
+  double capacity = config_.base_capacity_mbps;
+  double step_target = capacity;
+  std::size_t step_remaining = 0;
+  for (std::size_t mi = 0; mi < config_.episode_mis; ++mi) {
+    switch (config_.pattern) {
+      case LinkPattern::kSteady:
+        capacity = config_.base_capacity_mbps * (1.0 + rng_.normal(0.0, 0.02));
+        break;
+      case LinkPattern::kStepChanges:
+        if (step_remaining == 0) {
+          step_target = config_.base_capacity_mbps * rng_.uniform(0.4, 1.4);
+          step_remaining = static_cast<std::size_t>(rng_.uniform_int(30, 80));
+        }
+        --step_remaining;
+        capacity += 0.4 * (step_target - capacity);
+        break;
+      case LinkPattern::kBurstyCross: {
+        // Periodic ON/OFF cross traffic stealing 45% of the link.
+        const bool burst = (mi / 50) % 2 == 1;
+        capacity = config_.base_capacity_mbps * (burst ? 0.55 : 1.0) *
+                   (1.0 + rng_.normal(0.0, 0.03));
+        break;
+      }
+      case LinkPattern::kVolatile:
+        capacity = config_.base_capacity_mbps *
+                   std::clamp(capacity / config_.base_capacity_mbps *
+                                  std::exp(rng_.normal(0.0, 0.18)),
+                              0.2, 1.6);
+        break;
+    }
+    capacity_series_.push_back(std::max(0.5, capacity));
+  }
+  rate_mbps_ = config_.base_capacity_mbps *
+               rng_.uniform(config_.start_fraction_min, config_.start_fraction_max);
+}
+
+double CcEnv::capacity_at(std::size_t mi) const {
+  if (capacity_series_.empty()) return config_.base_capacity_mbps;
+  return capacity_series_[std::min(mi, capacity_series_.size() - 1)];
+}
+
+std::size_t CcEnv::observation_dim() const {
+  return config_.history * (config_.average_latency_feature ? 5 : 4);
+}
+
+std::vector<double> CcEnv::observation() const {
+  std::vector<double> obs;
+  obs.reserve(observation_dim());
+  obs.insert(obs.end(), hist_latency_gradient_.begin(), hist_latency_gradient_.end());
+  obs.insert(obs.end(), hist_latency_ratio_.begin(), hist_latency_ratio_.end());
+  obs.insert(obs.end(), hist_send_ratio_.begin(), hist_send_ratio_.end());
+  obs.insert(obs.end(), hist_loss_.begin(), hist_loss_.end());
+  if (config_.average_latency_feature) {
+    obs.insert(obs.end(), hist_latency_ms_.begin(), hist_latency_ms_.end());
+  }
+  return obs;
+}
+
+CcEnv::StepResult CcEnv::step(std::size_t action) {
+  assert(!done());
+  const auto multipliers = rate_multipliers();
+  action = std::min(action, multipliers.size() - 1);
+  rate_mbps_ = std::clamp(rate_mbps_ * multipliers[action], 0.1,
+                          4.0 * config_.base_capacity_mbps);
+
+  const double capacity = capacity_at(mi_index_);
+  const double dt = config_.mi_seconds;
+  const double arrival_mb = rate_mbps_ * dt;
+  const double service_mb = capacity * dt;
+  const double queue_capacity_mb =
+      config_.queue_capacity_ms / 1000.0 * config_.base_capacity_mbps;
+
+  // Fluid FIFO queue with tail drop: the link serves service_mb this MI.
+  double queue_in = queue_mb_ + arrival_mb;
+  double delivered = std::min(queue_in, service_mb);
+  queue_in -= delivered;
+  double dropped = 0.0;
+  if (queue_in > queue_capacity_mb) {
+    dropped = queue_in - queue_capacity_mb;
+    queue_in = queue_capacity_mb;
+  }
+  queue_mb_ = queue_in;
+
+  const double latency_ms =
+      config_.base_rtt_ms + queue_mb_ / capacity * 1000.0;
+  min_latency_ms_ = std::min(min_latency_ms_, latency_ms);
+  const double latency_gradient = (latency_ms - previous_latency_ms_) /
+                                  std::max(1.0, config_.base_rtt_ms);
+  previous_latency_ms_ = latency_ms;
+
+  const double loss_rate = arrival_mb > 1e-9 ? dropped / arrival_mb : 0.0;
+  const double throughput = delivered / dt;
+  const double send_ratio = throughput > 1e-6 ? rate_mbps_ / throughput : 4.0;
+  const double latency_ratio = latency_ms / std::max(1.0, min_latency_ms_);
+
+  // Record noisy measurements: each observed sample carries jitter, so the
+  // controller must integrate over its history window.
+  const double jitter = config_.measurement_noise;
+  push_history(latency_gradient + rng_.normal(0.0, jitter),
+               latency_ratio * (1.0 + rng_.normal(0.0, jitter)),
+               std::min(send_ratio, 4.0) * (1.0 + rng_.normal(0.0, jitter)),
+               std::max(0.0, loss_rate + rng_.normal(0.0, 0.3 * jitter * (loss_rate > 0 ? 1.0 : 0.2))),
+               latency_ms * (1.0 + rng_.normal(0.0, jitter)));
+
+  StepResult result;
+  result.throughput_mbps = throughput;
+  result.capacity_mbps = capacity;
+  result.latency_ms = latency_ms;
+  result.loss_rate = loss_rate;
+  result.sending_rate_mbps = rate_mbps_;
+  const double utilization = std::min(1.0, throughput / capacity);
+  const double queueing = (latency_ms - config_.base_rtt_ms) / config_.base_rtt_ms;
+  result.reward = config_.throughput_weight * utilization -
+                  config_.latency_weight * queueing - config_.loss_weight * loss_rate;
+  ++mi_index_;
+  return result;
+}
+
+void CcEnv::push_history(double latency_gradient, double latency_ratio, double send_ratio,
+                         double loss_rate, double latency_ms) {
+  auto push = [](std::vector<double>& hist, double value) {
+    std::rotate(hist.begin(), hist.begin() + 1, hist.end());
+    hist.back() = value;
+  };
+  push(hist_latency_gradient_, latency_gradient);
+  push(hist_latency_ratio_, latency_ratio);
+  push(hist_send_ratio_, send_ratio);
+  push(hist_loss_, loss_rate);
+  push(hist_latency_ms_, latency_ms);
+}
+
+std::vector<std::string> CcEnv::feature_names() const {
+  std::vector<std::string> names;
+  auto blockf = [&](const std::string& base) {
+    for (std::size_t i = 0; i < config_.history; ++i) {
+      names.push_back(base + " t-" + std::to_string(config_.history - i));
+    }
+  };
+  blockf("latency gradient");
+  blockf("latency ratio");
+  blockf("sending ratio");
+  blockf("loss rate");
+  if (config_.average_latency_feature) blockf("latency ms");
+  return names;
+}
+
+std::vector<double> CcEnv::feature_scales() const {
+  std::vector<double> scales;
+  auto blockf = [&](double value) {
+    for (std::size_t i = 0; i < config_.history; ++i) scales.push_back(value);
+  };
+  blockf(2.0);   // latency gradient
+  blockf(4.0);   // latency ratio
+  blockf(4.0);   // sending ratio
+  blockf(0.5);   // loss rate
+  if (config_.average_latency_feature) blockf(200.0);  // latency ms
+  return scales;
+}
+
+}  // namespace agua::cc

@@ -1,0 +1,110 @@
+// Monitor-interval congestion-control simulator (the Aurora substitute).
+//
+// A single sender drives a bottleneck link with a FIFO queue and optional
+// cross-traffic. Each monitor interval (MI) the sender observes the Aurora
+// feature vector — latency gradient, latency ratio and sending ratio (plus
+// loss rate) over a history window — and picks a discrete rate multiplier.
+//
+// The Config mirrors the Fig. 10 debugging story: the *original* controller
+// sees a 10-MI history without average-latency context; the *debugged* one
+// sees a 15-MI history plus an average-latency feature.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agua::cc {
+
+/// Bottleneck/cross-traffic patterns used in rollouts and benches.
+enum class LinkPattern {
+  kSteady,        ///< constant capacity with mild noise
+  kStepChanges,   ///< capacity steps up/down every few seconds
+  kBurstyCross,   ///< periodic ON/OFF cross-traffic (the Fig. 9 scenario)
+  kVolatile,      ///< heavy random capacity churn
+};
+
+const char* pattern_name(LinkPattern pattern);
+
+/// Discrete Aurora-style actions: multiplicative rate adjustments ½× .. 2×.
+std::vector<double> rate_multipliers();
+inline constexpr std::size_t kNumRateActions = 9;
+
+class CcEnv {
+ public:
+  struct Config {
+    std::size_t history = 10;          ///< MIs of feature history
+    bool average_latency_feature = false;  ///< the Fig. 10 fix
+    double base_capacity_mbps = 20.0;
+    double base_rtt_ms = 30.0;
+    double queue_capacity_ms = 120.0;  ///< queue size in ms of base capacity
+    double mi_seconds = 0.1;           ///< monitor-interval duration
+    std::size_t episode_mis = 400;
+    LinkPattern pattern = LinkPattern::kSteady;
+    // Reward = thr_w * utilization - lat_w * queueing ratio - loss_w * loss.
+    double throughput_weight = 10.0;
+    double latency_weight = 4.0;
+    double loss_weight = 15.0;
+    // Episodes start at a random fraction of capacity (Aurora-style), so the
+    // policy sees both under- and over-driven regimes during training.
+    double start_fraction_min = 0.3;
+    double start_fraction_max = 1.0;
+    // Per-MI measurement jitter on the recorded features (RTT sampling and
+    // rate estimation are noisy in practice). Individual samples are
+    // unreliable; only history-integrated estimates are stable.
+    double measurement_noise = 0.05;
+  };
+
+  CcEnv(Config config, common::Rng& rng);
+
+  bool done() const { return mi_index_ >= config_.episode_mis; }
+  std::size_t mi_index() const { return mi_index_; }
+
+  /// Observation: history blocks of [latency gradient, latency ratio,
+  /// sending ratio, loss rate] (+ average latency block when configured).
+  std::vector<double> observation() const;
+  std::size_t observation_dim() const;
+
+  struct StepResult {
+    double reward = 0.0;
+    double throughput_mbps = 0.0;
+    double capacity_mbps = 0.0;   ///< available to this sender during the MI
+    double latency_ms = 0.0;
+    double loss_rate = 0.0;
+    double sending_rate_mbps = 0.0;
+  };
+
+  /// Apply the rate-multiplier action and simulate one monitor interval.
+  StepResult step(std::size_t action);
+
+  std::vector<std::string> feature_names() const;
+  std::vector<double> feature_scales() const;
+
+  double current_rate_mbps() const { return rate_mbps_; }
+  const Config& config() const { return config_; }
+
+ private:
+  double capacity_at(std::size_t mi) const;
+  void push_history(double latency_gradient, double latency_ratio, double send_ratio,
+                    double loss_rate, double latency_ms);
+
+  Config config_;
+  common::Rng rng_;
+  std::size_t mi_index_ = 0;
+  double rate_mbps_ = 0.0;
+  double queue_mb_ = 0.0;
+  double min_latency_ms_ = 0.0;
+  double previous_latency_ms_ = 0.0;
+  // Precomputed capacity series for the episode (deterministic per seed).
+  std::vector<double> capacity_series_;
+  // Feature histories, oldest first.
+  std::vector<double> hist_latency_gradient_;
+  std::vector<double> hist_latency_ratio_;
+  std::vector<double> hist_send_ratio_;
+  std::vector<double> hist_loss_;
+  std::vector<double> hist_latency_ms_;
+};
+
+}  // namespace agua::cc

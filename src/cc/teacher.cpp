@@ -1,0 +1,59 @@
+#include "cc/teacher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agua::cc {
+
+CcTeacher::CcTeacher() : CcTeacher(Options()) {}
+
+CcTeacher::CcTeacher(Options options) : options_(options) {}
+
+std::size_t CcTeacher::act(const std::vector<double>& observation,
+                           const CcEnv::Config& env_config) const {
+  // Continuous desired rate multiplier from exponentially weighted means over
+  // the WHOLE history window (individual MI samples carry measurement
+  // jitter), snapped to the nearest discrete bin. Like Aurora's discretized
+  // continuous output, the bin boundaries cut diagonally through the full
+  // feature space — small changes flip adjacent bins, and no single feature
+  // is a reliable proxy.
+  const std::size_t h = env_config.history;
+  auto ewma = [&](std::size_t block) {
+    double weight = 1.0;
+    double total_weight = 0.0;
+    double acc = 0.0;
+    for (std::size_t i = h; i-- > 0;) {
+      acc += weight * observation[block * h + i];
+      total_weight += weight;
+      weight *= 0.75;
+    }
+    return acc / total_weight;
+  };
+  const double w = options_.instantaneous_weight;
+  const double latency_ratio =
+      w * observation[1 * h + h - 1] + (1.0 - w) * ewma(1);
+  const double latency_gradient =
+      w * observation[0 * h + h - 1] + (1.0 - w) * ewma(0);
+  const double loss = ewma(3);
+  const double error = options_.ratio_target - latency_ratio;
+  double multiplier = 1.0 + options_.probe_gain * error -
+                      options_.gradient_gain * latency_gradient -
+                      options_.loss_gain * loss;
+  if (std::abs(error) <= options_.hold_deadband && loss < 0.01) {
+    multiplier = 1.0;
+  }
+  multiplier = std::clamp(multiplier, options_.max_step_down, options_.max_step_up);
+  const auto bins = rate_multipliers();
+  std::size_t best = 0;
+  double best_gap = 1e9;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    const double gap = std::abs(bins[i] - multiplier);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace agua::cc

@@ -1,0 +1,52 @@
+// Rule-based congestion-control teacher used to behaviour-clone the initial
+// Aurora-like policy before REINFORCE fine-tuning (mirroring the ABR
+// pipeline). The teacher is a deliberately latency-jumpy AIMD variant: it
+// backs off hard on loss or a rising latency gradient and probes up
+// otherwise — the over-reactive behaviour the Fig. 10 debugging story hinges
+// on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cc/env.hpp"
+
+namespace agua::cc {
+
+class CcTeacher {
+ public:
+  struct Options {
+    double ratio_target = 1.08;   ///< latency ratio the teacher steers toward
+    double probe_gain = 2.2;      ///< gain on the (target - ratio) error
+    double gradient_gain = 3.0;   ///< over-reaction to the latency gradient
+    double loss_gain = 8.0;       ///< back-off gain on loss
+    /// Hold the current rate when the smoothed latency ratio sits within
+    /// this band of the target (and loss is negligible). The over-reactive
+    /// "original" teacher has no deadband and perpetually probes/backs off;
+    /// the corrected variant uses one and settles near capacity (Fig. 10).
+    double hold_deadband = 0.0;
+    /// Per-decision multiplier bounds. The original allows the full ½×..2×
+    /// swing; the corrected variant limits step size, bounding oscillation
+    /// amplitude.
+    double max_step_down = 0.5;
+    double max_step_up = 2.0;
+    /// Weight of the newest latency-ratio sample vs the history EWMA. The
+    /// original controller integrates slowly (0 = pure EWMA, a laggy and
+    /// therefore overshooting view); the corrected variant tracks the
+    /// current queue state.
+    double instantaneous_weight = 0.0;
+  };
+
+  CcTeacher();
+  explicit CcTeacher(Options options);
+
+  /// Choose a rate-multiplier action from an observation with the given env
+  /// feature layout.
+  std::size_t act(const std::vector<double>& observation,
+                  const CcEnv::Config& env_config) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace agua::cc

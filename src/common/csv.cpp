@@ -1,0 +1,78 @@
+#include "common/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace agua::common {
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+std::vector<double> CsvDocument::column_values(const std::string& name) const {
+  std::vector<double> out;
+  const std::size_t col = column(name);
+  if (col == static_cast<std::size_t>(-1)) return out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    out.push_back(col < row.size() ? row[col] : 0.0);
+  }
+  return out;
+}
+
+std::string to_csv(const CsvDocument& doc) {
+  std::ostringstream os;
+  os << join(doc.header, ",") << '\n';
+  for (const auto& row : doc.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << format_double(row[i], 6);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+CsvDocument parse_csv(const std::string& text) {
+  CsvDocument doc;
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line)) return doc;
+  for (auto& field : split(trim(line), ',')) doc.header.push_back(trim(field));
+  while (std::getline(is, line)) {
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<double> row;
+    for (const auto& field : split(trimmed, ',')) {
+      char* end = nullptr;
+      const double value = std::strtod(field.c_str(), &end);
+      row.push_back(end != field.c_str() ? value : 0.0);
+    }
+    row.resize(doc.header.size(), 0.0);
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+bool write_csv_file(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv(doc);
+  return static_cast<bool>(out);
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace agua::common

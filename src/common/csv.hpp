@@ -1,0 +1,35 @@
+// Minimal CSV reading/writing used by benches to dump figure series so they
+// can be re-plotted outside the harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace agua::common {
+
+/// An in-memory CSV document: a header row plus numeric rows.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  /// Index of a header column, or npos if missing.
+  std::size_t column(const std::string& name) const;
+
+  /// All values of one column.
+  std::vector<double> column_values(const std::string& name) const;
+};
+
+/// Serialize to CSV text.
+std::string to_csv(const CsvDocument& doc);
+
+/// Parse a CSV string with one header line and numeric cells.
+/// Non-numeric cells parse to 0; ragged rows are padded/truncated to header width.
+CsvDocument parse_csv(const std::string& text);
+
+/// Write the document to a file; returns false on I/O failure.
+bool write_csv_file(const std::string& path, const CsvDocument& doc);
+
+/// Read a document from a file; returns an empty document on failure.
+CsvDocument read_csv_file(const std::string& path);
+
+}  // namespace agua::common

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation for all Agua components.
+//
+// Every stochastic component in the library (trace generators, neural-net
+// initialization, REINFORCE sampling, describer noise, ...) takes an explicit
+// Rng so experiments are reproducible from a single seed. No component uses
+// global RNG state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace agua::common {
+
+/// xoshiro256** generator seeded via splitmix64.
+///
+/// Small, fast, and with well-understood statistical quality; the state is
+/// value-semantic so an Rng can be copied to fork deterministic substreams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Sample an index from an unnormalized non-negative weight vector.
+  /// Falls back to uniform choice if all weights are zero.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent child generator; stable for a given (state, tag).
+  Rng fork(std::uint64_t tag);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace agua::common

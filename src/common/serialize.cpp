@@ -1,0 +1,92 @@
+#include "common/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace agua::common {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41475541;  // "AGUA"
+// Guard against hostile/corrupt length prefixes blowing up allocations.
+constexpr std::uint64_t kMaxContainer = 1ULL << 32;
+
+}  // namespace
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::write_double(double v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_doubles(const std::vector<double>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+double BinaryReader::read_double() {
+  double v = 0.0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t size = read_u64();
+  if (!in_ || size > kMaxContainer) {
+    in_.setstate(std::ios::failbit);
+    return {};
+  }
+  std::string s(size, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(size));
+  return s;
+}
+
+std::vector<double> BinaryReader::read_doubles() {
+  const std::uint64_t size = read_u64();
+  if (!in_ || size > kMaxContainer / sizeof(double)) {
+    in_.setstate(std::ios::failbit);
+    return {};
+  }
+  std::vector<double> v(size);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(size * sizeof(double)));
+  return v;
+}
+
+void write_archive_header(BinaryWriter& w, std::uint32_t version) {
+  w.write_u32(kMagic);
+  w.write_u32(version);
+}
+
+std::uint32_t read_archive_header(BinaryReader& r) {
+  const std::uint32_t magic = r.read_u32();
+  const std::uint32_t version = r.read_u32();
+  if (!r.ok() || magic != kMagic) return 0;
+  return version;
+}
+
+}  // namespace agua::common

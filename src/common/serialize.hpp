@@ -1,0 +1,55 @@
+// Minimal binary serialization for model checkpoints (nn weights, surrogate
+// models). Format: little-endian PODs, length-prefixed vectors/strings, with
+// a magic+version header per archive.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace agua::common {
+
+/// Streams primitive values and containers to an std::ostream.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_double(double v);
+  void write_string(const std::string& s);
+  void write_doubles(const std::vector<double>& v);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reads values written by BinaryWriter. All reads set fail() on corruption;
+/// callers should check ok() after a batch of reads.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  double read_double();
+  std::string read_string();
+  std::vector<double> read_doubles();
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+ private:
+  std::istream& in_;
+};
+
+/// Writes the archive header (magic + version).
+void write_archive_header(BinaryWriter& w, std::uint32_t version);
+
+/// Reads and validates the header; returns the version or 0 on mismatch.
+std::uint32_t read_archive_header(BinaryReader& r);
+
+}  // namespace agua::common

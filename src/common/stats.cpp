@@ -1,0 +1,177 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace agua::common {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double min_value(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double slope(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double n = static_cast<double>(v.size());
+  const double mean_x = (n - 1.0) / 2.0;
+  const double mean_y = mean(v);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double dx = static_cast<double>(i) - mean_x;
+    num += dx * (v[i] - mean_y);
+    den += dx * dx;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double ecdf(const std::vector<double>& samples, double x) {
+  if (samples.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double s : samples) {
+    if (s <= x) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(samples.size());
+}
+
+double ks_statistic(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 1.0;
+  std::vector<double> sa = a;
+  std::vector<double> sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / static_cast<double>(sa.size());
+    const double fb = static_cast<double>(ib) / static_cast<double>(sb.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+std::vector<std::size_t> top_k_indices(const std::vector<double>& v, std::size_t k) {
+  std::vector<std::size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  k = std::min(k, v.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) { return v[a] > v[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+double top_k_recall(const std::vector<std::size_t>& reference,
+                    const std::vector<std::size_t>& candidate) {
+  if (reference.empty()) return 1.0;
+  std::size_t hits = 0;
+  for (std::size_t r : reference) {
+    if (std::find(candidate.begin(), candidate.end(), r) != candidate.end()) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(reference.size());
+}
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+  std::vector<double> out(logits.size());
+  if (logits.empty()) return out;
+  const double m = max_value(logits);
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - m);
+    total += out[i];
+  }
+  for (double& x : out) x /= total;
+  return out;
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& v, double lo, double hi,
+                                   std::size_t bins) {
+  std::vector<std::size_t> counts(bins, 0);
+  if (bins == 0 || hi <= lo) return counts;
+  for (double x : v) {
+    const double t = (x - lo) / (hi - lo);
+    auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins));
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(bin)];
+  }
+  return counts;
+}
+
+std::vector<double> normalize_counts(const std::vector<double>& counts) {
+  double total = std::accumulate(counts.begin(), counts.end(), 0.0);
+  std::vector<double> out(counts.size(), 0.0);
+  if (total <= 0.0) return out;
+  for (std::size_t i = 0; i < counts.size(); ++i) out[i] = counts[i] / total;
+  return out;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace agua::common

@@ -1,0 +1,77 @@
+// Statistical primitives shared across the Agua library and its benches:
+// summary statistics, empirical CDFs, the Kolmogorov-Smirnov two-sample test
+// used by the dataset-expansion experiment (Fig. 11), top-k recall used by
+// the robustness experiments (Fig. 12), and softmax/argmax helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace agua::common {
+
+/// Arithmetic mean; 0 for an empty vector.
+double mean(const std::vector<double>& v);
+
+/// Population variance; 0 for fewer than two samples.
+double variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double stddev(const std::vector<double>& v);
+
+/// Minimum / maximum; 0 for an empty vector.
+double min_value(const std::vector<double>& v);
+double max_value(const std::vector<double>& v);
+
+/// Linear-interpolation percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Least-squares slope of v against its index (simple trend estimate).
+double slope(const std::vector<double>& v);
+
+/// Empirical CDF evaluated at x: fraction of samples <= x.
+double ecdf(const std::vector<double>& samples, double x);
+
+/// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)|.
+double ks_statistic(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the k largest entries, in descending order of value.
+std::vector<std::size_t> top_k_indices(const std::vector<double>& v, std::size_t k);
+
+/// |A ∩ B| / |A| where A = reference top-k set, B = candidate top-k set.
+/// This is the recall metric of §5.3 / Fig. 12.
+double top_k_recall(const std::vector<std::size_t>& reference,
+                    const std::vector<std::size_t>& candidate);
+
+/// Numerically stable softmax.
+std::vector<double> softmax(const std::vector<double>& logits);
+
+/// Index of the maximum element (first on ties); 0 for an empty vector.
+std::size_t argmax(const std::vector<double>& v);
+
+/// Histogram of v over [lo, hi] with the given number of equal-width bins;
+/// out-of-range samples are clamped into the edge bins.
+std::vector<std::size_t> histogram(const std::vector<double>& v, double lo, double hi,
+                                   std::size_t bins);
+
+/// Normalized counts (sums to 1 unless all counts are zero).
+std::vector<double> normalize_counts(const std::vector<double>& counts);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace agua::common

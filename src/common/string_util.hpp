@@ -1,0 +1,34 @@
+// Small string helpers used by the text pipeline and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agua::common {
+
+/// Lower-case a copy (ASCII only; the text pipeline is English templates).
+std::string to_lower(std::string_view s);
+
+/// Split on a single delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on whitespace runs; empty tokens are dropped.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+/// Format a double with fixed precision.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace agua::common

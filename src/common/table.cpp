@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace agua::common {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << "  ";
+      os << row[i];
+      for (std::size_t pad = row[i].size(); pad < widths[i]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  std::ostringstream os;
+  emit(os, header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(os, row);
+  return os.str();
+}
+
+std::string ascii_bar(double value, double scale, std::size_t width) {
+  const double t = scale != 0.0 ? value / scale : 0.0;
+  const auto half = static_cast<std::ptrdiff_t>(width / 2);
+  auto cells = static_cast<std::ptrdiff_t>(std::lround(t * static_cast<double>(half)));
+  cells = std::clamp<std::ptrdiff_t>(cells, -half, half);
+  std::string bar(width + 1, ' ');
+  bar[static_cast<std::size_t>(half)] = '|';
+  if (cells >= 0) {
+    for (std::ptrdiff_t i = 1; i <= cells; ++i) bar[static_cast<std::size_t>(half + i)] = '#';
+  } else {
+    for (std::ptrdiff_t i = 1; i <= -cells; ++i) bar[static_cast<std::size_t>(half - i)] = '#';
+  }
+  return bar;
+}
+
+std::string section(const std::string& title) {
+  std::ostringstream os;
+  os << '\n' << std::string(72, '=') << '\n' << title << '\n' << std::string(72, '=') << '\n';
+  return os.str();
+}
+
+}  // namespace agua::common

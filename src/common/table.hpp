@@ -1,0 +1,32 @@
+// Fixed-width console table printer used by the bench harnesses to render
+// paper-vs-measured rows, and a tiny horizontal bar renderer used to print
+// Fig. 4/6-style concept-weight bars in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace agua::common {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header underline and two-space column gaps.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render `value` (in [-1, 1] after scaling by `scale`) as a signed ASCII bar.
+std::string ascii_bar(double value, double scale = 1.0, std::size_t width = 40);
+
+/// A titled section separator for bench output.
+std::string section(const std::string& title);
+
+}  // namespace agua::common

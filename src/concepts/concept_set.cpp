@@ -1,0 +1,171 @@
+#include "concepts/concept_set.hpp"
+
+namespace agua::concepts {
+
+ConceptSet::ConceptSet(std::string application, std::vector<Concept> concepts)
+    : application_(std::move(application)), concepts_(std::move(concepts)) {}
+
+std::vector<std::string> ConceptSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(concepts_.size());
+  for (const auto& c : concepts_) out.push_back(c.name);
+  return out;
+}
+
+std::vector<std::string> ConceptSet::embedding_texts() const {
+  std::vector<std::string> out;
+  out.reserve(concepts_.size());
+  for (const auto& c : concepts_) out.push_back(c.embedding_text());
+  return out;
+}
+
+std::size_t ConceptSet::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < concepts_.size(); ++i) {
+    if (concepts_[i].name == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+ConceptSet ConceptSet::subset(const std::vector<std::size_t>& indices) const {
+  std::vector<Concept> selected;
+  selected.reserve(indices.size());
+  for (std::size_t i : indices) selected.push_back(concepts_[i]);
+  return ConceptSet(application_, std::move(selected));
+}
+
+ConceptSet ConceptSet::prefix(std::size_t n) const {
+  std::vector<Concept> selected(concepts_.begin(),
+                                concepts_.begin() + static_cast<std::ptrdiff_t>(
+                                                        std::min(n, concepts_.size())));
+  return ConceptSet(application_, std::move(selected));
+}
+
+ConceptSet abr_concepts() {
+  // Table 1a, with rich descriptions adapted from the Fig. 15 prompt.
+  return ConceptSet(
+      "abr",
+      {
+          {"Volatile Network Throughput",
+           "Network throughput swings widely between samples; a congested or "
+           "poor-quality network where delivery rates are erratic and hard to "
+           "predict."},
+          {"Rapidly Depleting Buffer",
+           "The playback buffer is draining quickly toward empty, prompting an "
+           "urgent switch to a low bitrate to refill it and avoid interruptions."},
+          {"Low Content Complexity",
+           "Upcoming content is visually simple, so lower quality streams "
+           "conserve bandwidth without hurting perceived quality."},
+          {"Recent Network Improvement",
+           "The most recent samples show the network recovering, with shorter "
+           "transmission times and improving delivery rates after a bad stretch."},
+          {"Extreme Network Degradation",
+           "Severe collapse of network conditions with sharply rising "
+           "transmission times; an emergency fallback to the lowest quality "
+           "keeps playback alive."},
+          {"Moderate Network Throughput",
+           "Network capacity that, while not optimal, is stable enough to "
+           "support a quality level above the lowest."},
+          {"Anticipation of Network Congestion",
+           "Early signs of congestion ahead; choosing a slightly lower bitrate "
+           "now mitigates future rebuffering risk."},
+          {"Content requiring High Quality",
+           "Fast motion or detailed visuals in the upcoming chunks require a "
+           "higher bitrate to maintain acceptable quality."},
+          {"Stable Buffer",
+           "The buffer occupancy is steady, neither draining nor growing, "
+           "providing a comfortable cushion against interruptions."},
+          {"Nearly Full Buffer",
+           "The buffer sits close to its maximum, leaving room to gamble on "
+           "higher qualities without immediate stall risk."},
+          {"Startup of video",
+           "The session just began; the player starts with conservative "
+           "qualities to minimize initial loading time."},
+          {"High Content Complexity",
+           "Upcoming chunks carry detailed, high-action content whose sizes "
+           "grow at equal quality levels."},
+          {"Network volatility needing switches",
+           "Fluctuating network conditions that force quality switches as a "
+           "compromise between extremes of high and low bitrates."},
+          {"Avoiding Large Quality Fluctuations",
+           "Preferring smooth transitions between neighbouring quality levels "
+           "over drastic jumps, cushioning quality changes for the viewer."},
+          {"Switch to higher quality after startup",
+           "Conditions have settled after session start; the controller steps "
+           "up from its conservative startup quality."},
+          {"High Network Throughput",
+           "Consistently high delivery rates that support the top quality "
+           "levels for the best viewing experience."},
+      });
+}
+
+ConceptSet cc_concepts() {
+  // Table 1b.
+  return ConceptSet(
+      "cc",
+      {
+          {"Increasing Packet Loss",
+           "The fraction of lost packets grows across recent monitor "
+           "intervals, signalling the sender is overdriving the bottleneck."},
+          {"Decreasing Packet Loss",
+           "Loss rates shrink across recent monitor intervals as the sending "
+           "rate falls back under the available capacity."},
+          {"Stable Network Conditions",
+           "Latency, loss and delivery rates hold steady; the path is in "
+           "equilibrium and the current rate is sustainable."},
+          {"Rapidly Increasing Latency",
+           "Round-trip latency climbs sharply as queues build at the "
+           "bottleneck, an early congestion signal preceding loss."},
+          {"Rapidly Decreasing Latency",
+           "Round-trip latency falls quickly as queues drain, indicating "
+           "freed capacity on the path."},
+          {"Volatile Network Conditions",
+           "Latency and delivery rates swing erratically between monitor "
+           "intervals, as under bursty cross-traffic."},
+          {"Low Network Utilization",
+           "The sending rate sits well below the available capacity; the "
+           "sender leaves throughput on the table."},
+          {"High Network Utilization",
+           "The sending rate is near the available capacity, with queues on "
+           "the verge of building."},
+      });
+}
+
+ConceptSet ddos_concepts() {
+  // Table 1c.
+  return ConceptSet(
+      "ddos",
+      {
+          {"Geographical and Temporal Consistency",
+           "Traffic arrives from sources and at times consistent with the "
+           "service's historical client population."},
+          {"Typical Application Behavior",
+           "Request and acknowledgment patterns that match normal application "
+           "sessions, such as complete HTTP request/response exchanges."},
+          {"Low-and-Slow Attack Indicators",
+           "Connections held open with minimal, slowly trickling payloads "
+           "designed to exhaust server resources without high volume."},
+          {"High Request Rates",
+           "Packet or request rates far above what a single legitimate client "
+           "would generate."},
+          {"Geographic Irregularities",
+           "Traffic from an implausible spread of source networks, as when a "
+           "botnet of compromised devices converges on one target."},
+          {"Protocol Anomalies",
+           "Violations of expected protocol state machines, such as floods of "
+           "SYN packets with no completed handshakes."},
+          {"Repeated Access Requests",
+           "The same resource requested over and over far beyond normal "
+           "client behaviour."},
+          {"Behavioral Anomalies",
+           "Session-level behaviour inconsistent with human-driven clients, "
+           "such as perfectly regular inter-arrival times."},
+          {"Payload Anomalies",
+           "Packet payloads that are empty, padded or otherwise inconsistent "
+           "with the application protocol carried on the port."},
+          {"Protocol Compliance",
+           "Fully well-formed protocol exchanges with plausible flag "
+           "sequences, options and acknowledgment behaviour."},
+      });
+}
+
+}  // namespace agua::concepts

@@ -1,0 +1,58 @@
+// Base concepts (§3.2, Table 1): the unit of explanation for Agua. Each
+// concept carries a short name (shown in explanations) and a rich text
+// description (embedded for similarity tagging, following the paper's
+// observation that "concepts are rich text descriptions").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace agua::concepts {
+
+struct Concept {
+  std::string name;
+  std::string description;
+
+  /// Text used for embedding: the name plus the rich description.
+  std::string embedding_text() const { return name + ". " + description; }
+};
+
+/// An ordered set of base concepts for one application.
+class ConceptSet {
+ public:
+  ConceptSet() = default;
+  ConceptSet(std::string application, std::vector<Concept> concepts);
+
+  const std::string& application() const { return application_; }
+  std::size_t size() const { return concepts_.size(); }
+  const Concept& at(std::size_t i) const { return concepts_[i]; }
+  const std::vector<Concept>& concepts() const { return concepts_; }
+
+  std::vector<std::string> names() const;
+  std::vector<std::string> embedding_texts() const;
+
+  /// Index of a concept by exact name; npos if absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// A new set containing only the given indices (order preserved).
+  ConceptSet subset(const std::vector<std::size_t>& indices) const;
+
+  /// A new set with the first n concepts (for the Fig. 13 size sweep).
+  ConceptSet prefix(std::size_t n) const;
+
+ private:
+  std::string application_;
+  std::vector<Concept> concepts_;
+};
+
+/// Table 1a: the 16 adaptive-bitrate-streaming concepts.
+ConceptSet abr_concepts();
+
+/// Table 1b: the 8 congestion-control concepts.
+ConceptSet cc_concepts();
+
+/// Table 1c: the 10 DDoS-detection concepts.
+ConceptSet ddos_concepts();
+
+}  // namespace agua::concepts

@@ -1,0 +1,40 @@
+#include "concepts/derivation.hpp"
+
+#include "text/similarity.hpp"
+
+namespace agua::concepts {
+
+ConceptSet candidate_pool(const ConceptSet& curated) {
+  std::vector<Concept> pool = curated.concepts();
+  // Redundant paraphrases of existing concepts: an LLM asked to enumerate
+  // decision factors reliably produces near-duplicates like these; the
+  // redundancy filter must remove them (§3.2).
+  for (const auto& c : curated.concepts()) {
+    Concept duplicate;
+    duplicate.name = c.name + " (restated)";
+    duplicate.description = c.description + " In other words, " + c.description;
+    pool.push_back(std::move(duplicate));
+  }
+  return ConceptSet(curated.application(), std::move(pool));
+}
+
+DerivationResult derive_concepts(const ConceptSet& candidates,
+                                 const text::TextEmbedder& embedder, double s_max) {
+  DerivationResult result;
+  std::vector<std::vector<double>> embeddings;
+  embeddings.reserve(candidates.size());
+  for (const auto& textual : candidates.embedding_texts()) {
+    embeddings.push_back(embedder.embed(textual));
+  }
+  result.similarity = text::similarity_matrix(embeddings);
+  result.kept_indices = text::redundancy_filter(embeddings, s_max);
+  std::vector<bool> kept(candidates.size(), false);
+  for (std::size_t i : result.kept_indices) kept[i] = true;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!kept[i]) result.dropped_indices.push_back(i);
+  }
+  result.retained = candidates.subset(result.kept_indices);
+  return result;
+}
+
+}  // namespace agua::concepts

@@ -1,0 +1,35 @@
+// Stage ① of Fig. 2, "Base concept generation": the paper prompts an LLM over
+// a survey paper to list candidate concepts, then filters redundant ones with
+// the inter-concept similarity matrix (eq. 1) and operator curation.
+//
+// Our substitute exposes the same workflow: a per-application *candidate
+// pool* (the curated Table 1 concepts plus deliberately redundant and
+// off-topic candidates an LLM would plausibly emit), and `derive_concepts`,
+// which embeds candidates and applies the S_max redundancy filter to recover
+// a deduplicated working set.
+#pragma once
+
+#include "concepts/concept_set.hpp"
+#include "text/embedder.hpp"
+
+namespace agua::concepts {
+
+/// Result of a derivation run: the retained set plus audit information.
+struct DerivationResult {
+  ConceptSet retained;
+  std::vector<std::size_t> kept_indices;     ///< indices into the candidate pool
+  std::vector<std::size_t> dropped_indices;  ///< redundant candidates removed
+  std::vector<std::vector<double>> similarity;  ///< candidate similarity matrix
+};
+
+/// Candidate pool for an application: the Table 1 set first (operator-curated
+/// order), followed by redundant paraphrases that the filter should drop.
+ConceptSet candidate_pool(const ConceptSet& curated);
+
+/// Apply §3.2's pipeline: embed every candidate's rich text, build the
+/// similarity matrix, and keep a candidate only if its similarity to all
+/// previously retained candidates is below `s_max`.
+DerivationResult derive_concepts(const ConceptSet& candidates,
+                                 const text::TextEmbedder& embedder, double s_max);
+
+}  // namespace agua::concepts

@@ -1,0 +1,120 @@
+#include "core/concept_mapping.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+namespace agua::core {
+
+ConceptMapping::ConceptMapping(Config config, common::Rng& rng) : config_(config) {
+  net_ = nn::make_concept_mapping_net(config_.embedding_dim, config_.hidden_dim,
+                                      output_dim(), rng);
+}
+
+double ConceptMapping::train(const std::vector<std::vector<double>>& embeddings,
+                             const std::vector<std::vector<std::size_t>>& levels,
+                             common::Rng& rng) {
+  assert(embeddings.size() == levels.size());
+  nn::SgdOptimizer::Options opt;
+  opt.learning_rate = config_.learning_rate;
+  opt.momentum = config_.momentum;
+  opt.gradient_clip = 5.0;
+  nn::SgdOptimizer optimizer(net_->parameters(), opt);
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto order = rng.permutation(embeddings.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<std::vector<double>> batch;
+      std::vector<std::vector<std::size_t>> batch_levels;
+      batch.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        batch.push_back(embeddings[order[i]]);
+        batch_levels.push_back(levels[order[i]]);
+      }
+      optimizer.zero_grad();
+      const nn::Matrix logits = net_->forward(nn::Matrix::from_rows(batch));
+      nn::Matrix grad;
+      epoch_loss += nn::multilabel_concept_loss(logits, batch_levels, config_.num_concepts,
+                                                config_.num_levels, grad);
+      net_->backward(grad);
+      optimizer.step();
+      ++batches;
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+nn::Matrix ConceptMapping::block_softmax(const nn::Matrix& logits) const {
+  nn::Matrix probs(logits.rows(), logits.cols());
+  const std::size_t k = config_.num_levels;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const double* in = logits.row_data(r);
+    double* out = probs.row_data(r);
+    for (std::size_t c = 0; c < config_.num_concepts; ++c) {
+      const std::size_t base = c * k;
+      double m = in[base];
+      for (std::size_t j = 1; j < k; ++j) m = std::max(m, in[base + j]);
+      double total = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        out[base + j] = std::exp(in[base + j] - m);
+        total += out[base + j];
+      }
+      for (std::size_t j = 0; j < k; ++j) out[base + j] /= total;
+    }
+  }
+  return probs;
+}
+
+std::vector<double> ConceptMapping::concept_probs(const std::vector<double>& embedding) {
+  const nn::Matrix logits = net_->forward(nn::Matrix::row_vector(embedding));
+  return block_softmax(logits).row(0);
+}
+
+nn::Matrix ConceptMapping::concept_probs_batch(const nn::Matrix& embeddings) {
+  return block_softmax(net_->forward(embeddings));
+}
+
+void ConceptMapping::save(common::BinaryWriter& w) const {
+  w.write_u64(config_.embedding_dim);
+  w.write_u64(config_.num_concepts);
+  w.write_u64(config_.num_levels);
+  w.write_u64(config_.hidden_dim);
+  net_->save(w);
+}
+
+ConceptMapping ConceptMapping::load(common::BinaryReader& r) {
+  Config config;
+  config.embedding_dim = r.read_u64();
+  config.num_concepts = r.read_u64();
+  config.num_levels = r.read_u64();
+  config.hidden_dim = r.read_u64();
+  common::Rng scratch(0);  // weights are overwritten by load below
+  ConceptMapping mapping(config, scratch);
+  mapping.net_->load(r);
+  return mapping;
+}
+
+std::vector<std::size_t> ConceptMapping::predict_levels(
+    const std::vector<double>& embedding) {
+  const std::vector<double> probs = concept_probs(embedding);
+  std::vector<std::size_t> out(config_.num_concepts, 0);
+  const std::size_t k = config_.num_levels;
+  for (std::size_t c = 0; c < config_.num_concepts; ++c) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (probs[c * k + j] > probs[c * k + best]) best = j;
+    }
+    out[c] = best;
+  }
+  return out;
+}
+
+}  // namespace agua::core

@@ -1,0 +1,47 @@
+// Controller rollout data consumed by Agua's training pipeline: raw inputs x,
+// controller embeddings h(x), and controller outputs y (Definition 3.1/3.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace agua::core {
+
+/// One (x, h(x), y) record from a controller rollout.
+struct Sample {
+  std::vector<double> input;         ///< raw controller input x
+  std::vector<double> embedding;     ///< controller embedding h(x)
+  std::vector<double> output_probs;  ///< controller output distribution y
+  std::size_t output_class = 0;      ///< argmax of y
+};
+
+/// A rollout dataset for one application.
+struct Dataset {
+  std::vector<Sample> samples;
+  std::size_t num_outputs = 0;
+
+  std::size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+  std::size_t embedding_dim() const {
+    return samples.empty() ? 0 : samples.front().embedding.size();
+  }
+
+  /// The most frequent output class (baseline predictor for Fig. 13).
+  std::size_t majority_class() const {
+    std::vector<double> counts(num_outputs, 0.0);
+    for (const Sample& s : samples) counts[s.output_class] += 1.0;
+    return common::argmax(counts);
+  }
+
+  /// Fraction of samples in the majority class (the Fig. 13 baseline value).
+  double majority_fraction() const {
+    if (samples.empty()) return 0.0;
+    std::vector<double> counts(num_outputs, 0.0);
+    for (const Sample& s : samples) counts[s.output_class] += 1.0;
+    return counts[common::argmax(counts)] / static_cast<double>(samples.size());
+  }
+};
+
+}  // namespace agua::core

@@ -1,0 +1,145 @@
+#include "core/datastore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "text/embedder.hpp"
+
+namespace agua::core {
+namespace {
+
+double sq_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+void ConceptDataStore::add(std::vector<double> embedding, std::string workload,
+                           std::size_t sample_id) {
+  entries_.push_back(Entry{std::move(embedding), std::move(workload), sample_id});
+  centroids_.clear();  // invalidate clustering
+}
+
+void ConceptDataStore::build_clusters(std::size_t k, std::size_t iterations,
+                                      common::Rng& rng) {
+  centroids_.clear();
+  if (entries_.empty() || k == 0) return;
+  k = std::min(k, entries_.size());
+  // k-means++-lite init: random distinct entries.
+  const auto order = rng.permutation(entries_.size());
+  for (std::size_t i = 0; i < k; ++i) centroids_.push_back(entries_[order[i]].embedding);
+
+  std::vector<std::size_t> assignment(entries_.size(), 0);
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      const std::size_t best = cluster_of(entries_[e].embedding);
+      if (best != assignment[e]) {
+        assignment[e] = best;
+        changed = true;
+      }
+    }
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(k,
+                                          std::vector<double>(centroids_[0].size(), 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+      const auto& emb = entries_[e].embedding;
+      auto& sum = sums[assignment[e]];
+      for (std::size_t d = 0; d < emb.size(); ++d) sum[d] += emb[d];
+      ++counts[assignment[e]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (double& v : sums[c]) v /= static_cast<double>(counts[c]);
+      centroids_[c] = std::move(sums[c]);
+    }
+    if (!changed && iter > 0) break;
+  }
+}
+
+std::size_t ConceptDataStore::cluster_of(const std::vector<double>& embedding) const {
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = sq_distance(embedding, centroids_[c]);
+    if (d < best_distance) {
+      best_distance = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> ConceptDataStore::nearest(const std::vector<double>& query,
+                                                   std::size_t count) const {
+  std::vector<std::pair<double, std::size_t>> scored;
+  scored.reserve(entries_.size());
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    scored.emplace_back(text::cosine_similarity(query, entries_[e].embedding), e);
+  }
+  count = std::min(count, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(count),
+                    scored.end(), [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+std::vector<std::size_t> ConceptDataStore::expand(
+    const std::vector<std::vector<double>>& queries, std::size_t per_query) const {
+  std::vector<std::size_t> out;
+  std::vector<bool> taken(entries_.size(), false);
+  for (const auto& query : queries) {
+    for (std::size_t index : nearest(query, per_query)) {
+      if (!taken[index]) {
+        taken[index] = true;
+        out.push_back(index);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> ConceptDataStore::expand_with_multiplicity(
+    const std::vector<std::vector<double>>& queries, std::size_t per_query) const {
+  std::vector<std::size_t> out;
+  out.reserve(queries.size() * per_query);
+  for (const auto& query : queries) {
+    for (std::size_t index : nearest(query, per_query)) out.push_back(index);
+  }
+  return out;
+}
+
+std::vector<double> ConceptDataStore::cluster_series(
+    const std::vector<std::size_t>& entry_indices) const {
+  std::vector<double> out;
+  out.reserve(entry_indices.size());
+  for (std::size_t index : entry_indices) {
+    out.push_back(static_cast<double>(cluster_of(entries_[index].embedding)));
+  }
+  return out;
+}
+
+std::vector<double> ConceptDataStore::workload_cluster_series(
+    const std::string& workload) const {
+  return cluster_series(workload_entries(workload));
+}
+
+std::vector<std::size_t> ConceptDataStore::workload_entries(
+    const std::string& workload) const {
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    if (entries_[e].workload == workload) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace agua::core

@@ -1,0 +1,65 @@
+// Concept-guided dataset expansion (§5.2.4, Fig. 11): a store of samples
+// embedded in the concept/text space, k-means clustering over the embeddings
+// (the "unified clustering axis" of Fig. 11), nearest-neighbour expansion for
+// a handful of target-workload examples, and KS-statistic comparison of the
+// generated vs target cluster distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agua::core {
+
+class ConceptDataStore {
+ public:
+  struct Entry {
+    std::vector<double> embedding;  ///< text/concept-space embedding
+    std::string workload;           ///< source workload tag
+    std::size_t sample_id = 0;      ///< caller-defined identifier
+  };
+
+  void add(std::vector<double> embedding, std::string workload, std::size_t sample_id);
+  std::size_t size() const { return entries_.size(); }
+  const Entry& entry(std::size_t i) const { return entries_[i]; }
+
+  /// k-means (cosine-normalized Euclidean) over stored embeddings.
+  void build_clusters(std::size_t k, std::size_t iterations, common::Rng& rng);
+  bool clustered() const { return !centroids_.empty(); }
+  std::size_t num_clusters() const { return centroids_.size(); }
+
+  /// Nearest centroid of an arbitrary embedding.
+  std::size_t cluster_of(const std::vector<double>& embedding) const;
+
+  /// Indices of the `count` entries most cosine-similar to the query.
+  std::vector<std::size_t> nearest(const std::vector<double>& query,
+                                   std::size_t count) const;
+
+  /// Expansion (§5.2.4): union of per-query nearest neighbours, deduplicated,
+  /// preserving similarity order.
+  std::vector<std::size_t> expand(const std::vector<std::vector<double>>& queries,
+                                  std::size_t per_query) const;
+
+  /// Expansion keeping per-query multiplicity: repeated hits stay repeated,
+  /// so the expanded set carries the distribution *mass* of the queries
+  /// (better CDF tracking for Fig. 11).
+  std::vector<std::size_t> expand_with_multiplicity(
+      const std::vector<std::vector<double>>& queries, std::size_t per_query) const;
+
+  /// Cluster ids (as doubles, for ECDF/KS) of the given entries.
+  std::vector<double> cluster_series(const std::vector<std::size_t>& entry_indices) const;
+
+  /// Cluster ids of all entries with the given workload tag.
+  std::vector<double> workload_cluster_series(const std::string& workload) const;
+
+  /// All entry indices of a workload.
+  std::vector<std::size_t> workload_entries(const std::string& workload) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<std::vector<double>> centroids_;
+};
+
+}  // namespace agua::core

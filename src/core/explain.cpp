@@ -1,0 +1,150 @@
+#include "core/explain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace agua::core {
+namespace {
+
+/// Core of eq. 7-10 for one embedding and one target class.
+Explanation explain_one(AguaModel& model, const std::vector<double>& embedding,
+                        std::size_t output_class) {
+  Explanation exp;
+  const std::size_t C = model.num_concepts();
+  const std::size_t k = model.num_levels();
+  const std::vector<double> z = model.concept_probs(embedding);
+  const std::vector<double> logits = model.output_mapping().logits(z);
+  const std::vector<double> probs = common::softmax(logits);
+  exp.predicted_class = common::argmax(logits);
+  exp.output_class = output_class;
+  exp.output_probability = probs[output_class];
+  exp.concept_names = model.concept_set().names();
+
+  // Eq. 8: Hadamard decomposition W^<i> ∘ δ(h(x)) + b_i/(C·k).
+  const std::vector<double> weights = model.output_mapping().class_weights(output_class);
+  const double bias_share =
+      model.output_mapping().class_bias(output_class) / static_cast<double>(C * k);
+  exp.raw_contributions.resize(C * k);
+  for (std::size_t j = 0; j < C * k; ++j) {
+    exp.raw_contributions[j] = weights[j] * z[j] + bias_share;
+  }
+  // Eq. 9/10: softmax over the contribution vector, scaled by the output
+  // probability, then aggregated per concept over its k levels. The
+  // contributions are standardized first (a softmax temperature choice):
+  // with ElasticNet-shrunk weights the raw contributions span a narrow
+  // range, and the untempered softmax would wash the ranking out visually.
+  std::vector<double> standardized = exp.raw_contributions;
+  const double mean = common::mean(standardized);
+  const double spread = std::max(1e-9, common::stddev(standardized));
+  for (double& v : standardized) v = (v - mean) / spread;
+  const std::vector<double> sigma = common::softmax(standardized);
+  exp.concept_weights.assign(C, 0.0);
+  exp.signed_concept_contributions.assign(C, 0.0);
+  exp.dominant_levels.assign(C, 0);
+  for (std::size_t c = 0; c < C; ++c) {
+    std::size_t best_level = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      exp.concept_weights[c] += exp.output_probability * sigma[c * k + j];
+      exp.signed_concept_contributions[c] += exp.raw_contributions[c * k + j];
+      if (sigma[c * k + j] > sigma[c * k + best_level]) best_level = j;
+    }
+    // Collapse the k levels into thirds so the annotation reads the same for
+    // any quantizer resolution.
+    exp.dominant_levels[c] =
+        k > 1 ? (3 * best_level) / k : 2;
+  }
+  return exp;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Explanation::top_concepts(std::size_t k) const {
+  return common::top_k_indices(concept_weights, k);
+}
+
+std::string Explanation::format(std::size_t top_k) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "Explanation for output class " << output_class
+     << " (probability " << output_probability << ", surrogate argmax "
+     << predicted_class << ")\n";
+  const double max_weight = common::max_value(concept_weights);
+  for (std::size_t index : top_concepts(top_k)) {
+    const std::string name =
+        index < concept_names.size() ? concept_names[index] : "concept-" + std::to_string(index);
+    const char* level = "";
+    if (index < dominant_levels.size()) {
+      static const char* kLevelTags[] = {" (low/absent)", " (medium)", " (high)"};
+      level = kLevelTags[std::min<std::size_t>(dominant_levels[index], 2)];
+    }
+    os << "  " << common::format_double(concept_weights[index], 3) << "  "
+       << common::ascii_bar(concept_weights[index],
+                            max_weight > 0.0 ? max_weight : 1.0, 30)
+       << "  " << name << level << '\n';
+  }
+  return os.str();
+}
+
+Explanation explain_factual(AguaModel& model, const std::vector<double>& embedding) {
+  const std::size_t chosen = model.predict_class(embedding);
+  return explain_one(model, embedding, chosen);
+}
+
+Explanation explain_for_class(AguaModel& model, const std::vector<double>& embedding,
+                              std::size_t output_class) {
+  return explain_one(model, embedding, output_class);
+}
+
+Explanation explain_batched(AguaModel& model,
+                            const std::vector<std::vector<double>>& embeddings,
+                            std::size_t output_class) {
+  Explanation aggregate;
+  if (embeddings.empty()) return aggregate;
+  const bool factual = output_class == static_cast<std::size_t>(-1);
+  bool first = true;
+  for (const auto& embedding : embeddings) {
+    Explanation exp = factual ? explain_factual(model, embedding)
+                              : explain_for_class(model, embedding, output_class);
+    if (first) {
+      aggregate = exp;
+      first = false;
+      continue;
+    }
+    aggregate.output_probability += exp.output_probability;
+    for (std::size_t c = 0; c < aggregate.concept_weights.size(); ++c) {
+      aggregate.concept_weights[c] += exp.concept_weights[c];
+      aggregate.signed_concept_contributions[c] += exp.signed_concept_contributions[c];
+    }
+    for (std::size_t j = 0; j < aggregate.raw_contributions.size(); ++j) {
+      aggregate.raw_contributions[j] += exp.raw_contributions[j];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(embeddings.size());
+  aggregate.output_probability *= inv;
+  for (double& w : aggregate.concept_weights) w *= inv;
+  for (double& w : aggregate.signed_concept_contributions) w *= inv;
+  for (double& w : aggregate.raw_contributions) w *= inv;
+  // Re-derive dominant levels from the batch-averaged contributions.
+  const std::size_t C = model.num_concepts();
+  const std::size_t k = model.num_levels();
+  aggregate.dominant_levels.assign(C, 0);
+  for (std::size_t c = 0; c < C; ++c) {
+    std::size_t best_level = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (aggregate.raw_contributions[c * k + j] >
+          aggregate.raw_contributions[c * k + best_level]) {
+        best_level = j;
+      }
+    }
+    aggregate.dominant_levels[c] = k > 1 ? (3 * best_level) / k : 2;
+  }
+  return aggregate;
+}
+
+}  // namespace agua::core

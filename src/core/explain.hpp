@@ -1,0 +1,53 @@
+// Explanation generation (§3.5/§3.6): Hadamard decomposition of Ω's dot
+// product (eq. 8), softmax-normalized concept weights scaled by the
+// controller-output probability (eq. 9/10), with factual, counterfactual,
+// single-input and batched variants. No LLM is involved at explanation time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/surrogate.hpp"
+
+namespace agua::core {
+
+/// A concept-based explanation for one output class.
+struct Explanation {
+  std::size_t output_class = 0;      ///< class the explanation is for
+  std::size_t predicted_class = 0;   ///< surrogate argmax for this input
+  double output_probability = 0.0;   ///< surrogate probability of output_class
+  /// Per-concept normalized weights (eq. 9/10 aggregated over the k levels);
+  /// they sum to output_probability.
+  std::vector<double> concept_weights;
+  /// Raw signed contributions per (concept, level) before normalization
+  /// (the "stop before the L1 norm" view of eq. 8).
+  std::vector<double> raw_contributions;
+  /// Raw signed contributions aggregated per concept.
+  std::vector<double> signed_concept_contributions;
+  /// Per concept: the similarity level whose contribution dominates, mapped
+  /// to thirds of the level range (0 = low/absent, 1 = medium, 2 = high).
+  /// Lets explanations read "absence of X" vs "X present" (Fig. 4b/6a).
+  std::vector<std::size_t> dominant_levels;
+  std::vector<std::string> concept_names;
+
+  /// Indices of the top-k concepts by normalized weight.
+  std::vector<std::size_t> top_concepts(std::size_t k) const;
+
+  /// Render as sorted ASCII bars (Fig. 4/6 style).
+  std::string format(std::size_t top_k = 6) const;
+};
+
+/// Factual explanation: why the surrogate's chosen class was chosen (§3.6).
+Explanation explain_factual(AguaModel& model, const std::vector<double>& embedding);
+
+/// Explanation for an arbitrary class y'_i — the counterfactual query (§3.6).
+Explanation explain_for_class(AguaModel& model, const std::vector<double>& embedding,
+                              std::size_t output_class);
+
+/// Batched explanation: average concept contributions over a batch (§3.6).
+/// When `output_class` is npos, each input contributes its own factual class.
+Explanation explain_batched(AguaModel& model,
+                            const std::vector<std::vector<double>>& embeddings,
+                            std::size_t output_class = static_cast<std::size_t>(-1));
+
+}  // namespace agua::core

@@ -1,0 +1,75 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+
+namespace agua::core {
+namespace {
+
+constexpr std::uint32_t kModelVersion = 1;
+
+void save_concept_set(common::BinaryWriter& w, const concepts::ConceptSet& set) {
+  w.write_string(set.application());
+  w.write_u64(set.size());
+  for (const concepts::Concept& c : set.concepts()) {
+    w.write_string(c.name);
+    w.write_string(c.description);
+  }
+}
+
+std::optional<concepts::ConceptSet> load_concept_set(common::BinaryReader& r) {
+  const std::string application = r.read_string();
+  const std::uint64_t count = r.read_u64();
+  if (!r.ok() || count > 4096) return std::nullopt;
+  std::vector<concepts::Concept> list;
+  list.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    concepts::Concept c;
+    c.name = r.read_string();
+    c.description = r.read_string();
+    list.push_back(std::move(c));
+  }
+  if (!r.ok()) return std::nullopt;
+  return concepts::ConceptSet(application, std::move(list));
+}
+
+}  // namespace
+
+void save_model(common::BinaryWriter& w, AguaModel& model) {
+  common::write_archive_header(w, kModelVersion);
+  save_concept_set(w, model.concept_set());
+  model.concept_mapping().save(w);
+  model.output_mapping().save(w);
+}
+
+std::optional<AguaModel> load_model(common::BinaryReader& r) {
+  if (common::read_archive_header(r) != kModelVersion) return std::nullopt;
+  auto concept_set = load_concept_set(r);
+  if (!concept_set) return std::nullopt;
+  ConceptMapping concept_mapping = ConceptMapping::load(r);
+  OutputMapping output_mapping = OutputMapping::load(r);
+  if (!r.ok()) return std::nullopt;
+  // Structural consistency: C*k of δ must match Ω's input width.
+  if (concept_mapping.output_dim() != output_mapping.config().concept_dim ||
+      concept_mapping.config().num_concepts != concept_set->size()) {
+    return std::nullopt;
+  }
+  return AguaModel(std::move(*concept_set), std::move(concept_mapping),
+                   std::move(output_mapping));
+}
+
+bool save_model_file(const std::string& path, AguaModel& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  common::BinaryWriter w(out);
+  save_model(w, model);
+  return w.ok();
+}
+
+std::optional<AguaModel> load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  common::BinaryReader r(in);
+  return load_model(r);
+}
+
+}  // namespace agua::core

@@ -1,0 +1,27 @@
+// Checkpointing for trained Agua surrogates: save/load an AguaModel (its
+// concept set plus both mapping functions) to a binary archive or a file.
+// A deployment trains the surrogate once offline and serves explanations
+// from the checkpoint — explanation generation involves no LLM (§3.5), so a
+// loaded model is fully self-contained.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/serialize.hpp"
+#include "core/surrogate.hpp"
+
+namespace agua::core {
+
+/// Serialize a model (concept set + δθ + Ω) into an archive. Non-const
+/// because the mapping accessors are non-const; the model is not modified.
+void save_model(common::BinaryWriter& w, AguaModel& model);
+
+/// Read a model back; std::nullopt on version/magic mismatch or corruption.
+std::optional<AguaModel> load_model(common::BinaryReader& r);
+
+/// File-level wrappers. Return false / nullopt on I/O failure.
+bool save_model_file(const std::string& path, AguaModel& model);
+std::optional<AguaModel> load_model_file(const std::string& path);
+
+}  // namespace agua::core

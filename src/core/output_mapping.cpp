@@ -1,0 +1,93 @@
+#include "core/output_mapping.hpp"
+
+#include <algorithm>
+
+#include "nn/loss.hpp"
+#include "nn/optim.hpp"
+
+namespace agua::core {
+
+OutputMapping::OutputMapping(Config config, common::Rng& rng) : config_(config) {
+  layer_ = std::make_unique<nn::Linear>(config_.concept_dim, config_.num_outputs, rng);
+}
+
+double OutputMapping::train(const nn::Matrix& concept_probs, const nn::Matrix& target_probs,
+                            common::Rng& rng) {
+  nn::SgdOptimizer::Options opt;
+  opt.learning_rate = config_.learning_rate;
+  opt.momentum = 0.0;
+  opt.gradient_clip = 5.0;
+  nn::SgdOptimizer optimizer(layer_->parameters(), opt);
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto order = rng.permutation(concept_probs.rows());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config_.batch_size);
+      std::vector<std::size_t> batch_indices(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                             order.begin() + static_cast<std::ptrdiff_t>(end));
+      const nn::Matrix batch = concept_probs.gather_rows(batch_indices);
+      const nn::Matrix targets = target_probs.gather_rows(batch_indices);
+      optimizer.zero_grad();
+      const nn::Matrix out = layer_->forward(batch);
+      nn::Matrix grad;
+      epoch_loss += nn::soft_cross_entropy_loss(out, targets, grad);
+      layer_->backward(grad);
+      nn::apply_elastic_net(layer_->parameters(), config_.elastic_alpha,
+                            config_.elastic_coef);
+      optimizer.step();
+      ++batches;
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+std::vector<double> OutputMapping::logits(const std::vector<double>& concept_probs) {
+  return layer_->forward(nn::Matrix::row_vector(concept_probs)).row(0);
+}
+
+nn::Matrix OutputMapping::logits_batch(const nn::Matrix& concept_probs) {
+  return layer_->forward(concept_probs);
+}
+
+std::vector<double> OutputMapping::class_weights(std::size_t output_class) const {
+  // Linear stores W as (in x out); class i's weights are column i.
+  const nn::Matrix& weights = layer_->weight().value;
+  std::vector<double> out(weights.rows());
+  for (std::size_t r = 0; r < weights.rows(); ++r) out[r] = weights.at(r, output_class);
+  return out;
+}
+
+double OutputMapping::class_bias(std::size_t output_class) const {
+  return layer_->bias().value.at(0, output_class);
+}
+
+void OutputMapping::save(common::BinaryWriter& w) const {
+  w.write_u64(config_.concept_dim);
+  w.write_u64(config_.num_outputs);
+  w.write_double(config_.elastic_alpha);
+  layer_->save(w);
+}
+
+OutputMapping OutputMapping::load(common::BinaryReader& r) {
+  Config config;
+  config.concept_dim = r.read_u64();
+  config.num_outputs = r.read_u64();
+  config.elastic_alpha = r.read_double();
+  common::Rng scratch(0);  // weights are overwritten by load below
+  OutputMapping mapping(config, scratch);
+  mapping.layer_->load(r);
+  return mapping;
+}
+
+double OutputMapping::elastic_penalty() const {
+  return nn::elastic_net_penalty(
+      {const_cast<nn::Parameter*>(&layer_->weight()),
+       const_cast<nn::Parameter*>(&layer_->bias())},
+      config_.elastic_alpha);
+}
+
+}  // namespace agua::core

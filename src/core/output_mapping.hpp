@@ -1,0 +1,62 @@
+// Step ⑤ of Fig. 2: the output mapping function Ω (eq. 5) — a single linear
+// layer from the concept space back to the controller's output space, trained
+// with mini-batch SGD against the controller's output distribution and
+// ElasticNet-regularized (eq. 6) with the paper's hyperparameters
+// (batch 200, lr 0.075, 500 epochs, α 0.95, coefficient 1e-5).
+//
+// Ω is the self-interpretable point of explanation: its weight matrix W is
+// what explanations decompose (eq. 7/8).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace agua::core {
+
+class OutputMapping {
+ public:
+  struct Config {
+    std::size_t concept_dim = 0;  ///< C*k
+    std::size_t num_outputs = 0;  ///< n
+    // Paper §4 training parameters.
+    std::size_t epochs = 500;
+    std::size_t batch_size = 200;
+    double learning_rate = 0.075;
+    double elastic_alpha = 0.95;
+    double elastic_coef = 1e-5;
+  };
+
+  OutputMapping(Config config, common::Rng& rng);
+
+  /// Train against the controller's output distributions (soft targets),
+  /// minimizing cross-entropy + ElasticNet. Returns the final epoch loss.
+  double train(const nn::Matrix& concept_probs, const nn::Matrix& target_probs,
+               common::Rng& rng);
+
+  /// Ω(z): raw logits over the n output classes.
+  std::vector<double> logits(const std::vector<double>& concept_probs);
+  nn::Matrix logits_batch(const nn::Matrix& concept_probs);
+
+  /// Row i of W (weights of output class i over the C*k concept space).
+  std::vector<double> class_weights(std::size_t output_class) const;
+  double class_bias(std::size_t output_class) const;
+
+  const Config& config() const { return config_; }
+
+  /// The ElasticNet penalty of the current weights (monitoring / tests).
+  double elastic_penalty() const;
+
+  void save(common::BinaryWriter& w) const;
+  static OutputMapping load(common::BinaryReader& r);
+
+ private:
+  Config config_;
+  std::unique_ptr<nn::Linear> layer_;
+};
+
+}  // namespace agua::core

@@ -1,0 +1,43 @@
+#include "core/surrogate.hpp"
+
+#include "common/stats.hpp"
+
+namespace agua::core {
+
+AguaModel::AguaModel(concepts::ConceptSet concept_set, ConceptMapping concept_mapping,
+                     OutputMapping output_mapping)
+    : concepts_(std::move(concept_set)),
+      concept_mapping_(std::move(concept_mapping)),
+      output_mapping_(std::move(output_mapping)) {}
+
+std::vector<double> AguaModel::logits(const std::vector<double>& embedding) {
+  return output_mapping_.logits(concept_mapping_.concept_probs(embedding));
+}
+
+std::vector<double> AguaModel::output_probs(const std::vector<double>& embedding) {
+  return common::softmax(logits(embedding));
+}
+
+std::size_t AguaModel::predict_class(const std::vector<double>& embedding) {
+  return common::argmax(logits(embedding));
+}
+
+double fidelity(AguaModel& model, const Dataset& dataset) {
+  if (dataset.empty()) return 0.0;
+  std::size_t matches = 0;
+  for (const Sample& sample : dataset.samples) {
+    if (model.predict_class(sample.embedding) == sample.output_class) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(dataset.size());
+}
+
+double match_rate(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(a.size());
+}
+
+}  // namespace agua::core

@@ -1,0 +1,87 @@
+#include "core/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace agua::core {
+
+std::string DescriberValidation::format() const {
+  std::ostringstream os;
+  os << "Describer validation: " << (passed ? "PASSED" : "FAILED") << " ("
+     << inputs_checked << " inputs";
+  if (!issues.empty()) os << ", " << issues.size() << " issue(s)";
+  os << ")\n";
+  for (const Issue& issue : issues) {
+    os << "  [" << issue.check << "] " << issue.detail << '\n';
+  }
+  return os.str();
+}
+
+DescriberValidation validate_describer(const DescribeFn& describe,
+                                       const Dataset& dataset,
+                                       const concepts::ConceptSet& concept_set,
+                                       const ValidationOptions& options) {
+  DescriberValidation result;
+  auto fail = [&](std::string check, std::string detail) {
+    result.passed = false;
+    result.issues.push_back({std::move(check), std::move(detail)});
+  };
+
+  const std::size_t limit =
+      options.max_inputs == 0 ? dataset.size()
+                              : std::min(options.max_inputs, dataset.size());
+  std::unordered_set<std::string> distinct;
+  const text::DescriberOptions deterministic;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& input = dataset.samples[i].input;
+    const std::string description = describe(input, deterministic);
+    ++result.inputs_checked;
+
+    if (description.empty()) {
+      fail("non-empty", "input " + std::to_string(i) + " produced empty text");
+      continue;
+    }
+    for (const std::string& section : options.required_sections) {
+      if (description.find(section) == std::string::npos) {
+        fail("sections", "input " + std::to_string(i) + " missing '" + section + "'");
+      }
+    }
+    if (description.find("key concept") == std::string::npos) {
+      fail("concept-correlation",
+           "input " + std::to_string(i) + " has no concept correlation sentence");
+    } else {
+      // At least one base concept must be named.
+      bool mentions_any = false;
+      for (const auto& name : concept_set.names()) {
+        if (description.find(name) != std::string::npos) {
+          mentions_any = true;
+          break;
+        }
+      }
+      if (!mentions_any) {
+        fail("concept-mention",
+             "input " + std::to_string(i) + " names no base concept");
+      }
+    }
+    if (describe(input, deterministic) != description) {
+      fail("determinism",
+           "input " + std::to_string(i) + " differs across temperature-0 calls");
+    }
+    distinct.insert(description);
+  }
+
+  if (result.inputs_checked > 1) {
+    const double fraction = static_cast<double>(distinct.size()) /
+                            static_cast<double>(result.inputs_checked);
+    if (fraction < options.min_distinct_fraction) {
+      fail("sensitivity",
+           "only " + std::to_string(distinct.size()) + " distinct descriptions for " +
+               std::to_string(result.inputs_checked) +
+               " inputs (describer may be input-insensitive)");
+    }
+  }
+  return result;
+}
+
+}  // namespace agua::core

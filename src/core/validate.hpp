@@ -1,0 +1,52 @@
+// Describer validation (§6 "LLM Reliability"): the paper notes that a
+// consistently misbehaving LLM corrupts Agua's training data, and that
+// "standard checks or validation to confirm the behavior of the LLM can
+// prove vital". This harness runs those checks against a DescribeFn before
+// training: structural conformance to the template, determinism at zero
+// temperature, concept-mention hygiene, and sensitivity (different inputs
+// should not all produce the same text).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "concepts/concept_set.hpp"
+#include "core/pipeline.hpp"
+
+namespace agua::core {
+
+struct DescriberValidation {
+  /// One failed expectation, human readable.
+  struct Issue {
+    std::string check;
+    std::string detail;
+  };
+
+  bool passed = true;
+  std::size_t inputs_checked = 0;
+  std::vector<Issue> issues;
+
+  std::string format() const;
+};
+
+struct ValidationOptions {
+  /// Template section headers every description must contain.
+  std::vector<std::string> required_sections;
+  /// Minimum fraction of distinct descriptions across distinct inputs.
+  double min_distinct_fraction = 0.5;
+  /// Maximum inputs to check (0 = all).
+  std::size_t max_inputs = 64;
+};
+
+/// Run the checks over the dataset's inputs. Checks:
+///  1. non-empty output for every input,
+///  2. every required section header present,
+///  3. deterministic at temperature 0 (two calls agree),
+///  4. the concept-correlation sentence is present,
+///  5. distinct inputs yield mostly distinct descriptions.
+DescriberValidation validate_describer(const DescribeFn& describe,
+                                       const Dataset& dataset,
+                                       const concepts::ConceptSet& concept_set,
+                                       const ValidationOptions& options);
+
+}  // namespace agua::core

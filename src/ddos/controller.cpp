@@ -1,0 +1,62 @@
+#include "ddos/controller.hpp"
+
+namespace agua::ddos {
+namespace {
+
+nn::PolicyNetwork make_network(std::uint64_t seed, std::size_t hidden_dim,
+                               std::size_t embed_dim) {
+  nn::PolicyNetwork::Config cfg;
+  cfg.input_dim = kFeatureDim;
+  cfg.hidden_dim = hidden_dim;
+  cfg.embed_dim = embed_dim;
+  cfg.num_outputs = DdosController::kClasses;
+  cfg.input_scales = feature_scales();
+  common::Rng rng(seed);
+  return nn::PolicyNetwork(cfg, rng);
+}
+
+}  // namespace
+
+DdosController::DdosController(std::uint64_t seed, std::size_t hidden_dim,
+                               std::size_t embed_dim)
+    : network_(make_network(seed, hidden_dim, embed_dim)) {}
+
+double train_supervised(DdosController& controller, const std::vector<Flow>& flows,
+                        std::size_t epochs, double learning_rate, common::Rng& rng) {
+  std::vector<std::vector<double>> features;
+  std::vector<std::size_t> labels;
+  features.reserve(flows.size());
+  labels.reserve(flows.size());
+  for (const Flow& flow : flows) {
+    features.push_back(extract_features(flow));
+    labels.push_back(flow.attack() ? kAttackClass : kBenignClass);
+  }
+  nn::SgdOptimizer::Options opt;
+  opt.learning_rate = learning_rate;
+  opt.momentum = 0.9;
+  opt.gradient_clip = 5.0;
+  nn::SgdOptimizer optimizer(controller.network().parameters(), opt);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    controller.network().train_supervised_epoch(features, labels, /*batch_size=*/32,
+                                                optimizer, rng);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (controller.classify(features[i]) == labels[i]) ++correct;
+  }
+  return features.empty() ? 0.0
+                          : static_cast<double>(correct) / static_cast<double>(features.size());
+}
+
+double evaluate_accuracy(DdosController& controller, const std::vector<Flow>& flows) {
+  if (flows.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const Flow& flow : flows) {
+    const std::size_t predicted = controller.classify(extract_features(flow));
+    const std::size_t truth = flow.attack() ? kAttackClass : kBenignClass;
+    if (predicted == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(flows.size());
+}
+
+}  // namespace agua::ddos

@@ -1,0 +1,47 @@
+// The LUCID-like supervised DDoS detector: a PolicyNetwork over the
+// kFeatureDim flow features with a binary (benign / DDoS) head, trained with
+// mini-batch cross-entropy on labelled flows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddos/features.hpp"
+#include "nn/policy.hpp"
+
+namespace agua::ddos {
+
+inline constexpr std::size_t kBenignClass = 0;
+inline constexpr std::size_t kAttackClass = 1;
+
+class DdosController {
+ public:
+  static constexpr std::size_t kClasses = 2;
+
+  explicit DdosController(std::uint64_t seed, std::size_t hidden_dim = 48,
+                          std::size_t embed_dim = 24);
+
+  std::vector<double> embedding(const std::vector<double>& features) {
+    return network_.embedding(features);
+  }
+  std::vector<double> output_probs(const std::vector<double>& features) {
+    return network_.output_probs(features);
+  }
+  std::size_t classify(const std::vector<double>& features) {
+    return network_.greedy_action(features);
+  }
+
+  nn::PolicyNetwork& network() { return network_; }
+
+ private:
+  nn::PolicyNetwork network_;
+};
+
+/// Train on labelled flows; returns the final training accuracy.
+double train_supervised(DdosController& controller, const std::vector<Flow>& flows,
+                        std::size_t epochs, double learning_rate, common::Rng& rng);
+
+/// Classification accuracy against ground-truth labels.
+double evaluate_accuracy(DdosController& controller, const std::vector<Flow>& flows);
+
+}  // namespace agua::ddos

@@ -1,0 +1,131 @@
+#include "ddos/describe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+
+namespace agua::ddos {
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+std::vector<double> per_packet(const std::vector<double>& features, std::size_t field) {
+  std::vector<double> out;
+  out.reserve(kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    out.push_back(features[i * kPerPacketFields + field]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DdosDescriber::DdosDescriber() : concepts_(concepts::ddos_concepts()) {}
+
+DdosDescriber::DdosDescriber(concepts::ConceptSet concept_set)
+    : concepts_(std::move(concept_set)) {}
+
+std::vector<std::pair<std::string, double>> DdosDescriber::detect_concepts(
+    const std::vector<double>& f) const {
+  const double rate = f[DdosLayout::kPacketRate];
+  const double syn_ratio = f[DdosLayout::kSynRatio];
+  const double ack_ratio = f[DdosLayout::kAckRatio];
+  const double payload_ratio = f[DdosLayout::kPayloadRatio];
+  const double iat_cv = f[DdosLayout::kIatCv];
+  const double udp_ratio = f[DdosLayout::kUdpRatio];
+  const auto sizes = per_packet(f, 1);
+  const auto iats = per_packet(f, 0);
+  const double size_cv = common::mean(sizes) > 1e-6
+                             ? common::stddev(sizes) / common::mean(sizes)
+                             : 0.0;
+  const double iat_mean = common::mean(iats);
+
+  const double high_rate = clamp01((rate - 500.0) / 3000.0);
+  const double machine_regular = clamp01((0.45 - iat_cv) * 2.2) * clamp01(rate / 400.0);
+
+  std::vector<std::pair<std::string, double>> scores;
+  auto add = [&](const char* name, double score) {
+    if (concepts_.index_of(name) != static_cast<std::size_t>(-1)) {
+      scores.emplace_back(name, clamp01(score));
+    }
+  };
+
+  add("Geographical and Temporal Consistency",
+      0.5 * clamp01(1.0 - high_rate) + 0.3 * clamp01(iat_cv) - udp_ratio * 0.3);
+  add("Typical Application Behavior",
+      0.45 * ack_ratio + 0.35 * clamp01(payload_ratio * 1.6) +
+          0.3 * clamp01(1.0 - high_rate) - syn_ratio * 0.5);
+  add("Low-and-Slow Attack Indicators",
+      clamp01((iat_mean - 1000.0) / 3000.0) *
+          (payload_ratio < 0.35 && payload_ratio > 0.0 ? 1.0 : 0.4));
+  add("High Request Rates", high_rate);
+  add("Geographic Irregularities", 0.6 * high_rate + 0.3 * udp_ratio);
+  add("Protocol Anomalies",
+      clamp01(syn_ratio * 1.3 - ack_ratio) + udp_ratio * 0.5);
+  add("Repeated Access Requests",
+      clamp01((0.15 - size_cv) * 3.5) * clamp01(rate / 300.0));
+  add("Behavioral Anomalies", machine_regular);
+  add("Payload Anomalies",
+      clamp01((0.12 - payload_ratio) * 5.0) * clamp01(rate / 300.0) +
+          (udp_ratio > 0.5 && payload_ratio > 0.9 ? 0.6 : 0.0));
+  add("Protocol Compliance",
+      0.5 * ack_ratio + 0.4 * clamp01(1.0 - syn_ratio * 2.0) - udp_ratio * 0.4);
+  for (const auto& c : concepts_.concepts()) {
+    bool present = false;
+    for (const auto& [name, score] : scores) {
+      if (name == c.name) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) scores.emplace_back(c.name, 0.0);
+  }
+  return scores;
+}
+
+std::string DdosDescriber::describe(const std::vector<double>& features) const {
+  return describe(features, text::DescriberOptions{});
+}
+
+std::string DdosDescriber::describe(const std::vector<double>& features,
+                                    const text::DescriberOptions& options) const {
+  std::ostringstream os;
+  os << text::describe_group("Packet timing",
+                             {{"Inter-arrival Time", per_packet(features, 0), 1000.0}},
+                             options)
+     << '\n';
+  os << text::describe_group("Packet sizes and volume",
+                             {{"Packet Size", per_packet(features, 1), 1500.0}}, options)
+     << '\n';
+  os << text::describe_group("Protocol flags",
+                             {{"SYN Flag", per_packet(features, 3), 1.0},
+                              {"ACK Flag", per_packet(features, 4), 1.0}},
+                             options)
+     << '\n';
+  os << text::describe_group("Payload characteristics",
+                             {{"Payload Ratio", per_packet(features, 2), 1.0}}, options)
+     << '\n';
+  auto detected = detect_concepts(features);
+  std::stable_sort(detected.begin(), detected.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> mentioned;
+  for (const auto& [name, score] : detected) {
+    if (score > 0.2 && mentioned.size() < 4) {
+      // Echo the concept's own phrasing (the concepts sit in the LLM prompt).
+      const std::size_t index = concepts_.index_of(name);
+      const std::string& description = concepts_.at(index).description;
+      // A human annotator names the concept with a short gloss; the LLM
+      // echoes the full first clause of the prompt's concept description.
+      const std::string clause = description.substr(0, description.find(','));
+      const std::string gloss = clause.substr(0, clause.find(' ', 24));
+      mentioned.push_back(name + " (" + (options.human_style ? gloss : clause) + ")");
+    }
+  }
+  if (mentioned.empty() && !detected.empty()) mentioned.push_back(detected.front().first);
+  os << text::concept_correlation_summary(mentioned, options);
+  return os.str();
+}
+
+}  // namespace agua::ddos

@@ -1,0 +1,34 @@
+// Stage ② of Fig. 2 for DDoS detection: renders the LUCID feature window into
+// a structured description with rule-based correlations over the Table 1c
+// concepts.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "concepts/concept_set.hpp"
+#include "ddos/features.hpp"
+#include "text/describer.hpp"
+
+namespace agua::ddos {
+
+class DdosDescriber {
+ public:
+  DdosDescriber();
+  explicit DdosDescriber(concepts::ConceptSet concept_set);
+
+  std::string describe(const std::vector<double>& features) const;
+  std::string describe(const std::vector<double>& features,
+                       const text::DescriberOptions& options) const;
+
+  std::vector<std::pair<std::string, double>> detect_concepts(
+      const std::vector<double>& features) const;
+
+  const concepts::ConceptSet& concept_set() const { return concepts_; }
+
+ private:
+  concepts::ConceptSet concepts_;
+};
+
+}  // namespace agua::ddos

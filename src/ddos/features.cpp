@@ -1,0 +1,97 @@
+#include "ddos/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace agua::ddos {
+
+std::vector<double> extract_features(const Flow& flow) {
+  std::vector<double> features(kFeatureDim, 0.0);
+  const std::size_t n = std::min(kWindow, flow.packets.size());
+  std::vector<double> iats;
+  std::vector<double> sizes;
+  double syn = 0.0;
+  double ack = 0.0;
+  double udp = 0.0;
+  double payload_ratio_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Packet& p = flow.packets[i];
+    const std::size_t base = i * kPerPacketFields;
+    features[base + 0] = p.iat_ms;
+    features[base + 1] = p.size_bytes;
+    features[base + 2] = p.size_bytes > 0.0 ? p.payload_bytes / p.size_bytes : 0.0;
+    features[base + 3] = p.syn ? 1.0 : 0.0;
+    features[base + 4] = p.ack ? 1.0 : 0.0;
+    features[base + 5] = p.inbound ? 1.0 : 0.0;
+    iats.push_back(p.iat_ms);
+    sizes.push_back(p.size_bytes);
+    syn += p.syn ? 1.0 : 0.0;
+    ack += p.ack ? 1.0 : 0.0;
+    udp += p.is_udp ? 1.0 : 0.0;
+    payload_ratio_sum += features[base + 2];
+  }
+  if (n == 0) return features;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double iat_mean = common::mean(iats);
+  const double duration_ms = std::max(0.1, iat_mean * static_cast<double>(n));
+  features[DdosLayout::kPacketRate] =
+      std::min(20000.0, static_cast<double>(n) / (duration_ms / 1000.0));
+  features[DdosLayout::kMeanSize] = common::mean(sizes);
+  features[DdosLayout::kSynRatio] = syn * inv_n;
+  features[DdosLayout::kAckRatio] = ack * inv_n;
+  features[DdosLayout::kPayloadRatio] = payload_ratio_sum * inv_n;
+  features[DdosLayout::kIatStd] = common::stddev(iats);
+  features[DdosLayout::kIatCv] =
+      iat_mean > 1e-6 ? common::stddev(iats) / iat_mean : 0.0;
+  features[DdosLayout::kUdpRatio] = udp * inv_n;
+  return features;
+}
+
+std::vector<std::string> feature_names() {
+  std::vector<std::string> names;
+  names.reserve(kFeatureDim);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    const std::string p = "pkt" + std::to_string(i) + " ";
+    names.push_back(p + "iat");
+    names.push_back(p + "size");
+    names.push_back(p + "payload ratio");
+    names.push_back(p + "syn");
+    names.push_back(p + "ack");
+    names.push_back(p + "inbound");
+  }
+  names.push_back("packet rate");
+  names.push_back("mean size");
+  names.push_back("syn ratio");
+  names.push_back("ack ratio");
+  names.push_back("payload ratio");
+  names.push_back("iat std");
+  names.push_back("iat cv");
+  names.push_back("udp ratio");
+  return names;
+}
+
+std::vector<double> feature_scales() {
+  std::vector<double> scales;
+  scales.reserve(kFeatureDim);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    scales.push_back(1000.0);  // iat ms
+    scales.push_back(1500.0);  // size
+    scales.push_back(1.0);     // payload ratio
+    scales.push_back(1.0);     // syn
+    scales.push_back(1.0);     // ack
+    scales.push_back(1.0);     // inbound
+  }
+  scales.push_back(10000.0);  // packet rate
+  scales.push_back(1500.0);   // mean size
+  scales.push_back(1.0);      // syn ratio
+  scales.push_back(1.0);      // ack ratio
+  scales.push_back(1.0);      // payload ratio
+  scales.push_back(1000.0);   // iat std
+  scales.push_back(3.0);      // iat cv
+  scales.push_back(1.0);      // udp ratio
+  return scales;
+}
+
+}  // namespace agua::ddos

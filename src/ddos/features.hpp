@@ -1,0 +1,38 @@
+// LUCID-style feature extraction: a fixed window of the first kWindow packets
+// of a flow, with per-packet fields plus flow-level aggregates. This is the
+// controller input x; feature names/scales feed Trustee, the describer, and
+// the noise experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ddos/flows.hpp"
+
+namespace agua::ddos {
+
+inline constexpr std::size_t kWindow = 10;
+inline constexpr std::size_t kPerPacketFields = 6;
+inline constexpr std::size_t kAggregateFields = 8;
+inline constexpr std::size_t kFeatureDim = kWindow * kPerPacketFields + kAggregateFields;
+
+/// Aggregate feature offsets (after the per-packet block).
+struct DdosLayout {
+  static constexpr std::size_t kAggBase = kWindow * kPerPacketFields;
+  static constexpr std::size_t kPacketRate = kAggBase + 0;      // packets/s
+  static constexpr std::size_t kMeanSize = kAggBase + 1;        // bytes
+  static constexpr std::size_t kSynRatio = kAggBase + 2;
+  static constexpr std::size_t kAckRatio = kAggBase + 3;
+  static constexpr std::size_t kPayloadRatio = kAggBase + 4;    // payload/size mean
+  static constexpr std::size_t kIatStd = kAggBase + 5;          // ms
+  static constexpr std::size_t kIatCv = kAggBase + 6;           // std/mean
+  static constexpr std::size_t kUdpRatio = kAggBase + 7;
+};
+
+/// Extract the kFeatureDim feature vector from a flow.
+std::vector<double> extract_features(const Flow& flow);
+
+std::vector<std::string> feature_names();
+std::vector<double> feature_scales();
+
+}  // namespace agua::ddos

@@ -1,0 +1,168 @@
+#include "ddos/flows.hpp"
+
+#include <algorithm>
+
+namespace agua::ddos {
+
+const char* flow_type_name(FlowType type) {
+  switch (type) {
+    case FlowType::kBenignWeb:
+      return "benign-web";
+    case FlowType::kBenignStreaming:
+      return "benign-streaming";
+    case FlowType::kSynFlood:
+      return "syn-flood";
+    case FlowType::kUdpFlood:
+      return "udp-flood";
+    case FlowType::kLowAndSlow:
+      return "low-and-slow";
+  }
+  return "unknown";
+}
+
+bool is_attack(FlowType type) {
+  return type == FlowType::kSynFlood || type == FlowType::kUdpFlood ||
+         type == FlowType::kLowAndSlow;
+}
+
+namespace {
+
+Flow benign_web(common::Rng& rng) {
+  Flow flow;
+  flow.type = FlowType::kBenignWeb;
+  // TCP handshake.
+  flow.packets.push_back({0.0, 60.0, 0.0, true, false, false, false, true});
+  flow.packets.push_back({rng.uniform(5.0, 40.0), 60.0, 0.0, true, true, false, false, false});
+  flow.packets.push_back({rng.uniform(1.0, 10.0), 54.0, 0.0, false, true, false, false, true});
+  // Request/response exchanges.
+  const int exchanges = rng.uniform_int(3, 10);
+  for (int e = 0; e < exchanges; ++e) {
+    const double think = rng.uniform(20.0, 400.0);
+    const double request_size = rng.uniform(300.0, 800.0);
+    flow.packets.push_back({think, request_size, request_size - 54.0, false, true,
+                            false, false, true});
+    const int response_packets = rng.uniform_int(1, 4);
+    for (int p = 0; p < response_packets; ++p) {
+      flow.packets.push_back({rng.uniform(2.0, 30.0), 1460.0,
+                              rng.uniform(1200.0, 1400.0), false, true, false, false,
+                              false});
+      flow.packets.push_back({rng.uniform(0.5, 5.0), 54.0, 0.0, false, true, false, false,
+                              true});
+    }
+  }
+  // Graceful close.
+  flow.packets.push_back({rng.uniform(10.0, 100.0), 54.0, 0.0, false, true, true, false, true});
+  return flow;
+}
+
+Flow benign_streaming(common::Rng& rng) {
+  Flow flow;
+  flow.type = FlowType::kBenignStreaming;
+  flow.packets.push_back({0.0, 60.0, 0.0, true, false, false, false, true});
+  flow.packets.push_back({rng.uniform(5.0, 30.0), 60.0, 0.0, true, true, false, false, false});
+  flow.packets.push_back({rng.uniform(1.0, 5.0), 54.0, 0.0, false, true, false, false, true});
+  const int segments = rng.uniform_int(15, 40);
+  for (int s = 0; s < segments; ++s) {
+    flow.packets.push_back({rng.uniform(8.0, 40.0), 1460.0,
+                            rng.uniform(1300.0, 1420.0), false, true, false, false, false});
+    if (s % 3 == 0) {
+      flow.packets.push_back({rng.uniform(0.5, 3.0), 54.0, 0.0, false, true, false, false,
+                              true});
+    }
+  }
+  return flow;
+}
+
+Flow syn_flood(common::Rng& rng) {
+  Flow flow;
+  flow.type = FlowType::kSynFlood;
+  const int packets = rng.uniform_int(30, 60);
+  for (int p = 0; p < packets; ++p) {
+    // Machine-regular sub-millisecond arrivals, bare SYNs, no payload, and
+    // never an ACK of the server's SYN/ACK.
+    flow.packets.push_back({p == 0 ? 0.0 : rng.uniform(0.05, 1.5), 60.0, 0.0, true, false,
+                            false, false, true});
+  }
+  return flow;
+}
+
+Flow udp_flood(common::Rng& rng) {
+  Flow flow;
+  flow.type = FlowType::kUdpFlood;
+  const int packets = rng.uniform_int(30, 60);
+  const double padded = rng.uniform(1200.0, 1460.0);
+  for (int p = 0; p < packets; ++p) {
+    Packet pkt;
+    pkt.iat_ms = p == 0 ? 0.0 : rng.uniform(0.02, 0.8);
+    pkt.size_bytes = padded;
+    // Padded constant garbage payload.
+    pkt.payload_bytes = padded - 42.0;
+    pkt.is_udp = true;
+    pkt.inbound = true;
+    flow.packets.push_back(pkt);
+  }
+  return flow;
+}
+
+Flow low_and_slow(common::Rng& rng) {
+  Flow flow;
+  flow.type = FlowType::kLowAndSlow;
+  flow.packets.push_back({0.0, 60.0, 0.0, true, false, false, false, true});
+  flow.packets.push_back({rng.uniform(5.0, 30.0), 60.0, 0.0, true, true, false, false, false});
+  flow.packets.push_back({rng.uniform(1.0, 5.0), 54.0, 0.0, false, true, false, false, true});
+  const int trickles = rng.uniform_int(15, 40);
+  for (int t = 0; t < trickles; ++t) {
+    // A few bytes of a never-completed request every several seconds.
+    flow.packets.push_back({rng.uniform(2000.0, 8000.0), 60.0, rng.uniform(2.0, 20.0),
+                            false, true, false, false, true});
+  }
+  return flow;
+}
+
+}  // namespace
+
+Flow generate_flow(FlowType type, common::Rng& rng) {
+  switch (type) {
+    case FlowType::kBenignWeb:
+      return benign_web(rng);
+    case FlowType::kBenignStreaming:
+      return benign_streaming(rng);
+    case FlowType::kSynFlood:
+      return syn_flood(rng);
+    case FlowType::kUdpFlood:
+      return udp_flood(rng);
+    case FlowType::kLowAndSlow:
+      return low_and_slow(rng);
+  }
+  return benign_web(rng);
+}
+
+std::vector<Flow> generate_dataset(std::size_t count, double attack_fraction,
+                                   common::Rng& rng) {
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  const auto attacks = static_cast<std::size_t>(attack_fraction * static_cast<double>(count));
+  constexpr FlowType kAttackTypes[] = {FlowType::kSynFlood, FlowType::kUdpFlood,
+                                       FlowType::kLowAndSlow};
+  constexpr FlowType kBenignTypes[] = {FlowType::kBenignWeb, FlowType::kBenignStreaming};
+  for (std::size_t i = 0; i < attacks; ++i) {
+    flows.push_back(generate_flow(kAttackTypes[i % 3], rng));
+  }
+  for (std::size_t i = attacks; i < count; ++i) {
+    flows.push_back(generate_flow(kBenignTypes[i % 2], rng));
+  }
+  const auto order = rng.permutation(flows.size());
+  std::vector<Flow> shuffled;
+  shuffled.reserve(flows.size());
+  for (std::size_t i : order) shuffled.push_back(std::move(flows[i]));
+  return shuffled;
+}
+
+std::vector<Flow> generate_flows(FlowType type, std::size_t count, common::Rng& rng) {
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) flows.push_back(generate_flow(type, rng));
+  return flows;
+}
+
+}  // namespace agua::ddos

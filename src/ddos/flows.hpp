@@ -1,0 +1,58 @@
+// Synthetic packet-flow generator standing in for the CIC-DDoS2019 capture
+// (DESIGN.md substitution table). Generates benign application flows and the
+// attack classes LUCID is evaluated on, with the statistical signatures the
+// detector keys on: SYN-without-handshake floods, payload-less high-rate
+// packets, machine-regular inter-arrival times, and low-and-slow trickles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agua::ddos {
+
+enum class FlowType {
+  kBenignWeb,        ///< normal HTTP request/response exchange
+  kBenignStreaming,  ///< media session: steady inbound data + outbound acks
+  kSynFlood,         ///< TCP SYN flood (no handshake completion)
+  kUdpFlood,         ///< volumetric UDP flood with padded payloads
+  kLowAndSlow,       ///< slowloris-style resource exhaustion
+};
+
+const char* flow_type_name(FlowType type);
+bool is_attack(FlowType type);
+
+/// One packet as seen at the victim's vantage point.
+struct Packet {
+  double iat_ms = 0.0;        ///< inter-arrival time since previous packet
+  double size_bytes = 0.0;    ///< on-wire size
+  double payload_bytes = 0.0; ///< application payload carried
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool is_udp = false;
+  bool inbound = true;        ///< toward the protected service
+};
+
+/// A labelled flow.
+struct Flow {
+  FlowType type = FlowType::kBenignWeb;
+  std::vector<Packet> packets;
+
+  bool attack() const { return is_attack(type); }
+};
+
+/// Generate one flow of the given type (20-60 packets).
+Flow generate_flow(FlowType type, common::Rng& rng);
+
+/// Generate a labelled dataset with the given attack fraction; attack flows
+/// cycle through the attack classes. Order is shuffled.
+std::vector<Flow> generate_dataset(std::size_t count, double attack_fraction,
+                                   common::Rng& rng);
+
+/// Generate a batch of one specific type (for the Fig. 6 explanations).
+std::vector<Flow> generate_flows(FlowType type, std::size_t count, common::Rng& rng);
+
+}  // namespace agua::ddos

@@ -1,0 +1,114 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace agua::nn {
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+double cross_entropy_loss(const Matrix& logits, const std::vector<std::size_t>& targets,
+                          Matrix& grad_logits) {
+  assert(logits.rows() == targets.size());
+  const Matrix probs = row_softmax(logits);
+  grad_logits = probs;
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const std::size_t t = targets[r];
+    loss -= std::log(probs.at(r, t) + kEps);
+    grad_logits.at(r, t) -= 1.0;
+  }
+  grad_logits.scale(inv_batch);
+  return loss * inv_batch;
+}
+
+double multilabel_concept_loss(const Matrix& logits,
+                               const std::vector<std::vector<std::size_t>>& targets,
+                               std::size_t num_concepts, std::size_t num_levels,
+                               Matrix& grad_logits) {
+  assert(logits.cols() == num_concepts * num_levels);
+  assert(logits.rows() == targets.size());
+  grad_logits = Matrix(logits.rows(), logits.cols());
+  const double inv_norm = 1.0 / (static_cast<double>(logits.rows()) *
+                                 static_cast<double>(num_concepts));
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const double* in = logits.row_data(r);
+    double* g = grad_logits.row_data(r);
+    for (std::size_t c = 0; c < num_concepts; ++c) {
+      const std::size_t base = c * num_levels;
+      // Per-concept softmax over its k similarity levels.
+      double m = in[base];
+      for (std::size_t j = 1; j < num_levels; ++j) m = std::max(m, in[base + j]);
+      double total = 0.0;
+      for (std::size_t j = 0; j < num_levels; ++j) total += std::exp(in[base + j] - m);
+      const std::size_t t = targets[r][c];
+      for (std::size_t j = 0; j < num_levels; ++j) {
+        const double p = std::exp(in[base + j] - m) / total;
+        g[base + j] = (p - (j == t ? 1.0 : 0.0)) * inv_norm;
+        if (j == t) loss -= std::log(p + kEps);
+      }
+    }
+  }
+  return loss * inv_norm;
+}
+
+double mse_loss(const Matrix& predictions, const Matrix& targets, Matrix& grad) {
+  assert(predictions.rows() == targets.rows() && predictions.cols() == targets.cols());
+  grad = predictions;
+  grad.sub(targets);
+  const double inv = 1.0 / static_cast<double>(predictions.rows() * predictions.cols());
+  double loss = grad.squared_sum() * inv;
+  grad.scale(2.0 * inv);
+  return loss;
+}
+
+double soft_cross_entropy_loss(const Matrix& logits, const Matrix& target_probs,
+                               Matrix& grad_logits) {
+  assert(logits.rows() == target_probs.rows() && logits.cols() == target_probs.cols());
+  const Matrix probs = row_softmax(logits);
+  grad_logits = probs;
+  grad_logits.sub(target_probs);
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  grad_logits.scale(inv_batch);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      loss -= target_probs.at(r, c) * std::log(probs.at(r, c) + kEps);
+    }
+  }
+  return loss * inv_batch;
+}
+
+double policy_gradient_loss(const Matrix& logits, const std::vector<std::size_t>& actions,
+                            const std::vector<double>& advantages, double entropy_coef,
+                            Matrix& grad_logits) {
+  assert(logits.rows() == actions.size() && logits.rows() == advantages.size());
+  const Matrix probs = row_softmax(logits);
+  grad_logits = Matrix(logits.rows(), logits.cols());
+  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  double monitor = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const double adv = advantages[r];
+    const std::size_t a = actions[r];
+    monitor -= adv * std::log(probs.at(r, a) + kEps);
+    // Entropy H = -sum p log p; dH/dlogit_j = -p_j (log p_j + 1 - sum_k p_k(log p_k + 1))
+    // simplifies to -p_j (log p_j - sum_k p_k log p_k). We *add* entropy, so we
+    // subtract its gradient from the loss gradient.
+    double mean_logp = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      mean_logp += probs.at(r, c) * std::log(probs.at(r, c) + kEps);
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double p = probs.at(r, c);
+      double g = adv * (p - (c == a ? 1.0 : 0.0));
+      g += entropy_coef * p * (std::log(p + kEps) - mean_logp);
+      grad_logits.at(r, c) = g * inv_batch;
+    }
+  }
+  return monitor * inv_batch;
+}
+
+}  // namespace agua::nn

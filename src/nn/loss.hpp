@@ -1,0 +1,43 @@
+// Loss functions. Each returns the scalar loss averaged over the batch and
+// fills the gradient of the loss w.r.t. the logits/predictions, ready to feed
+// into Module::backward.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace agua::nn {
+
+/// Softmax cross-entropy over rows of `logits` against integer class targets.
+/// grad = (softmax(logits) - onehot(target)) / batch.
+double cross_entropy_loss(const Matrix& logits, const std::vector<std::size_t>& targets,
+                          Matrix& grad_logits);
+
+/// Eq. 4 of the paper: per-concept softmax cross-entropy. `logits` has
+/// C*k columns; block i of width k scores the k similarity classes of concept
+/// i. `targets` holds one class index per concept per sample (batch x C).
+double multilabel_concept_loss(const Matrix& logits,
+                               const std::vector<std::vector<std::size_t>>& targets,
+                               std::size_t num_concepts, std::size_t num_levels,
+                               Matrix& grad_logits);
+
+/// Mean squared error against a dense target matrix; grad = 2(p - t)/(batch*n).
+double mse_loss(const Matrix& predictions, const Matrix& targets, Matrix& grad);
+
+/// Soft-target cross entropy: targets are probability rows (e.g., the
+/// controller's output distribution). Used to train the output mapping to
+/// mimic the controller (Definition 3.1).
+double soft_cross_entropy_loss(const Matrix& logits, const Matrix& target_probs,
+                               Matrix& grad_logits);
+
+/// Policy-gradient "loss": fills grad_logits = advantage * (softmax - onehot)
+/// per row (REINFORCE with baseline), optionally adding an entropy bonus with
+/// weight `entropy_coef`. Returns the mean advantage-weighted negative
+/// log-likelihood for monitoring only.
+double policy_gradient_loss(const Matrix& logits, const std::vector<std::size_t>& actions,
+                            const std::vector<double>& advantages, double entropy_coef,
+                            Matrix& grad_logits);
+
+}  // namespace agua::nn

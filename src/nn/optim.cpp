@@ -1,0 +1,103 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace agua::nn {
+
+SgdOptimizer::SgdOptimizer(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  velocity_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void SgdOptimizer::step() {
+  if (options_.gradient_clip > 0.0) {
+    double norm_sq = 0.0;
+    for (const Parameter* p : params_) norm_sq += p->grad.squared_sum();
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.gradient_clip) {
+      const double scale = options_.gradient_clip / norm;
+      for (Parameter* p : params_) p->grad.scale(scale);
+    }
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Matrix& v = velocity_[i];
+    for (std::size_t j = 0; j < p->value.size(); ++j) {
+      v.data()[j] = options_.momentum * v.data()[j] + p->grad.data()[j];
+      p->value.data()[j] -= options_.learning_rate * v.data()[j];
+    }
+  }
+}
+
+void SgdOptimizer::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void AdamOptimizer::step() {
+  if (options_.gradient_clip > 0.0) {
+    double norm_sq = 0.0;
+    for (const Parameter* p : params_) norm_sq += p->grad.squared_sum();
+    const double norm = std::sqrt(norm_sq);
+    if (norm > options_.gradient_clip) {
+      const double scale = options_.gradient_clip / norm;
+      for (Parameter* p : params_) p->grad.scale(scale);
+    }
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    for (std::size_t j = 0; j < p->value.size(); ++j) {
+      const double g = p->grad.data()[j];
+      double& m = m_[i].data()[j];
+      double& v = v_[i].data()[j];
+      m = options_.beta1 * m + (1.0 - options_.beta1) * g;
+      v = options_.beta2 * v + (1.0 - options_.beta2) * g * g;
+      const double m_hat = m / bias1;
+      const double v_hat = v / bias2;
+      p->value.data()[j] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+void AdamOptimizer::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+void apply_elastic_net(const std::vector<Parameter*>& params, double alpha, double coef) {
+  if (coef <= 0.0) return;
+  for (Parameter* p : params) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double w = p->value.data()[i];
+      const double sign = w > 0.0 ? 1.0 : (w < 0.0 ? -1.0 : 0.0);
+      p->grad.data()[i] += coef * ((1.0 - alpha) * 2.0 * w + alpha * sign);
+    }
+  }
+}
+
+double elastic_net_penalty(const std::vector<Parameter*>& params, double alpha) {
+  double l1 = 0.0;
+  double l2 = 0.0;
+  for (const Parameter* p : params) {
+    l1 += p->value.abs_sum();
+    l2 += p->value.squared_sum();
+  }
+  return (1.0 - alpha) * l2 + alpha * l1;
+}
+
+}  // namespace agua::nn

@@ -1,0 +1,75 @@
+// Optimizers and regularizers.
+//
+// SGD with momentum matches the paper's training recipe (§4 "Training
+// Parameters": momentum 0.25 for the concept mapping). ElasticNet (eq. 6)
+// is applied by adding its subgradient to the parameter gradients before the
+// optimizer step, exactly as a deep-learning framework's weight-decay hook.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace agua::nn {
+
+/// Mini-batch stochastic gradient descent with classical momentum.
+class SgdOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 0.01;
+    double momentum = 0.0;
+    double gradient_clip = 0.0;  ///< 0 disables clipping (global L2 norm).
+  };
+
+  SgdOptimizer(std::vector<Parameter*> params, Options options);
+
+  /// Apply one update using the gradients accumulated on the parameters.
+  void step();
+
+  /// Clear parameter gradients.
+  void zero_grad();
+
+  Options& options() { return options_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Matrix> velocity_;
+  Options options_;
+};
+
+/// Adam (Kingma & Ba, 2015). Not used by the paper's recipe (which is SGD
+/// with momentum) but provided for downstream users training larger
+/// controllers on these substrates.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double gradient_clip = 0.0;  ///< 0 disables clipping (global L2 norm)
+  };
+
+  AdamOptimizer(std::vector<Parameter*> params, Options options);
+
+  void step();
+  void zero_grad();
+
+  Options& options() { return options_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  std::size_t t_ = 0;
+  Options options_;
+};
+
+/// ElasticNet regularization (eq. 6 of the paper):
+///   l_elastic = (1-alpha) * ||W||_2^2 + alpha * (||W||_1 + ||b||_1)
+/// `apply_elastic_net` adds coef * d(l_elastic)/dW to each parameter's
+/// gradient; `elastic_net_penalty` reports the penalty value for monitoring.
+void apply_elastic_net(const std::vector<Parameter*>& params, double alpha, double coef);
+double elastic_net_penalty(const std::vector<Parameter*>& params, double alpha);
+
+}  // namespace agua::nn

@@ -1,0 +1,208 @@
+#include "nn/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace agua::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::row_vector(const std::vector<double>& values) {
+  Matrix m(1, values.size());
+  m.data_ = values;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) {
+      throw std::invalid_argument("Matrix::from_rows: ragged input");
+    }
+    m.set_row(r, rows[r]);
+  }
+  return m;
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  return {row_data(r), row_data(r) + cols_};
+}
+
+void Matrix::set_row(std::size_t r, const std::vector<double>& values) {
+  assert(values.size() == cols_);
+  std::copy(values.begin(), values.end(), row_data(r));
+}
+
+Matrix Matrix::gather_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    std::copy(row_data(indices[i]), row_data(indices[i]) + cols_, out.row_data(i));
+  }
+  return out;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row_data(i);
+    double* o = out.row_data(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.row_data(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose_matmul(const Matrix& other) const {
+  // (this^T * other): this is (m x n), other is (m x p) -> result (n x p).
+  if (rows_ != other.rows_) throw std::invalid_argument("transpose_matmul: shape mismatch");
+  Matrix out(cols_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row_data(i);
+    const double* b = other.row_data(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      double* o = out.row_data(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transpose(const Matrix& other) const {
+  // (this * other^T): this is (m x n), other is (p x n) -> result (m x p).
+  if (cols_ != other.cols_) throw std::invalid_argument("matmul_transpose: shape mismatch");
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row_data(i);
+    double* o = out.row_data(i);
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* b = other.row_data(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out.at(j, i) = at(i, j);
+  }
+  return out;
+}
+
+void Matrix::add(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::sub(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::scale(double factor) {
+  for (double& x : data_) x *= factor;
+}
+
+void Matrix::hadamard(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::fill(double value) {
+  for (double& x : data_) x = value;
+}
+
+void Matrix::apply(const std::function<double(double)>& fn) {
+  for (double& x : data_) x = fn(x);
+}
+
+void Matrix::add_row_broadcast(const Matrix& row_vec) {
+  assert(row_vec.rows_ == 1 && row_vec.cols_ == cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* r = row_data(i);
+    for (std::size_t j = 0; j < cols_; ++j) r[j] += row_vec.data_[j];
+  }
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_data(i);
+    for (std::size_t j = 0; j < cols_; ++j) out.data_[j] += r[j];
+  }
+  return out;
+}
+
+double Matrix::sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double Matrix::abs_sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += std::abs(x);
+  return acc;
+}
+
+double Matrix::squared_sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return acc;
+}
+
+void Matrix::xavier_init(common::Rng& rng) {
+  const double fan_in = static_cast<double>(rows_ > 0 ? rows_ : 1);
+  const double fan_out = static_cast<double>(cols_ > 0 ? cols_ : 1);
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (double& x : data_) x = rng.uniform(-limit, limit);
+}
+
+void Matrix::save(common::BinaryWriter& w) const {
+  w.write_u64(rows_);
+  w.write_u64(cols_);
+  w.write_doubles(data_);
+}
+
+Matrix Matrix::load(common::BinaryReader& r) {
+  Matrix m;
+  m.rows_ = r.read_u64();
+  m.cols_ = r.read_u64();
+  m.data_ = r.read_doubles();
+  if (m.data_.size() != m.rows_ * m.cols_) {
+    m = Matrix();
+  }
+  return m;
+}
+
+Matrix row_softmax(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const double* in = logits.row_data(i);
+    double* o = out.row_data(i);
+    double m = in[0];
+    for (std::size_t j = 1; j < logits.cols(); ++j) m = std::max(m, in[j]);
+    double total = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      o[j] = std::exp(in[j] - m);
+      total += o[j];
+    }
+    for (std::size_t j = 0; j < logits.cols(); ++j) o[j] /= total;
+  }
+  return out;
+}
+
+}  // namespace agua::nn

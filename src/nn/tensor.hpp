@@ -1,0 +1,97 @@
+// Dense row-major matrix used as the tensor type of the nn substrate.
+//
+// The networks in this reproduction are small 2-layer MLPs, so a simple
+// double-precision matrix with cache-friendly row-major loops is enough to
+// train every controller and surrogate in seconds.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace agua::nn {
+
+/// A rows x cols matrix of doubles. A single row (1 x n) doubles as a vector.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build a 1 x n row vector from values.
+  static Matrix row_vector(const std::vector<double>& values);
+
+  /// Stack equally sized row vectors into a matrix.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_data(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Copy of row r as a plain vector.
+  std::vector<double> row(std::size_t r) const;
+
+  /// Set row r from a vector of matching width.
+  void set_row(std::size_t r, const std::vector<double>& values);
+
+  /// Select a subset of rows (gather), preserving order of `indices`.
+  Matrix gather_rows(const std::vector<std::size_t>& indices) const;
+
+  /// Matrix product this(rows x cols) * other(cols x n).
+  Matrix matmul(const Matrix& other) const;
+
+  /// this^T * other, without materializing the transpose.
+  Matrix transpose_matmul(const Matrix& other) const;
+
+  /// this * other^T, without materializing the transpose.
+  Matrix matmul_transpose(const Matrix& other) const;
+
+  Matrix transposed() const;
+
+  /// Elementwise in-place ops.
+  void add(const Matrix& other);
+  void sub(const Matrix& other);
+  void scale(double factor);
+  void hadamard(const Matrix& other);
+  void fill(double value);
+  void apply(const std::function<double(double)>& fn);
+
+  /// Adds the 1 x cols row vector to every row.
+  void add_row_broadcast(const Matrix& row_vec);
+
+  /// 1 x cols vector of column sums.
+  Matrix column_sums() const;
+
+  /// Frobenius-like reductions.
+  double sum() const;
+  double abs_sum() const;
+  double squared_sum() const;
+
+  /// Xavier/Glorot uniform initialization for a (fan_in x fan_out) weight.
+  void xavier_init(common::Rng& rng);
+
+  void save(common::BinaryWriter& w) const;
+  static Matrix load(common::BinaryReader& r);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Row-wise numerically stable softmax.
+Matrix row_softmax(const Matrix& logits);
+
+}  // namespace agua::nn

@@ -1,0 +1,181 @@
+#include "text/describer.hpp"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+
+namespace agua::text {
+namespace {
+
+// Synonym families. Index 0 is the deterministic default; the human-style
+// variant prefers index 1, giving Fig. 14 a genuinely different voice with
+// the same semantics.
+const std::array<std::vector<std::string>, 7> kTrendSynonyms = {{
+    {"stable", "steady", "consistent", "flat"},
+    {"increasing", "rising", "growing", "climbing"},
+    {"decreasing", "declining", "dropping", "falling"},
+    {"rapidly increasing", "sharply rising", "surging", "spiking upward"},
+    {"rapidly decreasing", "sharply falling", "plummeting", "collapsing"},
+    {"fluctuating", "oscillating", "wavering", "uneven"},
+    {"volatile", "highly variable", "erratic", "turbulent"},
+}};
+
+const std::array<std::vector<std::string>, 7> kConditionSynonyms = {{
+    {"steady", "settled", "calm", "unchanged"},
+    {"improving", "strengthening", "recovering", "ramping"},
+    {"degrading", "worsening", "weakening", "deteriorating"},
+    {"surging", "sharply improving", "accelerating", "booming"},
+    {"collapsing", "sharply degrading", "crashing", "failing"},
+    {"shifting", "changeable", "mixed", "transitional"},
+    {"unstable", "chaotic", "turbulent", "stormy"},
+}};
+
+std::size_t pick_synonym(std::size_t family_size, const DescriberOptions& opts) {
+  const std::size_t base = opts.human_style ? 1 : 0;
+  if (opts.temperature <= 0.0 || opts.rng == nullptr) return base % family_size;
+  if (opts.rng->bernoulli(std::min(1.0, opts.temperature))) {
+    return static_cast<std::size_t>(opts.rng->uniform_int(
+        0, static_cast<int>(family_size) - 1));
+  }
+  return base % family_size;
+}
+
+std::string article_for(const std::string& word) {
+  if (word.empty()) return "a";
+  switch (word.front()) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return "an";
+    default:
+      return "a";
+  }
+}
+
+std::string feature_list(const std::vector<FeatureSeries>& features) {
+  std::vector<std::string> names;
+  names.reserve(features.size());
+  for (const auto& f : features) names.push_back(f.name);
+  return common::join(names, ", ");
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> split_thirds(const std::vector<double>& values) {
+  std::vector<std::vector<double>> parts(3);
+  if (values.empty()) return parts;
+  const std::size_t n = values.size();
+  const std::size_t a = std::max<std::size_t>(1, n / 3);
+  const std::size_t b = std::max<std::size_t>(a + 1, 2 * n / 3);
+  parts[0].assign(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(std::min(a, n)));
+  parts[1].assign(values.begin() + static_cast<std::ptrdiff_t>(std::min(a, n)),
+                  values.begin() + static_cast<std::ptrdiff_t>(std::min(b, n)));
+  parts[2].assign(values.begin() + static_cast<std::ptrdiff_t>(std::min(b, n)), values.end());
+  for (auto& part : parts) {
+    if (part.empty()) part.push_back(values.back());
+  }
+  return parts;
+}
+
+Trend classify_trend(const std::vector<double>& values, double scale) {
+  if (values.size() < 2 || scale <= 0.0) return Trend::kStable;
+  // Normalized slope over the window and normalized dispersion.
+  const double s = common::slope(values) * static_cast<double>(values.size() - 1) / scale;
+  const double vol = common::stddev(values) / scale;
+  // High dispersion that is not explained by the linear trend reads as
+  // volatility (a sawtooth is "volatile", not "increasing").
+  if (vol > 0.18 && vol > std::abs(s)) return Trend::kVolatile;
+  if (s > 0.40) return Trend::kRapidlyIncreasing;
+  if (s < -0.40) return Trend::kRapidlyDecreasing;
+  if (s > 0.10) return Trend::kIncreasing;
+  if (s < -0.10) return Trend::kDecreasing;
+  if (vol > 0.08) return Trend::kFluctuating;
+  return Trend::kStable;
+}
+
+std::string trend_phrase(Trend trend, const DescriberOptions& opts) {
+  const auto& family = kTrendSynonyms[static_cast<std::size_t>(trend)];
+  return family[pick_synonym(family.size(), opts)];
+}
+
+std::string describe_group(const std::string& group_name,
+                           const std::vector<FeatureSeries>& features,
+                           const DescriberOptions& opts) {
+  // Trend per segment is taken from the first feature whose window is the
+  // longest (the "primary" signal of the group), matching how the LLM
+  // narrates the dominant feature; the remaining features are cited.
+  const FeatureSeries* primary = nullptr;
+  for (const auto& f : features) {
+    if (primary == nullptr || f.values.size() > primary->values.size()) primary = &f;
+  }
+  std::ostringstream os;
+  os << group_name << ": ";
+  if (primary == nullptr || primary->values.empty()) {
+    os << "No data observed.";
+    return os.str();
+  }
+  const auto thirds = split_thirds(primary->values);
+  const Trend initial = classify_trend(thirds[0], primary->scale);
+  const Trend middle_from = initial;
+  const Trend middle_to = classify_trend(thirds[1], primary->scale);
+  const Trend end_to = classify_trend(thirds[2], primary->scale);
+  const Trend overall = classify_trend(primary->values, primary->scale);
+
+  const std::string w_initial = trend_phrase(initial, opts);
+  const std::string w_mid_from = trend_phrase(middle_from, opts);
+  const std::string w_mid_to = trend_phrase(middle_to, opts);
+  const std::string w_end_from = trend_phrase(middle_to, opts);
+  const std::string w_end_to = trend_phrase(end_to, opts);
+  const std::string w_overall = trend_phrase(overall, opts);
+  const auto& cond_family = kConditionSynonyms[static_cast<std::size_t>(overall)];
+  const std::string w_condition = cond_family[pick_synonym(cond_family.size(), opts)];
+
+  os << "Initially starts off with " << article_for(w_initial) << ' ' << w_initial
+     << " pattern, as observed from the features " << feature_list(features) << ". "
+     << "In the middle, it exhibits " << article_for(w_mid_from) << ' ' << w_mid_from
+     << " to " << article_for(w_mid_to) << ' ' << w_mid_to
+     << " pattern, as evident from features " << primary->name << ". "
+     << "In the end, it exhibits " << article_for(w_end_from) << ' ' << w_end_from
+     << " to " << article_for(w_end_to) << ' ' << w_end_to
+     << " pattern, based on features " << primary->name << ". "
+     << "Overall, the trend is " << w_overall << ", indicating the presence of "
+     << w_condition << ' ' << common::to_lower(group_name);
+  // Groups already named "... conditions" read naturally without the suffix.
+  const std::string lowered = common::to_lower(group_name);
+  if (lowered.size() < 10 || lowered.substr(lowered.size() - 10) != "conditions") {
+    os << " conditions";
+  }
+  os << '.';
+  return os.str();
+}
+
+std::string concept_correlation_summary(const std::vector<std::string>& concepts,
+                                        const DescriberOptions& opts) {
+  std::vector<std::string> kept = concepts;
+  if (opts.temperature > 0.0 && opts.rng != nullptr && kept.size() > 1) {
+    // Occasionally drop a trailing concept (LLMs under-enumerate more often
+    // than they over-enumerate when the template bounds the list).
+    if (opts.rng->bernoulli(0.25 * opts.temperature)) kept.pop_back();
+    // Occasionally swap two adjacent mentions.
+    if (kept.size() > 1 && opts.rng->bernoulli(0.5 * opts.temperature)) {
+      const auto i = static_cast<std::size_t>(
+          opts.rng->uniform_int(0, static_cast<int>(kept.size()) - 2));
+      std::swap(kept[i], kept[i + 1]);
+    }
+  }
+  std::ostringstream os;
+  os << "Altogether, the patterns in the features correlate with the key concept of ";
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    if (i > 0) os << (i + 1 == kept.size() ? ", and " : ", ");
+    os << kept[i];
+  }
+  os << '.';
+  return os.str();
+}
+
+}  // namespace agua::text

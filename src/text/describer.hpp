@@ -1,0 +1,70 @@
+// The deterministic "LLM" substitute (see DESIGN.md):
+// utilities to render controller states into the structured fill-in-the-blank
+// description of Fig. 15/16. Each application module supplies feature groups
+// and detected concepts; this module turns trends into template paragraphs.
+//
+// A temperature-controlled noise model (synonym swaps, concept omission,
+// ordering jitter) reproduces LLM output variability for the robustness
+// experiments (Fig. 12a), and a "human annotator" phrasing variant supports
+// the description-validation experiment (Fig. 14 / Appendix A.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace agua::text {
+
+/// Qualitative trend classes recognized by the template.
+enum class Trend {
+  kStable,
+  kIncreasing,
+  kDecreasing,
+  kRapidlyIncreasing,
+  kRapidlyDecreasing,
+  kFluctuating,
+  kVolatile,
+};
+
+/// Rendering options for a description.
+struct DescriberOptions {
+  /// 0 = fully deterministic; >0 enables synonym/omission noise (needs rng).
+  double temperature = 0.0;
+  common::Rng* rng = nullptr;
+  /// Use the alternate "human annotator" vocabulary (Fig. 14).
+  bool human_style = false;
+};
+
+/// One named time series inside a feature group, with its full-scale value
+/// (the "max=" hints of Fig. 15) used to normalize slopes and volatility.
+struct FeatureSeries {
+  std::string name;
+  std::vector<double> values;
+  double scale = 1.0;
+};
+
+/// Classify the trend of a value window. `scale` normalizes both the
+/// regression slope and the standard deviation so thresholds are unitless.
+Trend classify_trend(const std::vector<double>& values, double scale);
+
+/// English phrase for a trend, honouring synonym noise and the human variant.
+std::string trend_phrase(Trend trend, const DescriberOptions& opts);
+
+/// Render one group paragraph following the Fig. 15 template: initial /
+/// middle / end patterns plus an overall trend sentence. The overall
+/// condition wording is derived from the overall trend and the group name.
+std::string describe_group(const std::string& group_name,
+                           const std::vector<FeatureSeries>& features,
+                           const DescriberOptions& opts);
+
+/// Render the closing "Altogether ... correlates with the key concept of ..."
+/// summary. Under noise, concepts may be reordered or (rarely) dropped,
+/// mirroring run-to-run LLM variation.
+std::string concept_correlation_summary(const std::vector<std::string>& concepts,
+                                        const DescriberOptions& opts);
+
+/// First / middle / last third of a series (each non-empty when possible).
+std::vector<std::vector<double>> split_thirds(const std::vector<double>& values);
+
+}  // namespace agua::text

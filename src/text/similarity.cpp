@@ -1,0 +1,88 @@
+#include "text/similarity.hpp"
+
+#include <stdexcept>
+
+namespace agua::text {
+
+SimilarityQuantizer::SimilarityQuantizer(std::vector<double> thresholds)
+    : thresholds_(std::move(thresholds)) {
+  for (std::size_t i = 1; i < thresholds_.size(); ++i) {
+    if (thresholds_[i] <= thresholds_[i - 1]) {
+      throw std::invalid_argument("SimilarityQuantizer: thresholds must increase");
+    }
+  }
+}
+
+SimilarityQuantizer SimilarityQuantizer::paper_default() {
+  return SimilarityQuantizer({0.2, 0.6});
+}
+
+std::size_t SimilarityQuantizer::quantize(double similarity) const {
+  std::size_t level = 0;
+  for (double t : thresholds_) {
+    if (similarity >= t) {
+      ++level;
+    } else {
+      break;
+    }
+  }
+  return level;
+}
+
+std::string SimilarityQuantizer::level_name(std::size_t level) const {
+  if (num_levels() == 3) {
+    switch (level) {
+      case 0:
+        return "low";
+      case 1:
+        return "medium";
+      case 2:
+        return "high";
+      default:
+        break;
+    }
+  }
+  return "level-" + std::to_string(level);
+}
+
+std::vector<std::vector<double>> similarity_matrix(
+    const std::vector<std::vector<double>>& embeddings) {
+  const std::size_t n = embeddings.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    matrix[i][i] = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double sim = cosine_similarity(embeddings[i], embeddings[j]);
+      matrix[i][j] = sim;
+      matrix[j][i] = sim;
+    }
+  }
+  return matrix;
+}
+
+std::vector<std::size_t> redundancy_filter(
+    const std::vector<std::vector<double>>& embeddings, double s_max) {
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < embeddings.size(); ++i) {
+    bool redundant = false;
+    for (std::size_t k : kept) {
+      if (cosine_similarity(embeddings[i], embeddings[k]) >= s_max) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) kept.push_back(i);
+  }
+  return kept;
+}
+
+std::vector<std::size_t> redundancy_filter_texts(const TextEmbedder& embedder,
+                                                 const std::vector<std::string>& texts,
+                                                 double s_max) {
+  std::vector<std::vector<double>> embeddings;
+  embeddings.reserve(texts.size());
+  for (const auto& t : texts) embeddings.push_back(embedder.embed(t));
+  return redundancy_filter(embeddings, s_max);
+}
+
+}  // namespace agua::text

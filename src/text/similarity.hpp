@@ -1,0 +1,53 @@
+// Concept-similarity machinery of §3.2/§3.3:
+//  * pairwise concept-similarity matrices (eq. 1) and the redundancy filter
+//    that drops concepts exceeding S_max against previously retained ones,
+//  * the quantization function ψ_k (eq. 2) that turns cosine similarity into
+//    the discrete low/medium/high labels that supervise the concept mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "text/embedder.hpp"
+
+namespace agua::text {
+
+/// ψ_k of eq. 2: maps a similarity score into one of k = thresholds.size()+1
+/// discrete classes via half-open bins.
+class SimilarityQuantizer {
+ public:
+  /// `thresholds` must be strictly increasing; class i covers
+  /// [thresholds[i-1], thresholds[i]).
+  explicit SimilarityQuantizer(std::vector<double> thresholds);
+
+  /// The paper's default bins [0,.2) / [.2,.6) / [.6,1] -> low/medium/high.
+  static SimilarityQuantizer paper_default();
+
+  std::size_t quantize(double similarity) const;
+  std::size_t num_levels() const { return thresholds_.size() + 1; }
+  const std::vector<double>& thresholds() const { return thresholds_; }
+
+  /// Human-readable level name ("low", "medium", "high" for k=3; otherwise
+  /// "level-i").
+  std::string level_name(std::size_t level) const;
+
+ private:
+  std::vector<double> thresholds_;
+};
+
+/// Pairwise cosine-similarity matrix over pre-computed embeddings.
+std::vector<std::vector<double>> similarity_matrix(
+    const std::vector<std::vector<double>>& embeddings);
+
+/// §3.2's redundancy filter: iterate in order, keep entry i only if its
+/// similarity to every previously kept entry is below `s_max`. Returns the
+/// indices of retained entries.
+std::vector<std::size_t> redundancy_filter(
+    const std::vector<std::vector<double>>& embeddings, double s_max);
+
+/// Convenience: embed texts with `embedder` and run the redundancy filter.
+std::vector<std::size_t> redundancy_filter_texts(const TextEmbedder& embedder,
+                                                 const std::vector<std::string>& texts,
+                                                 double s_max);
+
+}  // namespace agua::text

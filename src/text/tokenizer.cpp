@@ -1,0 +1,63 @@
+#include "text/tokenizer.hpp"
+
+#include <cctype>
+
+namespace agua::text {
+namespace {
+
+bool is_number(const std::string& token) {
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return !token.empty();
+}
+
+}  // namespace
+
+std::vector<std::string> word_tokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      if (!is_number(current)) tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty() && !is_number(current)) tokens.push_back(current);
+  return tokens;
+}
+
+std::vector<std::string> word_bigrams(const std::vector<std::string>& words) {
+  std::vector<std::string> bigrams;
+  if (words.size() < 2) return bigrams;
+  bigrams.reserve(words.size() - 1);
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    bigrams.push_back(words[i] + "_" + words[i + 1]);
+  }
+  return bigrams;
+}
+
+std::vector<std::string> char_trigrams(const std::vector<std::string>& words) {
+  std::vector<std::string> grams;
+  for (const auto& w : words) {
+    const std::string padded = "^" + w + "$";
+    if (padded.size() < 3) continue;
+    for (std::size_t i = 0; i + 3 <= padded.size(); ++i) {
+      grams.push_back(padded.substr(i, 3));
+    }
+  }
+  return grams;
+}
+
+std::vector<std::string> all_tokens(std::string_view text) {
+  std::vector<std::string> tokens = word_tokens(text);
+  std::vector<std::string> out = tokens;
+  for (auto& b : word_bigrams(tokens)) out.push_back(std::move(b));
+  for (auto& g : char_trigrams(tokens)) out.push_back(std::move(g));
+  return out;
+}
+
+}  // namespace agua::text

@@ -1,0 +1,29 @@
+// Tokenization for the text-embedding substrate: lower-cased word tokens,
+// word bigrams, and character trigrams. The embedding model hashes these
+// together so that both lexical overlap (shared concept phrases) and
+// morphological similarity (e.g., "increase"/"increasing") contribute to
+// cosine similarity, mimicking the behaviour of dense sentence embeddings on
+// template-constrained text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agua::text {
+
+/// Lower-cases and splits on non-alphanumeric characters; drops empty tokens
+/// and bare numbers (the numeric values in descriptions carry their meaning
+/// through the trend words, not the digits).
+std::vector<std::string> word_tokens(std::string_view text);
+
+/// Adjacent word pairs joined with '_'.
+std::vector<std::string> word_bigrams(const std::vector<std::string>& words);
+
+/// Character trigrams of each word, with boundary markers ("^wo", "ord", "rd$").
+std::vector<std::string> char_trigrams(const std::vector<std::string>& words);
+
+/// Full token stream for the embedder: words + bigrams + char trigrams.
+std::vector<std::string> all_tokens(std::string_view text);
+
+}  // namespace agua::text

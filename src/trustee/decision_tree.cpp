@@ -1,0 +1,333 @@
+#include "trustee/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <sstream>
+
+namespace agua::trustee {
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+std::size_t majority(const std::vector<std::size_t>& counts) {
+  return static_cast<std::size_t>(
+      std::distance(counts.begin(), std::max_element(counts.begin(), counts.end())));
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& features,
+                       const std::vector<std::size_t>& labels, std::size_t num_classes) {
+  fit(features, labels, num_classes, Options());
+}
+
+void DecisionTree::fit(const std::vector<std::vector<double>>& features,
+                       const std::vector<std::size_t>& labels, std::size_t num_classes,
+                       const Options& options) {
+  nodes_.clear();
+  num_classes_ = num_classes;
+  if (features.empty()) return;
+  std::vector<std::size_t> indices(features.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  build_node(features, labels, indices, 0, options);
+}
+
+std::size_t DecisionTree::build_node(const std::vector<std::vector<double>>& features,
+                                     const std::vector<std::size_t>& labels,
+                                     std::vector<std::size_t>& indices, std::size_t depth,
+                                     const Options& options) {
+  const std::size_t node_index = nodes_.size();
+  nodes_.emplace_back();
+  {
+    TreeNode& node = nodes_[node_index];
+    node.sample_count = indices.size();
+    node.class_counts.assign(num_classes_, 0);
+    for (std::size_t i : indices) ++node.class_counts[labels[i]];
+    node.predicted_class = majority(node.class_counts);
+  }
+
+  const double parent_impurity = gini(nodes_[node_index].class_counts, indices.size());
+  const bool pure = parent_impurity <= 1e-12;
+  if (pure || depth >= options.max_depth || indices.size() < options.min_samples_split) {
+    return node_index;
+  }
+
+  const std::size_t num_features = features[indices.front()].size();
+  double best_gain = options.min_impurity_decrease;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  std::vector<std::pair<double, std::size_t>> column(indices.size());
+  for (std::size_t f = 0; f < num_features; ++f) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      column[i] = {features[indices[i]][f], labels[indices[i]]};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) continue;
+
+    // Candidate thresholds: midpoints between distinct adjacent values,
+    // optionally subsampled for speed on large nodes.
+    std::vector<std::size_t> left_counts(num_classes_, 0);
+    std::vector<std::size_t> right_counts = nodes_[node_index].class_counts;
+    const std::size_t n = column.size();
+    const std::size_t stride =
+        options.max_thresholds > 0 && n > options.max_thresholds
+            ? n / options.max_thresholds
+            : 1;
+    std::size_t since_last_eval = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const std::size_t cls = column[i].second;
+      ++left_counts[cls];
+      --right_counts[cls];
+      ++since_last_eval;
+      if (column[i].first == column[i + 1].first) continue;
+      if (since_last_eval < stride) continue;
+      since_last_eval = 0;
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = n - n_left;
+      if (n_left < options.min_samples_leaf || n_right < options.min_samples_leaf) continue;
+      const double weighted =
+          (static_cast<double>(n_left) * gini(left_counts, n_left) +
+           static_cast<double>(n_right) * gini(right_counts, n_right)) /
+          static_cast<double>(n);
+      const double gain = parent_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+        found = true;
+      }
+    }
+  }
+
+  if (!found) return node_index;
+
+  std::vector<std::size_t> left_indices;
+  std::vector<std::size_t> right_indices;
+  for (std::size_t i : indices) {
+    if (features[i][best_feature] <= best_threshold) {
+      left_indices.push_back(i);
+    } else {
+      right_indices.push_back(i);
+    }
+  }
+  if (left_indices.empty() || right_indices.empty()) return node_index;
+
+  // Free the parent's index memory before recursing.
+  indices.clear();
+  indices.shrink_to_fit();
+
+  const std::size_t left_child = build_node(features, labels, left_indices, depth + 1, options);
+  const std::size_t right_child =
+      build_node(features, labels, right_indices, depth + 1, options);
+  TreeNode& node = nodes_[node_index];
+  node.is_leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = static_cast<std::ptrdiff_t>(left_child);
+  node.right = static_cast<std::ptrdiff_t>(right_child);
+  return node_index;
+}
+
+std::size_t DecisionTree::predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0;
+  std::size_t node = 0;
+  while (!nodes_[node].is_leaf) {
+    node = features[nodes_[node].feature] <= nodes_[node].threshold
+               ? static_cast<std::size_t>(nodes_[node].left)
+               : static_cast<std::size_t>(nodes_[node].right);
+  }
+  return nodes_[node].predicted_class;
+}
+
+std::vector<std::size_t> DecisionTree::predict_batch(
+    const std::vector<std::vector<double>>& features) const {
+  std::vector<std::size_t> out;
+  out.reserve(features.size());
+  for (const auto& row : features) out.push_back(predict(row));
+  return out;
+}
+
+std::vector<DecisionStep> DecisionTree::decision_path(
+    const std::vector<double>& features) const {
+  std::vector<DecisionStep> path;
+  if (nodes_.empty()) return path;
+  std::size_t node = 0;
+  while (!nodes_[node].is_leaf) {
+    DecisionStep step;
+    step.feature = nodes_[node].feature;
+    step.threshold = nodes_[node].threshold;
+    step.went_left = features[step.feature] <= step.threshold;
+    path.push_back(step);
+    node = step.went_left ? static_cast<std::size_t>(nodes_[node].left)
+                          : static_cast<std::size_t>(nodes_[node].right);
+  }
+  return path;
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) {
+    if (node.is_leaf) ++count;
+  }
+  return count;
+}
+
+std::size_t DecisionTree::depth_of(std::ptrdiff_t node) const {
+  if (node < 0) return 0;
+  const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.is_leaf) return 0;
+  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+}
+
+std::size_t DecisionTree::depth() const { return nodes_.empty() ? 0 : depth_of(0); }
+
+DecisionTree DecisionTree::pruned_top_k(std::size_t k) const {
+  DecisionTree pruned = *this;
+  if (nodes_.empty() || k == 0) return pruned;
+
+  // Rank leaves by training-sample coverage; keep the top-k heaviest.
+  std::vector<std::pair<std::size_t, std::size_t>> leaves;  // (count, index)
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_leaf) leaves.emplace_back(nodes_[i].sample_count, i);
+  }
+  std::sort(leaves.rbegin(), leaves.rend());
+  if (leaves.size() <= k) return pruned;
+
+  std::vector<bool> keep(nodes_.size(), false);
+  // Mark the kept leaves and every ancestor on their root paths.
+  std::vector<std::ptrdiff_t> parent(nodes_.size(), -1);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].is_leaf) {
+      parent[static_cast<std::size_t>(nodes_[i].left)] = static_cast<std::ptrdiff_t>(i);
+      parent[static_cast<std::size_t>(nodes_[i].right)] = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    std::ptrdiff_t node = static_cast<std::ptrdiff_t>(leaves[j].second);
+    while (node >= 0 && !keep[static_cast<std::size_t>(node)]) {
+      keep[static_cast<std::size_t>(node)] = true;
+      node = parent[static_cast<std::size_t>(node)];
+    }
+  }
+  // Collapse unkept subtrees into majority-class leaves, then compact the
+  // node array so node_count() reflects the pruned structure.
+  std::vector<TreeNode> collapsed = nodes_;
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    if (keep[i] && !collapsed[i].is_leaf) {
+      const bool left_kept = keep[static_cast<std::size_t>(collapsed[i].left)];
+      const bool right_kept = keep[static_cast<std::size_t>(collapsed[i].right)];
+      if (!left_kept && !right_kept) {
+        collapsed[i].is_leaf = true;
+      } else {
+        // An unkept child collapses to a leaf below (handled when visiting it).
+        keep[static_cast<std::size_t>(collapsed[i].left)] = true;
+        if (!left_kept) collapsed[static_cast<std::size_t>(collapsed[i].left)].is_leaf = true;
+        keep[static_cast<std::size_t>(collapsed[i].right)] = true;
+        if (!right_kept) collapsed[static_cast<std::size_t>(collapsed[i].right)].is_leaf = true;
+      }
+    }
+  }
+  // Compact: breadth-first copy of reachable kept nodes.
+  std::vector<TreeNode> compacted;
+  std::vector<std::ptrdiff_t> remap(collapsed.size(), -1);
+  std::queue<std::size_t> frontier;
+  frontier.push(0);
+  remap[0] = 0;
+  compacted.push_back(collapsed[0]);
+  while (!frontier.empty()) {
+    const std::size_t old_index = frontier.front();
+    frontier.pop();
+    const TreeNode& old_node = collapsed[old_index];
+    const std::size_t new_index = static_cast<std::size_t>(remap[old_index]);
+    if (old_node.is_leaf) {
+      compacted[new_index].is_leaf = true;
+      compacted[new_index].left = -1;
+      compacted[new_index].right = -1;
+      continue;
+    }
+    for (const std::ptrdiff_t child : {old_node.left, old_node.right}) {
+      remap[static_cast<std::size_t>(child)] =
+          static_cast<std::ptrdiff_t>(compacted.size());
+      compacted.push_back(collapsed[static_cast<std::size_t>(child)]);
+      frontier.push(static_cast<std::size_t>(child));
+    }
+    compacted[new_index].left = remap[static_cast<std::size_t>(old_node.left)];
+    compacted[new_index].right = remap[static_cast<std::size_t>(old_node.right)];
+  }
+  pruned.nodes_ = std::move(compacted);
+  return pruned;
+}
+
+void DecisionTree::save(common::BinaryWriter& w) const {
+  w.write_u64(num_classes_);
+  w.write_u64(nodes_.size());
+  for (const TreeNode& node : nodes_) {
+    w.write_u32(node.is_leaf ? 1 : 0);
+    w.write_u64(node.feature);
+    w.write_double(node.threshold);
+    w.write_u64(static_cast<std::uint64_t>(node.left + 1));   // -1 -> 0
+    w.write_u64(static_cast<std::uint64_t>(node.right + 1));
+    w.write_u64(node.predicted_class);
+    w.write_u64(node.sample_count);
+  }
+}
+
+DecisionTree DecisionTree::load(common::BinaryReader& r) {
+  DecisionTree tree;
+  tree.num_classes_ = r.read_u64();
+  const std::uint64_t count = r.read_u64();
+  if (!r.ok() || count > (1ULL << 24)) return DecisionTree();
+  tree.nodes_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TreeNode node;
+    node.is_leaf = r.read_u32() != 0;
+    node.feature = r.read_u64();
+    node.threshold = r.read_double();
+    node.left = static_cast<std::ptrdiff_t>(r.read_u64()) - 1;
+    node.right = static_cast<std::ptrdiff_t>(r.read_u64()) - 1;
+    node.predicted_class = r.read_u64();
+    node.sample_count = r.read_u64();
+    tree.nodes_.push_back(node);
+  }
+  if (!r.ok()) return DecisionTree();
+  // Structural sanity: children must point inside the array.
+  for (const TreeNode& node : tree.nodes_) {
+    if (!node.is_leaf &&
+        (node.left < 0 || node.right < 0 ||
+         node.left >= static_cast<std::ptrdiff_t>(tree.nodes_.size()) ||
+         node.right >= static_cast<std::ptrdiff_t>(tree.nodes_.size()))) {
+      return DecisionTree();
+    }
+  }
+  return tree;
+}
+
+std::string DecisionTree::format_path(const std::vector<DecisionStep>& path,
+                                      const std::vector<std::string>& feature_names) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) os << "; ";
+    const std::string name = path[i].feature < feature_names.size()
+                                 ? feature_names[path[i].feature]
+                                 : "f" + std::to_string(path[i].feature);
+    os << name << (path[i].went_left ? " <= " : " > ");
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << path[i].threshold;
+  }
+  return os.str();
+}
+
+}  // namespace agua::trustee

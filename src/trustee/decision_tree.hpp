@@ -1,0 +1,91 @@
+// CART decision-tree classifier: the substrate of the Trustee baseline
+// (Jacobs et al., CCS'22), which distills a neural controller into a tree and
+// reports feature-level decision paths as explanations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace agua::trustee {
+
+/// One step along a root-to-leaf path: "feature <= threshold" or ">".
+struct DecisionStep {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  bool went_left = false;  ///< true when the sample satisfied feature <= threshold
+};
+
+/// Binary classification/regression-tree node (array-indexed).
+struct TreeNode {
+  bool is_leaf = true;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  std::ptrdiff_t left = -1;
+  std::ptrdiff_t right = -1;
+  std::size_t predicted_class = 0;
+  std::size_t sample_count = 0;             ///< training samples reaching this node
+  std::vector<std::size_t> class_counts;    ///< per-class training counts
+};
+
+/// Gini-impurity CART trained on dense feature rows with integer labels.
+class DecisionTree {
+ public:
+  struct Options {
+    std::size_t max_depth = 24;
+    std::size_t min_samples_split = 4;
+    std::size_t min_samples_leaf = 2;
+    double min_impurity_decrease = 1e-7;
+    /// Cap on candidate thresholds per feature (0 = all midpoints).
+    std::size_t max_thresholds = 32;
+  };
+
+  DecisionTree() = default;
+
+  void fit(const std::vector<std::vector<double>>& features,
+           const std::vector<std::size_t>& labels, std::size_t num_classes,
+           const Options& options);
+  /// fit with default Options.
+  void fit(const std::vector<std::vector<double>>& features,
+           const std::vector<std::size_t>& labels, std::size_t num_classes);
+
+  std::size_t predict(const std::vector<double>& features) const;
+  std::vector<std::size_t> predict_batch(
+      const std::vector<std::vector<double>>& features) const;
+
+  /// The root-to-leaf decision path for one sample (Fig. 1c-style explanation).
+  std::vector<DecisionStep> decision_path(const std::vector<double>& features) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  std::size_t depth() const;
+  bool trained() const { return !nodes_.empty(); }
+  std::size_t num_classes() const { return num_classes_; }
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Trustee-style top-k pruning: keep the k leaves covering the most
+  /// training samples; every other subtree collapses into a majority-class
+  /// leaf. Returns the pruned copy.
+  DecisionTree pruned_top_k(std::size_t k) const;
+
+  /// Render a path as "f3 <= 0.91; f17 > 0.05; ..." using feature names.
+  static std::string format_path(const std::vector<DecisionStep>& path,
+                                 const std::vector<std::string>& feature_names);
+
+  void save(common::BinaryWriter& w) const;
+  static DecisionTree load(common::BinaryReader& r);
+
+ private:
+  std::size_t build_node(const std::vector<std::vector<double>>& features,
+                         const std::vector<std::size_t>& labels,
+                         std::vector<std::size_t>& indices, std::size_t depth,
+                         const Options& options);
+  std::size_t depth_of(std::ptrdiff_t node) const;
+
+  std::vector<TreeNode> nodes_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace agua::trustee

@@ -1,0 +1,107 @@
+#include "trustee/trustee.hpp"
+
+#include <sstream>
+
+namespace agua::trustee {
+
+double fidelity(const std::vector<std::size_t>& controller_outputs,
+                const std::vector<std::size_t>& surrogate_outputs) {
+  if (controller_outputs.empty() || controller_outputs.size() != surrogate_outputs.size()) {
+    return 0.0;
+  }
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < controller_outputs.size(); ++i) {
+    if (controller_outputs[i] == surrogate_outputs[i]) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(controller_outputs.size());
+}
+
+std::string TrustReport::summary(const std::vector<std::string>& feature_names) const {
+  (void)feature_names;
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "Trustee trust report\n"
+     << "  full tree:   " << full_tree.node_count() << " nodes, depth "
+     << full_tree.depth() << ", fidelity " << full_fidelity << '\n'
+     << "  pruned tree: " << pruned_tree.node_count() << " nodes, depth "
+     << pruned_tree.depth() << ", fidelity " << pruned_fidelity << '\n'
+     << "  iterations:  " << iterations_run << '\n';
+  return os.str();
+}
+
+TrusteeExplainer::TrusteeExplainer()
+    : TrusteeExplainer([] {
+        Options options;
+        // Trustee's reference implementation considers every candidate
+        // threshold; the DecisionTree default subsampling is a speed knob
+        // for other users of the class.
+        options.tree.max_thresholds = 0;
+        return options;
+      }()) {}
+
+TrusteeExplainer::TrusteeExplainer(Options options) : options_(options) {}
+
+TrustReport TrusteeExplainer::train(const std::vector<std::vector<double>>& inputs,
+                                    const ControllerFn& controller, std::size_t num_classes,
+                                    const std::vector<std::vector<double>>& eval_inputs,
+                                    common::Rng& rng) const {
+  TrustReport report;
+  if (inputs.empty()) return report;
+
+  // Teacher labels for train and eval pools.
+  std::vector<std::size_t> labels(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) labels[i] = controller(inputs[i]);
+  std::vector<std::size_t> eval_labels(eval_inputs.size());
+  for (std::size_t i = 0; i < eval_inputs.size(); ++i) {
+    eval_labels[i] = controller(eval_inputs[i]);
+  }
+
+  // Hold out a slice of the training pool for candidate selection so the
+  // final eval set stays untouched (Trustee's stability criterion).
+  const std::size_t holdout = std::max<std::size_t>(1, inputs.size() / 5);
+  std::vector<std::vector<double>> validation(inputs.end() - static_cast<std::ptrdiff_t>(holdout),
+                                              inputs.end());
+  std::vector<std::size_t> validation_labels(labels.end() - static_cast<std::ptrdiff_t>(holdout),
+                                             labels.end());
+  const std::size_t pool_size = inputs.size() - holdout;
+
+  double best_validation_fidelity = -1.0;
+  DecisionTree best_tree;
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    // Bootstrap a teacher-labeled sample (dataset augmentation step).
+    const auto sample_size = static_cast<std::size_t>(
+        options_.sample_fraction * static_cast<double>(pool_size));
+    std::vector<std::vector<double>> sample;
+    std::vector<std::size_t> sample_labels;
+    sample.reserve(sample_size);
+    sample_labels.reserve(sample_size);
+    for (std::size_t i = 0; i < sample_size; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(pool_size) - 1));
+      sample.push_back(inputs[pick]);
+      sample_labels.push_back(labels[pick]);
+    }
+    DecisionTree candidate;
+    candidate.fit(sample, sample_labels, num_classes, options_.tree);
+    const double candidate_fidelity =
+        fidelity(validation_labels, candidate.predict_batch(validation));
+    if (candidate_fidelity > best_validation_fidelity) {
+      best_validation_fidelity = candidate_fidelity;
+      best_tree = std::move(candidate);
+    }
+    ++report.iterations_run;
+  }
+
+  report.full_tree = std::move(best_tree);
+  report.pruned_tree = report.full_tree.pruned_top_k(options_.top_k_branches);
+  if (!eval_inputs.empty()) {
+    report.full_fidelity =
+        fidelity(eval_labels, report.full_tree.predict_batch(eval_inputs));
+    report.pruned_fidelity =
+        fidelity(eval_labels, report.pruned_tree.predict_batch(eval_inputs));
+  }
+  return report;
+}
+
+}  // namespace agua::trustee

@@ -1,0 +1,60 @@
+// Trustee baseline (Jacobs et al., CCS'22): global decision-tree distillation
+// of a neural controller, balancing fidelity / complexity / stability via an
+// iterative teacher-student loop, plus a trust report with full and top-k
+// pruned trees. This is the comparison system for Table 2 and Fig. 1.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trustee/decision_tree.hpp"
+
+namespace agua::trustee {
+
+/// The controller being distilled: maps a raw feature row to a class.
+using ControllerFn = std::function<std::size_t(const std::vector<double>&)>;
+
+/// Fidelity (eq. 11): fraction of samples where surrogate == controller.
+double fidelity(const std::vector<std::size_t>& controller_outputs,
+                const std::vector<std::size_t>& surrogate_outputs);
+
+/// Output of TrusteeExplainer::train (the "trust report").
+struct TrustReport {
+  DecisionTree full_tree;
+  DecisionTree pruned_tree;
+  double full_fidelity = 0.0;    ///< on the held-out evaluation set
+  double pruned_fidelity = 0.0;  ///< on the held-out evaluation set
+  std::size_t iterations_run = 0;
+
+  std::string summary(const std::vector<std::string>& feature_names = {}) const;
+};
+
+/// Trustee's training loop: repeatedly fit candidate trees on resampled
+/// teacher-labeled data, keep the candidate with the best validation
+/// fidelity, then emit full + top-k pruned trees.
+class TrusteeExplainer {
+ public:
+  struct Options {
+    std::size_t iterations = 5;       ///< outer teacher-student iterations
+    double sample_fraction = 0.85;    ///< bootstrap fraction per iteration
+    std::size_t top_k_branches = 20;  ///< leaves kept in the pruned tree
+    DecisionTree::Options tree;
+  };
+
+  TrusteeExplainer();
+  explicit TrusteeExplainer(Options options);
+
+  /// Distill `controller` over `inputs`; fidelities are computed on
+  /// `eval_inputs` (the unseen test set of eq. 11).
+  TrustReport train(const std::vector<std::vector<double>>& inputs,
+                    const ControllerFn& controller, std::size_t num_classes,
+                    const std::vector<std::vector<double>>& eval_inputs,
+                    common::Rng& rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace agua::trustee

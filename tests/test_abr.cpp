@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "abr/controller.hpp"
+#include "abr/describe.hpp"
+#include "abr/env.hpp"
+#include "abr/teacher.hpp"
+#include "abr/trace.hpp"
+#include "abr/video.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::abr;
+
+double mean_bandwidth(TraceFamily family, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> all;
+  for (const auto& trace : generate_traces(family, 5, 200, rng)) {
+    for (double b : trace.bandwidth_mbps) all.push_back(b);
+  }
+  return common::mean(all);
+}
+
+TEST(Trace, FamiliesAreOrderedByCapacity) {
+  const double bw3g = mean_bandwidth(TraceFamily::k3G, 1);
+  const double bw4g = mean_bandwidth(TraceFamily::k4G, 1);
+  const double bw5g = mean_bandwidth(TraceFamily::k5G, 1);
+  EXPECT_LT(bw3g, bw4g);
+  EXPECT_LT(bw4g, bw5g);
+}
+
+TEST(Trace, Puffer2024IsFasterButChoppier) {
+  common::Rng rng(2);
+  std::vector<double> v2021;
+  std::vector<double> v2024;
+  for (const auto& t : generate_traces(TraceFamily::kPuffer2021, 8, 200, rng)) {
+    for (double b : t.bandwidth_mbps) v2021.push_back(b);
+  }
+  for (const auto& t : generate_traces(TraceFamily::kPuffer2024, 8, 200, rng)) {
+    for (double b : t.bandwidth_mbps) v2024.push_back(b);
+  }
+  EXPECT_GT(common::mean(v2024), common::mean(v2021));
+  EXPECT_GT(common::stddev(v2024) / common::mean(v2024),
+            common::stddev(v2021) / common::mean(v2021));
+}
+
+TEST(Trace, BandwidthPositiveAndLooping) {
+  common::Rng rng(3);
+  const NetworkTrace trace = generate_trace(TraceFamily::k3G, 50, rng);
+  for (double b : trace.bandwidth_mbps) EXPECT_GT(b, 0.0);
+  // Lookup past the end wraps around instead of crashing.
+  EXPECT_DOUBLE_EQ(trace.bandwidth_at(50.0), trace.bandwidth_mbps[0]);
+}
+
+TEST(Trace, FamilyNames) {
+  EXPECT_STREQ(family_name(TraceFamily::k3G), "3G");
+  EXPECT_STREQ(family_name(TraceFamily::kPuffer2024), "puffer-2024");
+}
+
+TEST(Video, ManifestShapesAndBounds) {
+  common::Rng rng(4);
+  const VideoManifest manifest = VideoManifest::generate(100, rng);
+  ASSERT_EQ(manifest.chunk_count(), 100u);
+  for (const ChunkLadder& ladder : manifest.chunks) {
+    for (std::size_t q = 0; q < kQualityLevels; ++q) {
+      EXPECT_GT(ladder.size_mb[q], 0.0);
+      EXPECT_LE(ladder.size_mb[q], 3.0);
+      EXPECT_GE(ladder.ssim_db[q], 5.0);
+      EXPECT_LE(ladder.ssim_db[q], 25.0);
+      if (q > 0) {
+        EXPECT_GT(ladder.size_mb[q], ladder.size_mb[q - 1]);
+      }
+    }
+  }
+}
+
+TEST(Env, ObservationLayoutAndSize) {
+  common::Rng rng(5);
+  AbrEnv env(VideoManifest::generate(20, rng), generate_trace(TraceFamily::k4G, 60, rng));
+  const auto obs = env.observation();
+  EXPECT_EQ(obs.size(), ObsLayout::kTotal);
+  EXPECT_EQ(AbrEnv::feature_names().size(), ObsLayout::kTotal);
+  EXPECT_EQ(AbrEnv::feature_scales().size(), ObsLayout::kTotal);
+}
+
+TEST(Env, BufferBoundedAndStallsNonNegative) {
+  common::Rng rng(6);
+  AbrEnv env(VideoManifest::generate(40, rng), generate_trace(TraceFamily::k3G, 120, rng));
+  while (!env.done()) {
+    const auto result = env.step(4);  // always the largest chunk
+    EXPECT_GE(result.stall_s, 0.0);
+    EXPECT_GE(result.buffer_s, 0.0);
+    EXPECT_LE(result.buffer_s, 15.0 + 1e-9);
+    EXPECT_GT(result.transmit_time_s, 0.0);
+  }
+  EXPECT_EQ(env.chunks_played(), 40u);
+}
+
+TEST(Env, LowQualityDownloadsFaster) {
+  common::Rng rng(7);
+  const VideoManifest manifest = VideoManifest::generate(10, rng);
+  const NetworkTrace trace = generate_trace(TraceFamily::k4G, 60, rng);
+  AbrEnv low(manifest, trace);
+  AbrEnv high(manifest, trace);
+  const auto r_low = low.step(0);
+  const auto r_high = high.step(4);
+  EXPECT_LT(r_low.transmit_time_s, r_high.transmit_time_s);
+}
+
+TEST(Env, QoePenalizesStalls) {
+  common::Rng rng(8);
+  const VideoManifest manifest = VideoManifest::generate(30, rng);
+  // A starved link: always stalling at top quality.
+  NetworkTrace slow;
+  slow.family = TraceFamily::k3G;
+  slow.bandwidth_mbps.assign(300, 0.1);
+  AbrEnv env(manifest, slow);
+  double total_qoe = 0.0;
+  for (int i = 0; i < 5; ++i) total_qoe += env.step(4).qoe;
+  EXPECT_LT(total_qoe, 0.0);
+}
+
+TEST(Env, MotivatingStateMatchesNarrative) {
+  const auto state = AbrEnv::motivating_state();
+  ASSERT_EQ(state.size(), ObsLayout::kTotal);
+  // Transmission times degraded from 1s toward 3s then improved to 2s.
+  EXPECT_NEAR(state[ObsLayout::kTransmitTime], 1.0, 1e-9);
+  EXPECT_NEAR(state[ObsLayout::kTransmitTime + 8], 3.0, 1e-9);
+  EXPECT_NEAR(state[ObsLayout::kTransmitTime + 9], 2.0, 1e-9);
+  // Buffer is recovering at the end.
+  EXPECT_GT(state[ObsLayout::kBuffer + 9], state[ObsLayout::kBuffer + 6]);
+}
+
+TEST(Teacher, PicksLowQualityOnStarvedLink) {
+  std::vector<double> obs(ObsLayout::kTotal, 0.0);
+  for (std::size_t i = 0; i < kHistory; ++i) {
+    obs[ObsLayout::kThroughput + i] = 0.2;
+    obs[ObsLayout::kBuffer + i] = 3.0;
+    obs[ObsLayout::kQuality + i] = 10.5;
+  }
+  obs[ObsLayout::kUpcomingSize] = 1.0;
+  MpcTeacher teacher;
+  EXPECT_EQ(teacher.act(obs), 0u);
+}
+
+TEST(Teacher, PicksHighQualityOnFastLink) {
+  std::vector<double> obs(ObsLayout::kTotal, 0.0);
+  for (std::size_t i = 0; i < kHistory; ++i) {
+    obs[ObsLayout::kThroughput + i] = 8.0;
+    obs[ObsLayout::kBuffer + i] = 14.0;
+    obs[ObsLayout::kQuality + i] = 22.5;  // previous level already top
+  }
+  obs[ObsLayout::kUpcomingSize] = 1.0;
+  MpcTeacher teacher;
+  EXPECT_GE(teacher.act(obs), 3u);
+}
+
+TEST(Teacher, DampsUpwardSwitches) {
+  std::vector<double> obs(ObsLayout::kTotal, 0.0);
+  for (std::size_t i = 0; i < kHistory; ++i) {
+    obs[ObsLayout::kThroughput + i] = 8.0;
+    obs[ObsLayout::kBuffer + i] = 14.0;
+    obs[ObsLayout::kQuality + i] = 10.5;  // previous level 0
+  }
+  obs[ObsLayout::kUpcomingSize] = 1.0;
+  MpcTeacher teacher;
+  EXPECT_LE(teacher.act(obs), 1u);  // at most one step up
+}
+
+TEST(Controller, BehaviourCloningTracksTeacher) {
+  common::Rng rng(9);
+  AbrController controller(9);
+  MpcTeacher teacher;
+  const auto traces = generate_traces(TraceFamily::kPuffer2021, 10, 120, rng);
+  train_behavior_cloning(controller, teacher, traces, 40, 25, 0.02, rng);
+  // Agreement with the teacher on fresh rollouts.
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (const auto& trace : generate_traces(TraceFamily::kPuffer2021, 3, 120, rng)) {
+    AbrEnv env(VideoManifest::generate(40, rng), trace);
+    while (!env.done()) {
+      const auto obs = env.observation();
+      if (controller.act(obs) == teacher.act(obs)) ++agree;
+      ++total;
+      env.step(teacher.act(obs));
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.6);
+}
+
+TEST(Controller, ReinforceReturnsCurve) {
+  common::Rng rng(10);
+  AbrController controller(10);
+  const auto traces = generate_traces(TraceFamily::k4G, 3, 100, rng);
+  ReinforceOptions options;
+  options.updates = 5;
+  options.episodes_per_update = 2;
+  options.chunks_per_video = 20;
+  const auto curve = train_reinforce(controller, traces, options, rng);
+  EXPECT_EQ(curve.size(), 5u);
+}
+
+TEST(Describer, DetectsDegradationInMotivatingState) {
+  AbrDescriber describer;
+  const auto scores = describer.detect_concepts(AbrEnv::motivating_state());
+  double degradation = 0.0;
+  double high_throughput = 0.0;
+  for (const auto& [name, score] : scores) {
+    if (name == "Extreme Network Degradation") degradation = score;
+    if (name == "High Network Throughput") high_throughput = score;
+  }
+  EXPECT_GT(degradation, 0.3);
+  EXPECT_LT(high_throughput, 0.2);
+}
+
+TEST(Describer, DescriptionMentionsTemplateSections) {
+  AbrDescriber describer;
+  const std::string text = describer.describe(AbrEnv::motivating_state());
+  EXPECT_NE(text.find("Network conditions:"), std::string::npos);
+  EXPECT_NE(text.find("Viewer's video buffer:"), std::string::npos);
+  EXPECT_NE(text.find("Upcoming video qualities:"), std::string::npos);
+  EXPECT_NE(text.find("key concept"), std::string::npos);
+}
+
+TEST(Describer, DeterministicAtZeroTemperature) {
+  AbrDescriber describer;
+  const auto state = AbrEnv::motivating_state();
+  EXPECT_EQ(describer.describe(state), describer.describe(state));
+}
+
+TEST(Describer, SubsetConceptsStillScored) {
+  const auto full = agua::concepts::abr_concepts();
+  AbrDescriber describer(full.prefix(4));
+  const auto scores = describer.detect_concepts(AbrEnv::motivating_state());
+  EXPECT_EQ(scores.size(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Integration tests over the application bundles: the shared fixtures every
+// bench builds on. These pin down dataset shapes, determinism, and the
+// cross-module contracts (embedding dims, describers, controller adapters).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/abr_bundle.hpp"
+#include "apps/cc_bundle.hpp"
+#include "apps/ddos_bundle.hpp"
+#include "apps/noise.hpp"
+
+namespace {
+
+using namespace agua;
+
+TEST(AbrBundle, ShapesAndAdapters) {
+  apps::AbrBundle bundle = apps::make_abr_bundle(77, 300, 200);
+  EXPECT_EQ(bundle.train.size(), 300u);
+  EXPECT_EQ(bundle.test.size(), 200u);
+  EXPECT_EQ(bundle.train.num_outputs, abr::AbrController::kActions);
+  const core::Sample& s = bundle.train.samples.front();
+  EXPECT_EQ(s.input.size(), abr::ObsLayout::kTotal);
+  EXPECT_EQ(s.embedding.size(), 48u);
+  EXPECT_EQ(s.output_probs.size(), abr::AbrController::kActions);
+  EXPECT_EQ(s.output_class, common::argmax(s.output_probs));
+  // Controller adapter matches the controller.
+  auto fn = bundle.controller_fn();
+  EXPECT_EQ(fn(s.input), bundle.controller->act(s.input));
+  // Describe adapter produces template text.
+  const std::string description =
+      bundle.describe_fn()(s.input, text::DescriberOptions{});
+  EXPECT_NE(description.find("Network conditions:"), std::string::npos);
+}
+
+TEST(AbrBundle, UsesMultipleActions) {
+  apps::AbrBundle bundle = apps::make_abr_bundle(11, 400, 1);
+  std::set<std::size_t> actions;
+  for (const core::Sample& s : bundle.train.samples) actions.insert(s.output_class);
+  EXPECT_GE(actions.size(), 3u);
+}
+
+TEST(AbrBundle, DeterministicAcrossBuilds) {
+  apps::AbrBundle a = apps::make_abr_bundle(5, 50, 10);
+  apps::AbrBundle b = apps::make_abr_bundle(5, 50, 10);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.samples[i].output_class, b.train.samples[i].output_class);
+    EXPECT_EQ(a.train.samples[i].input, b.train.samples[i].input);
+  }
+}
+
+TEST(AbrBundle, TraceEmbeddingsMatchRolloutLength) {
+  apps::AbrBundle bundle = apps::make_abr_bundle(7, 20, 10);
+  common::Rng rng(1);
+  const auto traces = abr::generate_traces(abr::TraceFamily::k4G, 2, 80, rng);
+  const auto embeddings =
+      apps::collect_abr_trace_embeddings(*bundle.controller, traces, 25, rng);
+  ASSERT_EQ(embeddings.size(), 2u);
+  for (const auto& trace : embeddings) {
+    EXPECT_EQ(trace.size(), 25u);
+    EXPECT_EQ(trace.front().size(), 48u);
+  }
+}
+
+TEST(CcBundle, ShapesAndDistributionSplit) {
+  apps::CcBundle bundle = apps::make_cc_bundle(78, 300, 500);
+  EXPECT_EQ(bundle.train.size(), 300u);
+  EXPECT_EQ(bundle.test.size(), 500u);
+  EXPECT_EQ(bundle.train.num_outputs, cc::CcController::kActions);
+  const core::Sample& s = bundle.train.samples.front();
+  EXPECT_EQ(s.input.size(), 40u);  // 10-MI history x 4 features
+  EXPECT_EQ(s.embedding.size(), 32u);
+  const std::string description =
+      bundle.describe_fn()(s.input, text::DescriberOptions{});
+  EXPECT_NE(description.find("Latency behavior:"), std::string::npos);
+}
+
+TEST(CcBundle, PolicyIsStateDependent) {
+  apps::CcBundle bundle = apps::make_cc_bundle(12, 400, 1);
+  std::set<std::size_t> actions;
+  for (const core::Sample& s : bundle.train.samples) actions.insert(s.output_class);
+  EXPECT_GE(actions.size(), 3u);
+}
+
+TEST(DdosBundle, PaperSplitSizes) {
+  apps::DdosBundle bundle = apps::make_ddos_bundle(79);
+  EXPECT_EQ(bundle.train.size(), 1000u);
+  EXPECT_EQ(bundle.test.size(), 450u);
+  EXPECT_GT(bundle.test_accuracy, 0.95);
+}
+
+TEST(DdosBundle, DatasetMatchesControllerOutputs) {
+  apps::DdosBundle bundle = apps::make_ddos_bundle(80, 100, 50);
+  for (const core::Sample& s : bundle.test.samples) {
+    EXPECT_EQ(s.output_class, bundle.controller->classify(s.input));
+  }
+}
+
+TEST(Noise, ZeroFractionIsIdentity) {
+  common::Rng rng(3);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto y = apps::add_relative_noise(x, {1.0, 1.0, 1.0}, 0.0, rng);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Noise, MagnitudeScalesWithFeatureScale) {
+  common::Rng rng(4);
+  const std::vector<double> x(2, 0.0);
+  const std::vector<double> scales = {1.0, 100.0};
+  double small = 0.0;
+  double large = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto y = apps::add_relative_noise(x, scales, 0.05, rng);
+    small += y[0] * y[0];
+    large += y[1] * y[1];
+  }
+  EXPECT_GT(large, small * 1000.0);
+}
+
+TEST(Noise, MissingScalesDefaultToUnit) {
+  common::Rng rng(5);
+  const std::vector<double> x = {0.0, 0.0};
+  const auto y = apps::add_relative_noise(x, {2.0}, 0.1, rng);
+  EXPECT_EQ(y.size(), 2u);  // no crash; second feature uses scale 1.0
+}
+
+}  // namespace

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "cc/controller.hpp"
+#include "cc/describe.hpp"
+#include "cc/env.hpp"
+#include "cc/teacher.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::cc;
+
+CcEnv make_env(LinkPattern pattern, std::uint64_t seed = 1) {
+  CcEnv::Config config;
+  config.pattern = pattern;
+  config.episode_mis = 200;
+  common::Rng rng(seed);
+  return CcEnv(config, rng);
+}
+
+TEST(CcEnv, RateMultipliersSpanHalfToDouble) {
+  const auto m = rate_multipliers();
+  ASSERT_EQ(m.size(), kNumRateActions);
+  EXPECT_DOUBLE_EQ(m.front(), 0.5);
+  EXPECT_DOUBLE_EQ(m.back(), 2.0);
+  for (std::size_t i = 1; i < m.size(); ++i) EXPECT_GT(m[i], m[i - 1]);
+}
+
+TEST(CcEnv, ObservationDimMatchesConfig) {
+  CcEnv env = make_env(LinkPattern::kSteady);
+  EXPECT_EQ(env.observation_dim(), 10u * 4u);
+  EXPECT_EQ(env.observation().size(), env.observation_dim());
+  EXPECT_EQ(env.feature_names().size(), env.observation_dim());
+  EXPECT_EQ(env.feature_scales().size(), env.observation_dim());
+
+  CcEnv::Config debugged;
+  debugged.history = 15;
+  debugged.average_latency_feature = true;
+  common::Rng rng(2);
+  CcEnv env2(debugged, rng);
+  EXPECT_EQ(env2.observation_dim(), 15u * 5u);
+}
+
+TEST(CcEnv, PhysicalInvariantsHold) {
+  CcEnv env = make_env(LinkPattern::kVolatile, 3);
+  common::Rng rng(3);
+  while (!env.done()) {
+    const auto result = env.step(static_cast<std::size_t>(rng.uniform_int(0, 8)));
+    EXPECT_GE(result.loss_rate, 0.0);
+    EXPECT_LE(result.loss_rate, 1.0);
+    EXPECT_GE(result.latency_ms, 30.0 - 1e-9);  // never below base RTT
+    EXPECT_GE(result.throughput_mbps, 0.0);
+    EXPECT_LE(result.throughput_mbps, result.capacity_mbps + 1e-6);
+    EXPECT_GT(result.capacity_mbps, 0.0);
+  }
+}
+
+TEST(CcEnv, OverdrivingBuildsQueueAndLoss) {
+  CcEnv env = make_env(LinkPattern::kSteady, 4);
+  double final_latency = 0.0;
+  double total_loss = 0.0;
+  while (!env.done()) {
+    const auto result = env.step(8);  // always 2x
+    final_latency = result.latency_ms;
+    total_loss += result.loss_rate;
+  }
+  EXPECT_GT(final_latency, 60.0);  // deep queue
+  EXPECT_GT(total_loss, 0.5);
+}
+
+TEST(CcEnv, ConservativeSendingKeepsLatencyFlat) {
+  CcEnv env = make_env(LinkPattern::kSteady, 5);
+  double max_latency = 0.0;
+  while (!env.done()) {
+    const auto result = env.step(3);  // 0.93x: always decaying
+    max_latency = std::max(max_latency, result.latency_ms);
+  }
+  EXPECT_LT(max_latency, 45.0);
+}
+
+TEST(CcEnv, BurstyPatternChangesCapacity) {
+  CcEnv env = make_env(LinkPattern::kBurstyCross, 6);
+  std::vector<double> capacities;
+  while (!env.done()) capacities.push_back(env.step(4).capacity_mbps);
+  EXPECT_GT(common::max_value(capacities) / common::min_value(capacities), 1.5);
+}
+
+TEST(CcEnv, RewardFavorsUtilizationWithoutQueueing) {
+  CcEnv::Config config;
+  config.episode_mis = 100;
+  common::Rng rng(7);
+  CcEnv good(config, rng);
+  common::Rng rng2(7);
+  CcEnv bad(config, rng2);
+  double good_reward = 0.0;
+  double bad_reward = 0.0;
+  while (!good.done()) good_reward += good.step(4).reward;   // hold rate
+  while (!bad.done()) bad_reward += bad.step(8).reward;      // always double
+  EXPECT_GT(good_reward, bad_reward);
+}
+
+TEST(CcVariants, MatchPaperDebuggingStory) {
+  const ControllerVariant original = original_variant();
+  const ControllerVariant debugged = debugged_variant();
+  EXPECT_EQ(original.env.history, 10u);
+  EXPECT_FALSE(original.env.average_latency_feature);
+  EXPECT_EQ(debugged.env.history, 15u);
+  EXPECT_TRUE(debugged.env.average_latency_feature);
+  EXPECT_LT(debugged.learning_rate, original.learning_rate + 1e-12);
+  EXPECT_GT(debugged.entropy_coef, original.entropy_coef);
+}
+
+TEST(CcController, TrainingImprovesReward) {
+  common::Rng rng(8);
+  ControllerVariant variant = original_variant();
+  variant.updates = 30;
+  variant.env.episode_mis = 150;
+  CcController controller(8, variant.env);
+  const auto curve = train_reinforce(controller, variant, {LinkPattern::kSteady}, rng);
+  ASSERT_EQ(curve.size(), 30u);
+  const double early = (curve[0] + curve[1] + curve[2]) / 3.0;
+  const double late = (curve[27] + curve[28] + curve[29]) / 3.0;
+  EXPECT_GT(late, early);
+}
+
+TEST(CcController, RolloutRecordsAllIntervals) {
+  common::Rng rng(9);
+  ControllerVariant variant = original_variant();
+  variant.env.episode_mis = 120;
+  CcController controller(9, variant.env);
+  const auto samples = rollout(controller, variant.env, LinkPattern::kSteady, rng);
+  EXPECT_EQ(samples.size(), 120u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.observation.size(), 40u);
+    EXPECT_LT(s.action, kNumRateActions);
+  }
+}
+
+TEST(CcDescriber, DetectsRapidLatencyRise) {
+  CcEnv::Config config;
+  CcDescriber describer(config);
+  std::vector<double> obs(40, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    obs[0 + i] = 0.1 * static_cast<double>(i);        // latency gradient rising
+    obs[10 + i] = 1.0 + 0.15 * static_cast<double>(i);  // latency ratio rising
+    obs[20 + i] = 1.0;                                 // send ratio
+    obs[30 + i] = 0.0;                                 // loss
+  }
+  const auto scores = describer.detect_concepts(obs);
+  double rising = 0.0;
+  double stable = 0.0;
+  for (const auto& [name, score] : scores) {
+    if (name == "Rapidly Increasing Latency") rising = score;
+    if (name == "Stable Network Conditions") stable = score;
+  }
+  EXPECT_GT(rising, 0.5);
+  EXPECT_LT(stable, rising);
+}
+
+TEST(CcDescriber, DetectsStableConditions) {
+  CcEnv::Config config;
+  CcDescriber describer(config);
+  std::vector<double> obs(40, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) obs[10 + i] = 1.0;  // latency ratio flat at 1
+  for (std::size_t i = 0; i < 10; ++i) obs[20 + i] = 1.0;
+  const auto scores = describer.detect_concepts(obs);
+  double stable = 0.0;
+  for (const auto& [name, score] : scores) {
+    if (name == "Stable Network Conditions") stable = score;
+  }
+  EXPECT_GT(stable, 0.5);
+}
+
+TEST(CcDescriber, DetectsIncreasingLoss) {
+  CcEnv::Config config;
+  CcDescriber describer(config);
+  std::vector<double> obs(40, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    obs[10 + i] = 1.2;
+    obs[20 + i] = 1.2;
+    obs[30 + i] = 0.01 * static_cast<double>(i);  // loss ramp
+  }
+  const auto scores = describer.detect_concepts(obs);
+  double increasing_loss = 0.0;
+  double decreasing_loss = 0.0;
+  for (const auto& [name, score] : scores) {
+    if (name == "Increasing Packet Loss") increasing_loss = score;
+    if (name == "Decreasing Packet Loss") decreasing_loss = score;
+  }
+  EXPECT_GT(increasing_loss, 0.3);
+  EXPECT_LT(decreasing_loss, increasing_loss);
+}
+
+TEST(CcDescriber, DescriptionFollowsTemplate) {
+  CcEnv::Config config;
+  CcDescriber describer(config);
+  const std::vector<double> obs(40, 0.5);
+  const std::string text = describer.describe(obs);
+  EXPECT_NE(text.find("Latency behavior:"), std::string::npos);
+  EXPECT_NE(text.find("Loss behavior:"), std::string::npos);
+  EXPECT_NE(text.find("key concept"), std::string::npos);
+}
+
+std::vector<double> flat_observation(const CcEnv::Config& config, double latency_ratio,
+                                     double latency_gradient, double loss) {
+  std::vector<double> obs(config.history * 4, 0.0);
+  for (std::size_t i = 0; i < config.history; ++i) {
+    obs[0 * config.history + i] = latency_gradient;
+    obs[1 * config.history + i] = latency_ratio;
+    obs[2 * config.history + i] = 1.0;
+    obs[3 * config.history + i] = loss;
+  }
+  return obs;
+}
+
+TEST(CcTeacher, ProbesUpWhenLatencyLow) {
+  CcEnv::Config config;
+  CcTeacher teacher;
+  const auto action = teacher.act(flat_observation(config, 1.0, 0.0, 0.0), config);
+  EXPECT_GT(rate_multipliers()[action], 1.0);
+}
+
+TEST(CcTeacher, BacksOffOnHighLatencyRatio) {
+  CcEnv::Config config;
+  CcTeacher teacher;
+  const auto action = teacher.act(flat_observation(config, 1.8, 0.0, 0.0), config);
+  EXPECT_LT(rate_multipliers()[action], 1.0);
+}
+
+TEST(CcTeacher, BacksOffHardOnLoss) {
+  CcEnv::Config config;
+  CcTeacher teacher;
+  const auto lossy = teacher.act(flat_observation(config, 1.1, 0.0, 0.08), config);
+  const auto clean = teacher.act(flat_observation(config, 1.1, 0.0, 0.0), config);
+  EXPECT_LT(rate_multipliers()[lossy], rate_multipliers()[clean]);
+}
+
+TEST(CcTeacher, GradientOverReaction) {
+  CcEnv::Config config;
+  CcTeacher teacher;  // default gains are deliberately jumpy
+  const auto rising = teacher.act(flat_observation(config, 1.05, 0.2, 0.0), config);
+  const auto flat = teacher.act(flat_observation(config, 1.05, 0.0, 0.0), config);
+  EXPECT_LT(rate_multipliers()[rising], rate_multipliers()[flat]);
+}
+
+TEST(CcTeacher, DeadbandHolds) {
+  CcEnv::Config config;
+  CcTeacher::Options options;
+  options.ratio_target = 1.10;
+  options.hold_deadband = 0.08;
+  options.instantaneous_weight = 1.0;
+  CcTeacher teacher(options);
+  const auto action = teacher.act(flat_observation(config, 1.09, 0.0, 0.0), config);
+  EXPECT_DOUBLE_EQ(rate_multipliers()[action], 1.0);
+}
+
+TEST(CcTeacher, StepCapsRespected) {
+  CcEnv::Config config;
+  CcTeacher::Options options;
+  options.max_step_up = 1.08;
+  options.max_step_down = 0.8;
+  CcTeacher teacher(options);
+  // Extreme conditions in both directions stay within the caps.
+  const auto up = teacher.act(flat_observation(config, 0.5, -1.0, 0.0), config);
+  const auto down = teacher.act(flat_observation(config, 3.0, 1.0, 0.3), config);
+  EXPECT_LE(rate_multipliers()[up], 1.08 + 1e-9);
+  EXPECT_GE(rate_multipliers()[down], 0.8 - 1e-9);
+}
+
+TEST(CcTeacher, FullMultiplierRangeReachableByDefault) {
+  CcEnv::Config config;
+  CcTeacher teacher;
+  const auto up = teacher.act(flat_observation(config, 0.2, -0.5, 0.0), config);
+  const auto down = teacher.act(flat_observation(config, 3.5, 1.0, 0.5), config);
+  EXPECT_DOUBLE_EQ(rate_multipliers()[up], 2.0);
+  EXPECT_DOUBLE_EQ(rate_multipliers()[down], 0.5);
+}
+
+TEST(CcDescriber, IncludesLatencyBlockWhenConfigured) {
+  CcEnv::Config config;
+  config.history = 15;
+  config.average_latency_feature = true;
+  CcDescriber describer(config);
+  const std::vector<double> obs(15 * 5, 0.5);
+  EXPECT_NE(describer.describe(obs).find("Absolute latency:"), std::string::npos);
+}
+
+}  // namespace

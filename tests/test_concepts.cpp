@@ -1,0 +1,95 @@
+#include "concepts/concept_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "concepts/derivation.hpp"
+
+namespace {
+
+using namespace agua::concepts;
+
+TEST(ConceptSet, TableOneSizes) {
+  EXPECT_EQ(abr_concepts().size(), 16u);   // Table 1a
+  EXPECT_EQ(cc_concepts().size(), 8u);     // Table 1b
+  EXPECT_EQ(ddos_concepts().size(), 10u);  // Table 1c
+}
+
+TEST(ConceptSet, NamesMatchPaper) {
+  const ConceptSet abr = abr_concepts();
+  EXPECT_NE(abr.index_of("Extreme Network Degradation"), static_cast<std::size_t>(-1));
+  EXPECT_NE(abr.index_of("Rapidly Depleting Buffer"), static_cast<std::size_t>(-1));
+  const ConceptSet cc = cc_concepts();
+  EXPECT_NE(cc.index_of("Rapidly Increasing Latency"), static_cast<std::size_t>(-1));
+  const ConceptSet ddos = ddos_concepts();
+  EXPECT_NE(ddos.index_of("Payload Anomalies"), static_cast<std::size_t>(-1));
+  EXPECT_EQ(ddos.index_of("Nonexistent Concept"), static_cast<std::size_t>(-1));
+}
+
+TEST(ConceptSet, EveryConceptHasRichDescription) {
+  for (const ConceptSet& set : {abr_concepts(), cc_concepts(), ddos_concepts()}) {
+    for (const Concept& c : set.concepts()) {
+      EXPECT_FALSE(c.name.empty());
+      EXPECT_GT(c.description.size(), 30u) << c.name;
+      EXPECT_NE(c.embedding_text().find(c.name), std::string::npos);
+    }
+  }
+}
+
+TEST(ConceptSet, SubsetPreservesOrder) {
+  const ConceptSet abr = abr_concepts();
+  const ConceptSet sub = abr.subset({3, 0, 5});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.at(0).name, abr.at(3).name);
+  EXPECT_EQ(sub.at(1).name, abr.at(0).name);
+}
+
+TEST(ConceptSet, PrefixClamps) {
+  const ConceptSet abr = abr_concepts();
+  EXPECT_EQ(abr.prefix(4).size(), 4u);
+  EXPECT_EQ(abr.prefix(100).size(), 16u);
+}
+
+TEST(Derivation, CandidatePoolAddsRedundantParaphrases) {
+  const ConceptSet curated = cc_concepts();
+  const ConceptSet pool = candidate_pool(curated);
+  EXPECT_EQ(pool.size(), 2 * curated.size());
+}
+
+TEST(Derivation, FilterDropsRestatedDuplicates) {
+  const ConceptSet curated = cc_concepts();
+  const ConceptSet pool = candidate_pool(curated);
+  agua::text::TextEmbedder embedder;
+  const DerivationResult result = derive_concepts(pool, embedder, 0.8);
+  // Every curated concept survives; every "(restated)" paraphrase is dropped.
+  EXPECT_EQ(result.retained.size(), curated.size());
+  for (const Concept& c : result.retained.concepts()) {
+    EXPECT_EQ(c.name.find("(restated)"), std::string::npos);
+  }
+  EXPECT_EQ(result.dropped_indices.size(), curated.size());
+}
+
+TEST(Derivation, SimilarityMatrixShapeAndRange) {
+  const ConceptSet pool = candidate_pool(ddos_concepts());
+  agua::text::TextEmbedder embedder;
+  const DerivationResult result = derive_concepts(pool, embedder, 0.8);
+  ASSERT_EQ(result.similarity.size(), pool.size());
+  for (const auto& row : result.similarity) {
+    for (double s : row) {
+      EXPECT_GE(s, -1.0001);
+      EXPECT_LE(s, 1.0001);
+    }
+  }
+}
+
+TEST(Derivation, LooseThresholdKeepsOnlyFirstOfSimilarGroup) {
+  // With a very strict threshold, highly related concepts collapse.
+  const ConceptSet curated = cc_concepts();
+  agua::text::TextEmbedder embedder;
+  const DerivationResult strict = derive_concepts(curated, embedder, 0.05);
+  EXPECT_LT(strict.retained.size(), curated.size());
+  EXPECT_GE(strict.retained.size(), 1u);
+  // The first concept is always retained (filter is order-biased).
+  EXPECT_EQ(strict.retained.at(0).name, curated.at(0).name);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/concept_mapping.hpp"
+#include "core/labeler.hpp"
+#include "core/output_mapping.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::core;
+
+TEST(Labeler, LevelsFollowQuantizerBins) {
+  ConceptLabeler labeler(concepts::cc_concepts(), text::TextEmbedder(),
+                         text::SimilarityQuantizer::paper_default());
+  labeler.fit({}, /*calibrate_quantizer=*/false);
+  const auto levels = labeler.levels_from_similarities({0.1, 0.3, 0.7, 0.0});
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 2u);
+  EXPECT_EQ(levels[3], 0u);
+}
+
+TEST(Labeler, SimilaritiesAreSelfConsistent) {
+  const auto concepts_set = concepts::cc_concepts();
+  ConceptLabeler labeler(concepts_set, text::TextEmbedder(),
+                         text::SimilarityQuantizer::paper_default());
+  labeler.fit({}, false);
+  // A description that *is* a concept's text must be most similar to it.
+  const std::string description = concepts_set.at(3).embedding_text();
+  const auto sims = labeler.similarities(description);
+  EXPECT_EQ(common::argmax(sims), 3u);
+  EXPECT_NEAR(sims[3], 1.0, 1e-9);
+}
+
+TEST(Labeler, CalibrationPopulatesAllLevels) {
+  const auto concepts_set = concepts::cc_concepts();
+  ConceptLabeler labeler(concepts_set, text::TextEmbedder(),
+                         text::SimilarityQuantizer::paper_default());
+  // Corpus: concept texts themselves plus unrelated noise.
+  std::vector<std::string> corpus = concepts_set.embedding_texts();
+  corpus.push_back("completely unrelated text about gardens and tea");
+  corpus.push_back("another unrelated sentence about moonlight");
+  labeler.fit(corpus, /*calibrate_quantizer=*/true);
+  std::vector<std::size_t> level_counts(labeler.num_levels(), 0);
+  for (const auto& doc : corpus) {
+    for (std::size_t level : labeler.levels(doc)) ++level_counts[level];
+  }
+  for (std::size_t count : level_counts) EXPECT_GT(count, 0u);
+}
+
+TEST(ConceptMapping, LearnsLinearlySeparableLevels) {
+  // Embeddings in R^4; concept c's level = sign structure of coordinate c.
+  common::Rng rng(1);
+  ConceptMapping::Config config;
+  config.embedding_dim = 4;
+  config.num_concepts = 2;
+  config.num_levels = 3;
+  config.epochs = 150;
+  config.batch_size = 32;
+  ConceptMapping mapping(config, rng);
+
+  std::vector<std::vector<double>> embeddings;
+  std::vector<std::vector<std::size_t>> levels;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> h(4);
+    for (double& x : h) x = rng.uniform(-1.0, 1.0);
+    std::vector<std::size_t> l(2);
+    l[0] = h[0] < -0.33 ? 0 : (h[0] < 0.33 ? 1 : 2);
+    l[1] = h[1] < -0.33 ? 0 : (h[1] < 0.33 ? 1 : 2);
+    embeddings.push_back(std::move(h));
+    levels.push_back(std::move(l));
+  }
+  mapping.train(embeddings, levels, rng);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < embeddings.size(); ++i) {
+    const auto predicted = mapping.predict_levels(embeddings[i]);
+    for (std::size_t c = 0; c < 2; ++c) {
+      if (predicted[c] == levels[i][c]) ++correct;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+TEST(ConceptMapping, ProbsAreBlockwiseDistributions) {
+  common::Rng rng(2);
+  ConceptMapping::Config config;
+  config.embedding_dim = 3;
+  config.num_concepts = 4;
+  config.num_levels = 3;
+  ConceptMapping mapping(config, rng);
+  const auto probs = mapping.concept_probs({0.1, -0.2, 0.3});
+  ASSERT_EQ(probs.size(), 12u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      total += probs[c * 3 + j];
+      EXPECT_GE(probs[c * 3 + j], 0.0);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ConceptMapping, BatchMatchesSingle) {
+  common::Rng rng(3);
+  ConceptMapping::Config config;
+  config.embedding_dim = 3;
+  config.num_concepts = 2;
+  config.num_levels = 3;
+  ConceptMapping mapping(config, rng);
+  const std::vector<double> h = {0.5, -0.1, 0.9};
+  const auto single = mapping.concept_probs(h);
+  const auto batch = mapping.concept_probs_batch(nn::Matrix::from_rows({h, h}));
+  for (std::size_t j = 0; j < single.size(); ++j) {
+    EXPECT_NEAR(batch.at(0, j), single[j], 1e-12);
+    EXPECT_NEAR(batch.at(1, j), single[j], 1e-12);
+  }
+}
+
+TEST(OutputMapping, RecoversLinearTeacher) {
+  common::Rng rng(4);
+  OutputMapping::Config config;
+  config.concept_dim = 6;
+  config.num_outputs = 3;
+  config.epochs = 300;
+  config.batch_size = 64;
+  config.learning_rate = 0.1;
+  OutputMapping mapping(config, rng);
+
+  // Teacher: class = argmax of three fixed linear scores.
+  const std::vector<std::vector<double>> teacher_w = {
+      {2.0, -1.0, 0.0, 0.5, 0.0, -0.5},
+      {-1.0, 2.0, 0.5, 0.0, -0.5, 0.0},
+      {0.0, 0.0, -1.0, -1.0, 2.0, 2.0},
+  };
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> z(6);
+    for (double& x : z) x = rng.uniform(0.0, 1.0);
+    std::vector<double> scores(3, 0.0);
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t j = 0; j < 6; ++j) scores[c] += teacher_w[c][j] * z[j];
+    }
+    targets.push_back(common::softmax(scores));
+    inputs.push_back(std::move(z));
+  }
+  mapping.train(nn::Matrix::from_rows(inputs), nn::Matrix::from_rows(targets), rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (common::argmax(mapping.logits(inputs[i])) == common::argmax(targets[i])) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(inputs.size()), 0.9);
+}
+
+TEST(OutputMapping, ClassWeightsMatchColumns) {
+  common::Rng rng(5);
+  OutputMapping::Config config;
+  config.concept_dim = 4;
+  config.num_outputs = 2;
+  OutputMapping mapping(config, rng);
+  const auto w0 = mapping.class_weights(0);
+  const auto w1 = mapping.class_weights(1);
+  ASSERT_EQ(w0.size(), 4u);
+  // logits = W^T z + b, so rebuilding from class weights must match logits().
+  const std::vector<double> z = {0.1, 0.2, 0.3, 0.4};
+  const auto logits = mapping.logits(z);
+  double manual0 = mapping.class_bias(0);
+  double manual1 = mapping.class_bias(1);
+  for (std::size_t j = 0; j < 4; ++j) {
+    manual0 += w0[j] * z[j];
+    manual1 += w1[j] * z[j];
+  }
+  EXPECT_NEAR(logits[0], manual0, 1e-12);
+  EXPECT_NEAR(logits[1], manual1, 1e-12);
+}
+
+TEST(OutputMapping, StrongElasticNetShrinksWeights) {
+  common::Rng rng(6);
+  OutputMapping::Config weak;
+  weak.concept_dim = 5;
+  weak.num_outputs = 2;
+  weak.epochs = 150;
+  weak.elastic_coef = 0.0;
+  OutputMapping::Config strong = weak;
+  strong.elastic_coef = 0.05;
+
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::vector<double>> targets;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> z(5);
+    for (double& x : z) x = rng.uniform(0.0, 1.0);
+    targets.push_back(z[0] > 0.5 ? std::vector<double>{0.9, 0.1}
+                                 : std::vector<double>{0.1, 0.9});
+    inputs.push_back(std::move(z));
+  }
+  common::Rng rng_a(7);
+  common::Rng rng_b(7);
+  OutputMapping weak_map(weak, rng_a);
+  OutputMapping strong_map(strong, rng_b);
+  common::Rng train_a(8);
+  common::Rng train_b(8);
+  weak_map.train(nn::Matrix::from_rows(inputs), nn::Matrix::from_rows(targets), train_a);
+  strong_map.train(nn::Matrix::from_rows(inputs), nn::Matrix::from_rows(targets), train_b);
+  EXPECT_LT(strong_map.elastic_penalty(), weak_map.elastic_penalty());
+}
+
+}  // namespace

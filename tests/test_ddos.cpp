@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "ddos/controller.hpp"
+#include "ddos/describe.hpp"
+#include "ddos/features.hpp"
+#include "ddos/flows.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::ddos;
+
+TEST(Flows, TypeLabels) {
+  EXPECT_FALSE(is_attack(FlowType::kBenignWeb));
+  EXPECT_FALSE(is_attack(FlowType::kBenignStreaming));
+  EXPECT_TRUE(is_attack(FlowType::kSynFlood));
+  EXPECT_TRUE(is_attack(FlowType::kUdpFlood));
+  EXPECT_TRUE(is_attack(FlowType::kLowAndSlow));
+  EXPECT_STREQ(flow_type_name(FlowType::kSynFlood), "syn-flood");
+}
+
+TEST(Flows, SynFloodSignature) {
+  common::Rng rng(1);
+  const Flow flow = generate_flow(FlowType::kSynFlood, rng);
+  EXPECT_GE(flow.packets.size(), 30u);
+  for (const Packet& p : flow.packets) {
+    EXPECT_TRUE(p.syn);
+    EXPECT_FALSE(p.ack);
+    EXPECT_DOUBLE_EQ(p.payload_bytes, 0.0);
+    EXPECT_LE(p.iat_ms, 1.5);
+  }
+}
+
+TEST(Flows, BenignWebHasHandshakeAndPayloads) {
+  common::Rng rng(2);
+  const Flow flow = generate_flow(FlowType::kBenignWeb, rng);
+  ASSERT_GE(flow.packets.size(), 5u);
+  EXPECT_TRUE(flow.packets[0].syn);
+  EXPECT_TRUE(flow.packets[2].ack);
+  double payload = 0.0;
+  for (const Packet& p : flow.packets) payload += p.payload_bytes;
+  EXPECT_GT(payload, 1000.0);
+}
+
+TEST(Flows, LowAndSlowHasHugeGaps) {
+  common::Rng rng(3);
+  const Flow flow = generate_flow(FlowType::kLowAndSlow, rng);
+  double max_iat = 0.0;
+  for (const Packet& p : flow.packets) max_iat = std::max(max_iat, p.iat_ms);
+  EXPECT_GT(max_iat, 1000.0);
+}
+
+TEST(Flows, DatasetBalancedAndShuffled) {
+  common::Rng rng(4);
+  const auto flows = generate_dataset(200, 0.5, rng);
+  ASSERT_EQ(flows.size(), 200u);
+  std::size_t attacks = 0;
+  for (const Flow& f : flows) {
+    if (f.attack()) ++attacks;
+  }
+  EXPECT_EQ(attacks, 100u);
+  // Not all attacks at the front (shuffled).
+  std::size_t front_attacks = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (flows[i].attack()) ++front_attacks;
+  }
+  EXPECT_LT(front_attacks, 20u);
+}
+
+TEST(Features, DimensionsAndNames) {
+  EXPECT_EQ(feature_names().size(), kFeatureDim);
+  EXPECT_EQ(feature_scales().size(), kFeatureDim);
+  common::Rng rng(5);
+  const auto f = extract_features(generate_flow(FlowType::kBenignWeb, rng));
+  EXPECT_EQ(f.size(), kFeatureDim);
+}
+
+TEST(Features, SynFloodAggregates) {
+  common::Rng rng(6);
+  const auto f = extract_features(generate_flow(FlowType::kSynFlood, rng));
+  EXPECT_DOUBLE_EQ(f[DdosLayout::kSynRatio], 1.0);
+  EXPECT_DOUBLE_EQ(f[DdosLayout::kAckRatio], 0.0);
+  EXPECT_DOUBLE_EQ(f[DdosLayout::kPayloadRatio], 0.0);
+  EXPECT_GT(f[DdosLayout::kPacketRate], 1000.0);
+}
+
+TEST(Features, UdpFloodAggregates) {
+  common::Rng rng(7);
+  const auto f = extract_features(generate_flow(FlowType::kUdpFlood, rng));
+  EXPECT_DOUBLE_EQ(f[DdosLayout::kUdpRatio], 1.0);
+  EXPECT_GT(f[DdosLayout::kPayloadRatio], 0.9);
+}
+
+TEST(Features, EmptyFlowIsZero) {
+  Flow empty;
+  empty.packets.clear();
+  const auto f = extract_features(empty);
+  for (double x : f) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Controller, LearnsToSeparateAttacks) {
+  common::Rng rng(8);
+  DdosController controller(8);
+  const auto train = generate_dataset(400, 0.5, rng);
+  const double train_acc = train_supervised(controller, train, 30, 0.05, rng);
+  EXPECT_GT(train_acc, 0.97);
+  const auto test = generate_dataset(200, 0.5, rng);
+  EXPECT_GT(evaluate_accuracy(controller, test), 0.95);
+}
+
+TEST(Controller, EmbeddingDimsMatchConfig) {
+  DdosController controller(9);
+  common::Rng rng(9);
+  const auto f = extract_features(generate_flow(FlowType::kBenignWeb, rng));
+  EXPECT_EQ(controller.embedding(f).size(), 24u);
+  const auto probs = controller.output_probs(f);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
+}
+
+TEST(Describer, SynFloodFlaggedByProtocolAndPayloadAnomalies) {
+  common::Rng rng(10);
+  DdosDescriber describer;
+  const auto f = extract_features(generate_flow(FlowType::kSynFlood, rng));
+  const auto scores = describer.detect_concepts(f);
+  double protocol_anomalies = 0.0;
+  double payload_anomalies = 0.0;
+  double typical = 0.0;
+  for (const auto& [name, score] : scores) {
+    if (name == "Protocol Anomalies") protocol_anomalies = score;
+    if (name == "Payload Anomalies") payload_anomalies = score;
+    if (name == "Typical Application Behavior") typical = score;
+  }
+  EXPECT_GT(protocol_anomalies, 0.5);
+  EXPECT_GT(payload_anomalies, 0.5);
+  EXPECT_LT(typical, 0.3);
+}
+
+TEST(Describer, BenignWebLooksTypical) {
+  common::Rng rng(11);
+  DdosDescriber describer;
+  const auto f = extract_features(generate_flow(FlowType::kBenignWeb, rng));
+  const auto scores = describer.detect_concepts(f);
+  double typical = 0.0;
+  double protocol_anomalies = 0.0;
+  for (const auto& [name, score] : scores) {
+    if (name == "Typical Application Behavior") typical = score;
+    if (name == "Protocol Anomalies") protocol_anomalies = score;
+  }
+  EXPECT_GT(typical, 0.4);
+  EXPECT_LT(protocol_anomalies, typical);
+}
+
+TEST(Describer, LowAndSlowDetected) {
+  common::Rng rng(12);
+  DdosDescriber describer;
+  const auto f = extract_features(generate_flow(FlowType::kLowAndSlow, rng));
+  const auto scores = describer.detect_concepts(f);
+  double low_slow = 0.0;
+  for (const auto& [name, score] : scores) {
+    if (name == "Low-and-Slow Attack Indicators") low_slow = score;
+  }
+  EXPECT_GT(low_slow, 0.3);
+}
+
+TEST(Describer, TemplateSectionsPresent) {
+  common::Rng rng(13);
+  DdosDescriber describer;
+  const auto f = extract_features(generate_flow(FlowType::kUdpFlood, rng));
+  const std::string text = describer.describe(f);
+  EXPECT_NE(text.find("Packet timing:"), std::string::npos);
+  EXPECT_NE(text.find("Protocol flags:"), std::string::npos);
+  EXPECT_NE(text.find("Payload characteristics:"), std::string::npos);
+  EXPECT_NE(text.find("key concept"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include "text/describer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace agua::text;
+
+std::vector<double> ramp(double from, double to, std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = from + (to - from) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return v;
+}
+
+TEST(Trend, StableFlatSeries) {
+  EXPECT_EQ(classify_trend({5.0, 5.0, 5.0, 5.0}, 10.0), Trend::kStable);
+}
+
+TEST(Trend, IncreasingRamp) {
+  EXPECT_EQ(classify_trend(ramp(1.0, 3.0, 10), 10.0), Trend::kIncreasing);
+}
+
+TEST(Trend, DecreasingRamp) {
+  EXPECT_EQ(classify_trend(ramp(3.0, 1.0, 10), 10.0), Trend::kDecreasing);
+}
+
+TEST(Trend, RapidRise) {
+  EXPECT_EQ(classify_trend(ramp(1.0, 9.0, 10), 10.0), Trend::kRapidlyIncreasing);
+}
+
+TEST(Trend, RapidFall) {
+  EXPECT_EQ(classify_trend(ramp(9.0, 1.0, 10), 10.0), Trend::kRapidlyDecreasing);
+}
+
+TEST(Trend, VolatileSawtooth) {
+  EXPECT_EQ(classify_trend({1.0, 9.0, 1.0, 9.0, 1.0, 9.0}, 10.0), Trend::kVolatile);
+}
+
+TEST(Trend, DegenerateInputsAreStable) {
+  EXPECT_EQ(classify_trend({}, 10.0), Trend::kStable);
+  EXPECT_EQ(classify_trend({1.0}, 10.0), Trend::kStable);
+  EXPECT_EQ(classify_trend({1.0, 2.0}, 0.0), Trend::kStable);
+}
+
+// Property sweep across slope magnitudes: steeper normalized slope never
+// produces a "weaker" trend class.
+class TrendSlopeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TrendSlopeTest, SlopeMagnitudeMapsToExpectedClass) {
+  const double normalized_slope = GetParam();
+  const auto v = ramp(5.0, 5.0 + normalized_slope * 10.0, 10);
+  const Trend t = classify_trend(v, 10.0);
+  if (normalized_slope > 0.40) {
+    EXPECT_EQ(t, Trend::kRapidlyIncreasing);
+  } else if (normalized_slope > 0.10) {
+    EXPECT_EQ(t, Trend::kIncreasing);
+  } else {
+    EXPECT_EQ(t, Trend::kStable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, TrendSlopeTest,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.39, 0.5, 0.9));
+
+TEST(SplitThirds, CoversAllElements) {
+  const auto parts = split_thirds({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size() + parts[1].size() + parts[2].size(), 9u);
+  EXPECT_DOUBLE_EQ(parts[0].front(), 1.0);
+  EXPECT_DOUBLE_EQ(parts[2].back(), 9.0);
+}
+
+TEST(SplitThirds, ShortSeriesNonEmptyParts) {
+  const auto parts = split_thirds({1.0, 2.0});
+  for (const auto& part : parts) EXPECT_FALSE(part.empty());
+}
+
+TEST(TrendPhrase, DeterministicAtZeroTemperature) {
+  DescriberOptions opts;
+  EXPECT_EQ(trend_phrase(Trend::kIncreasing, opts), "increasing");
+  EXPECT_EQ(trend_phrase(Trend::kVolatile, opts), "volatile");
+}
+
+TEST(TrendPhrase, HumanStyleDiffers) {
+  DescriberOptions human;
+  human.human_style = true;
+  EXPECT_EQ(trend_phrase(Trend::kIncreasing, human), "rising");
+  EXPECT_NE(trend_phrase(Trend::kStable, human),
+            trend_phrase(Trend::kStable, DescriberOptions{}));
+}
+
+TEST(TrendPhrase, TemperatureSamplesSynonyms) {
+  agua::common::Rng rng(3);
+  DescriberOptions noisy;
+  noisy.temperature = 1.0;
+  noisy.rng = &rng;
+  bool saw_alternate = false;
+  for (int i = 0; i < 50; ++i) {
+    if (trend_phrase(Trend::kIncreasing, noisy) != "increasing") saw_alternate = true;
+  }
+  EXPECT_TRUE(saw_alternate);
+}
+
+TEST(DescribeGroup, FollowsTemplate) {
+  DescriberOptions opts;
+  const std::string text = describe_group(
+      "Network conditions",
+      {{"Network Throughput", ramp(3.0, 1.0, 10), 10.0},
+       {"Transmission Time", ramp(1.0, 3.0, 10), 20.0}},
+      opts);
+  EXPECT_NE(text.find("Network conditions:"), std::string::npos);
+  EXPECT_NE(text.find("Initially starts off with"), std::string::npos);
+  EXPECT_NE(text.find("In the middle"), std::string::npos);
+  EXPECT_NE(text.find("In the end"), std::string::npos);
+  EXPECT_NE(text.find("Overall, the trend is"), std::string::npos);
+  EXPECT_NE(text.find("Network Throughput"), std::string::npos);
+}
+
+TEST(DescribeGroup, DeterministicAtZeroTemperature) {
+  DescriberOptions opts;
+  const std::vector<FeatureSeries> features = {{"Buffer", ramp(2.0, 14.0, 10), 15.0}};
+  EXPECT_EQ(describe_group("Buffer", features, opts),
+            describe_group("Buffer", features, opts));
+}
+
+TEST(ConceptSummary, ListsAllConceptsDeterministically) {
+  DescriberOptions opts;
+  const std::string text =
+      concept_correlation_summary({"Stable Buffer", "High Network Throughput"}, opts);
+  EXPECT_NE(text.find("Stable Buffer"), std::string::npos);
+  EXPECT_NE(text.find("High Network Throughput"), std::string::npos);
+  EXPECT_NE(text.find("key concept"), std::string::npos);
+}
+
+TEST(ConceptSummary, NoiseCanDropOrReorder) {
+  agua::common::Rng rng(7);
+  DescriberOptions noisy;
+  noisy.temperature = 1.0;
+  noisy.rng = &rng;
+  const std::vector<std::string> concepts = {"A1", "B2", "C3"};
+  bool changed = false;
+  const std::string baseline =
+      concept_correlation_summary(concepts, DescriberOptions{});
+  for (int i = 0; i < 50; ++i) {
+    if (concept_correlation_summary(concepts, noisy) != baseline) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/datastore.hpp"
+#include "core/drift.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::core;
+
+AguaModel make_model(std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  ConceptMapping::Config cm;
+  cm.embedding_dim = 4;
+  cm.num_concepts = 5;
+  cm.num_levels = 3;
+  ConceptMapping mapping(cm, rng);
+  OutputMapping::Config om;
+  om.concept_dim = 15;
+  om.num_outputs = 3;
+  OutputMapping output(om, rng);
+  return AguaModel(concepts::abr_concepts().prefix(5), std::move(mapping),
+                   std::move(output));
+}
+
+std::vector<TraceEmbeddings> random_traces(std::size_t traces, std::size_t steps,
+                                           double offset, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<TraceEmbeddings> out(traces);
+  for (auto& trace : out) {
+    for (std::size_t s = 0; s < steps; ++s) {
+      trace.push_back({rng.uniform(-1.0, 1.0) + offset, rng.uniform(-1.0, 1.0),
+                       rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0) - offset});
+    }
+  }
+  return out;
+}
+
+TEST(Drift, TraceTopConceptsBounded) {
+  AguaModel model = make_model();
+  const auto traces = random_traces(1, 20, 0.0, 2);
+  const auto top = trace_top_concepts(model, traces[0], 3);
+  ASSERT_EQ(top.size(), 3u);
+  for (std::size_t c : top) EXPECT_LT(c, model.num_concepts());
+}
+
+TEST(Drift, ProportionsNormalized) {
+  AguaModel model = make_model(3);
+  const auto a = random_traces(10, 15, 0.0, 4);
+  const auto b = random_traces(10, 15, 1.5, 5);
+  const DriftReport report = detect_concept_drift(model, a, b, 3);
+  const double sum_a =
+      std::accumulate(report.proportions_a.begin(), report.proportions_a.end(), 0.0);
+  const double sum_b =
+      std::accumulate(report.proportions_b.begin(), report.proportions_b.end(), 0.0);
+  EXPECT_NEAR(sum_a, 1.0, 1e-9);
+  EXPECT_NEAR(sum_b, 1.0, 1e-9);
+}
+
+TEST(Drift, IdenticalDatasetsShowNoDrift) {
+  AguaModel model = make_model(6);
+  const auto a = random_traces(8, 10, 0.0, 7);
+  const DriftReport report = detect_concept_drift(model, a, a, 3);
+  for (double d : report.delta) EXPECT_NEAR(d, 0.0, 1e-12);
+  EXPECT_TRUE(report.increased.empty());
+  EXPECT_TRUE(report.decreased.empty());
+}
+
+TEST(Drift, IncreasedSortedByDelta) {
+  AguaModel model = make_model(8);
+  const auto a = random_traces(12, 12, 0.0, 9);
+  const auto b = random_traces(12, 12, 2.0, 10);
+  const DriftReport report = detect_concept_drift(model, a, b, 2);
+  for (std::size_t i = 1; i < report.increased.size(); ++i) {
+    EXPECT_GE(report.delta[report.increased[i - 1]], report.delta[report.increased[i]]);
+  }
+  for (std::size_t c : report.increased) EXPECT_GT(report.delta[c], 0.0);
+  for (std::size_t c : report.decreased) EXPECT_LT(report.delta[c], 0.0);
+}
+
+TEST(Drift, SelectedTracesCarryIncreasedConcepts) {
+  AguaModel model = make_model(11);
+  const auto a = random_traces(10, 10, 0.0, 12);
+  const auto b = random_traces(10, 10, 1.0, 13);
+  const DriftReport report = detect_concept_drift(model, a, b, 3);
+  const auto selected = select_retraining_traces(model, b, report, 3);
+  for (std::size_t t : selected) {
+    const auto top = tag_trace(model, b[t], report, 3);
+    bool overlaps = false;
+    for (std::size_t c : top) {
+      if (std::find(report.increased.begin(), report.increased.end(), c) !=
+          report.increased.end()) {
+        overlaps = true;
+      }
+    }
+    EXPECT_TRUE(overlaps);
+  }
+}
+
+TEST(Drift, FormatRendersAllConcepts) {
+  AguaModel model = make_model(14);
+  const auto a = random_traces(4, 8, 0.0, 15);
+  const DriftReport report = detect_concept_drift(model, a, a, 3);
+  const std::string text = report.format();
+  for (const auto& name : report.concept_names) {
+    EXPECT_NE(text.find(name), std::string::npos);
+  }
+}
+
+TEST(DataStore, NearestFindsSelfFirst) {
+  ConceptDataStore store;
+  common::Rng rng(16);
+  for (std::size_t i = 0; i < 50; ++i) {
+    std::vector<double> v(8);
+    for (double& x : v) x = rng.uniform(-1.0, 1.0);
+    store.add(std::move(v), "w", i);
+  }
+  const auto& probe = store.entry(7).embedding;
+  const auto nearest = store.nearest(probe, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  EXPECT_EQ(nearest[0], 7u);
+}
+
+TEST(DataStore, ClusteringAssignsEveryEntry) {
+  ConceptDataStore store;
+  common::Rng rng(17);
+  // Two well-separated blobs.
+  for (std::size_t i = 0; i < 30; ++i) {
+    store.add({rng.normal(5.0, 0.2), rng.normal(5.0, 0.2)}, "a", i);
+    store.add({rng.normal(-5.0, 0.2), rng.normal(-5.0, 0.2)}, "b", i);
+  }
+  store.build_clusters(2, 20, rng);
+  ASSERT_TRUE(store.clustered());
+  // The two blobs land in distinct clusters.
+  const std::size_t cluster_a = store.cluster_of({5.0, 5.0});
+  const std::size_t cluster_b = store.cluster_of({-5.0, -5.0});
+  EXPECT_NE(cluster_a, cluster_b);
+  // All workload-a entries share a cluster.
+  for (double c : store.workload_cluster_series("a")) {
+    EXPECT_DOUBLE_EQ(c, static_cast<double>(cluster_a));
+  }
+}
+
+TEST(DataStore, ExpandDeduplicates) {
+  ConceptDataStore store;
+  common::Rng rng(18);
+  for (std::size_t i = 0; i < 20; ++i) {
+    store.add({static_cast<double>(i), 1.0}, "w", i);
+  }
+  const std::vector<std::vector<double>> queries = {{1.0, 1.0}, {1.2, 1.0}};
+  const auto expanded = store.expand(queries, 5);
+  std::set<std::size_t> unique(expanded.begin(), expanded.end());
+  EXPECT_EQ(unique.size(), expanded.size());
+}
+
+TEST(DataStore, ExpandWithMultiplicityKeepsRepeats) {
+  ConceptDataStore store;
+  for (std::size_t i = 0; i < 10; ++i) {
+    store.add({static_cast<double>(i), 1.0}, "w", i);
+  }
+  // Two near-identical queries: dedup-free expansion doubles the hits.
+  const std::vector<std::vector<double>> queries = {{1.0, 1.0}, {1.01, 1.0}};
+  const auto expanded = store.expand_with_multiplicity(queries, 4);
+  EXPECT_EQ(expanded.size(), 8u);
+  const auto deduped = store.expand(queries, 4);
+  EXPECT_LT(deduped.size(), expanded.size());
+}
+
+TEST(DataStore, WorkloadFiltering) {
+  ConceptDataStore store;
+  store.add({1.0}, "alpha", 0);
+  store.add({2.0}, "beta", 1);
+  store.add({3.0}, "alpha", 2);
+  const auto alpha_entries = store.workload_entries("alpha");
+  ASSERT_EQ(alpha_entries.size(), 2u);
+  EXPECT_EQ(alpha_entries[0], 0u);
+  EXPECT_EQ(alpha_entries[1], 2u);
+}
+
+TEST(DataStore, ClusterSeriesMatchesEntries) {
+  ConceptDataStore store;
+  common::Rng rng(19);
+  for (std::size_t i = 0; i < 12; ++i) {
+    store.add({rng.uniform(0.0, 1.0)}, "w", i);
+  }
+  store.build_clusters(3, 10, rng);
+  const auto series = store.cluster_series({0, 1, 2});
+  ASSERT_EQ(series.size(), 3u);
+  for (double c : series) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LT(c, 3.0);
+  }
+}
+
+}  // namespace

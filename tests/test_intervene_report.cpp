@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/intervene.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::core;
+
+AguaModel make_model(std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  ConceptMapping::Config cm;
+  cm.embedding_dim = 4;
+  cm.num_concepts = 5;
+  cm.num_levels = 3;
+  ConceptMapping mapping(cm, rng);
+  OutputMapping::Config om;
+  om.concept_dim = 15;
+  om.num_outputs = 3;
+  OutputMapping output(om, rng);
+  return AguaModel(concepts::abr_concepts().prefix(5), std::move(mapping),
+                   std::move(output));
+}
+
+TEST(Intervene, EmptyInterventionIsIdentity) {
+  AguaModel model = make_model();
+  const std::vector<double> h = {0.2, -0.1, 0.4, 0.3};
+  const InterventionResult result = intervene(model, h, {});
+  EXPECT_EQ(result.original_class, result.adjusted_class);
+  for (std::size_t i = 0; i < result.original_probs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.original_probs[i], result.adjusted_probs[i]);
+  }
+}
+
+TEST(Intervene, OverrideIsOneHot) {
+  AguaModel model = make_model(2);
+  const std::vector<double> h = {0.1, 0.1, 0.1, 0.1};
+  const InterventionResult result = intervene(model, h, {{2, 1}});
+  const std::size_t k = model.num_levels();
+  EXPECT_DOUBLE_EQ(result.adjusted_concept_probs[2 * k + 0], 0.0);
+  EXPECT_DOUBLE_EQ(result.adjusted_concept_probs[2 * k + 1], 1.0);
+  EXPECT_DOUBLE_EQ(result.adjusted_concept_probs[2 * k + 2], 0.0);
+  // Other concepts untouched.
+  const auto z = model.concept_probs(h);
+  EXPECT_DOUBLE_EQ(result.adjusted_concept_probs[0], z[0]);
+}
+
+TEST(Intervene, ProbsAreDistributions) {
+  AguaModel model = make_model(3);
+  const InterventionResult result =
+      intervene(model, {0.3, -0.3, 0.6, 0.0}, {{0, 2}, {4, 0}});
+  double total = 0.0;
+  for (double p : result.adjusted_probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Intervene, FindFlipHonorsTarget) {
+  AguaModel model = make_model(4);
+  const std::vector<double> h = {0.9, -0.9, 0.5, -0.5};
+  const std::size_t original = model.predict_class(h);
+  // Look for a flip to each other class; where one exists, it must hold.
+  for (std::size_t target = 0; target < model.num_outputs(); ++target) {
+    if (target == original) continue;
+    const auto flip = find_flip(model, h, target);
+    if (flip.has_value()) {
+      const InterventionResult result = intervene(model, h, {*flip});
+      EXPECT_EQ(result.adjusted_class, target);
+      EXPECT_TRUE(result.decision_changed());
+    }
+  }
+}
+
+TEST(Intervene, FindFlipToCurrentClassIsTrivial) {
+  AguaModel model = make_model(5);
+  const std::vector<double> h = {0.2, 0.2, 0.2, 0.2};
+  const std::size_t original = model.predict_class(h);
+  const auto flip = find_flip(model, h, original);
+  ASSERT_TRUE(flip.has_value());  // any no-op-ish override keeps the class
+}
+
+TEST(Intervene, FormatMentionsConceptAndOutcome) {
+  AguaModel model = make_model(6);
+  const std::vector<double> h = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<Intervention> ivs = {{1, 2}};
+  const InterventionResult result = intervene(model, h, ivs);
+  const std::string text = result.format(model.concept_set(), ivs);
+  EXPECT_NE(text.find(model.concept_set().at(1).name), std::string::npos);
+  EXPECT_TRUE(text.find("FLIPPED") != std::string::npos ||
+              text.find("unchanged") != std::string::npos);
+}
+
+TEST(Report, FieldsPopulated) {
+  AguaModel model = make_model(7);
+  Dataset train;
+  Dataset test;
+  train.num_outputs = test.num_outputs = 3;
+  common::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    Sample s;
+    s.embedding = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1),
+                   rng.uniform(-1, 1)};
+    s.output_probs = {0.2, 0.5, 0.3};
+    s.output_class = model.predict_class(s.embedding);  // perfect-fidelity labels
+    (i % 2 == 0 ? train : test).samples.push_back(std::move(s));
+  }
+  const AguaReport report = build_report(model, train, test);
+  EXPECT_DOUBLE_EQ(report.train_fidelity, 1.0);
+  EXPECT_DOUBLE_EQ(report.test_fidelity, 1.0);
+  EXPECT_EQ(report.num_concepts, 5u);
+  EXPECT_EQ(report.top_concepts_per_class.size(), 3u);
+  ASSERT_EQ(report.mean_concept_intensity.size(), 5u);
+  for (double v : report.mean_concept_intensity) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Report, TopConceptsSortedByMass) {
+  AguaModel model = make_model(9);
+  Dataset empty;
+  empty.num_outputs = 3;
+  const AguaReport report = build_report(model, empty, empty);
+  for (const auto& weights : report.top_weights_per_class) {
+    for (std::size_t i = 1; i < weights.size(); ++i) {
+      EXPECT_GE(weights[i - 1], weights[i]);
+    }
+  }
+}
+
+TEST(Report, FormatContainsKeySections) {
+  AguaModel model = make_model(10);
+  Dataset empty;
+  empty.num_outputs = 3;
+  const AguaReport report = build_report(model, empty, empty);
+  const std::string text = report.format(2);
+  EXPECT_NE(text.find("Agua report"), std::string::npos);
+  EXPECT_NE(text.find("fidelity"), std::string::npos);
+  EXPECT_NE(text.find("class 0"), std::string::npos);
+}
+
+}  // namespace

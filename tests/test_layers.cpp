@@ -1,0 +1,172 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace agua::nn;
+
+Matrix random_matrix(std::size_t r, std::size_t c, agua::common::Rng& rng) {
+  Matrix m(r, c);
+  for (double& x : m.data()) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+/// Scalar loss L = sum(forward(x) ∘ G) for a fixed G; its gradient w.r.t. the
+/// output is exactly G, which lets us numerically check backward().
+double loss_of(Module& module, const Matrix& input, const Matrix& g) {
+  Matrix out = module.forward(input);
+  out.hadamard(g);
+  return out.sum();
+}
+
+void check_input_gradient(Module& module, Matrix input, double tolerance = 1e-5) {
+  agua::common::Rng rng(99);
+  const Matrix out = module.forward(input);
+  const Matrix g = random_matrix(out.rows(), out.cols(), rng);
+  module.zero_grad();
+  module.forward(input);
+  const Matrix analytic = module.backward(g);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    Matrix plus = input;
+    Matrix minus = input;
+    plus.data()[i] += eps;
+    minus.data()[i] -= eps;
+    const double numeric = (loss_of(module, plus, g) - loss_of(module, minus, g)) / (2 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric, tolerance) << "input index " << i;
+  }
+}
+
+void check_parameter_gradients(Module& module, const Matrix& input, double tolerance = 1e-5) {
+  agua::common::Rng rng(101);
+  const Matrix out = module.forward(input);
+  const Matrix g = random_matrix(out.rows(), out.cols(), rng);
+  module.zero_grad();
+  module.forward(input);
+  module.backward(g);
+  const double eps = 1e-6;
+  for (Parameter* p : module.parameters()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double saved = p->value.data()[i];
+      p->value.data()[i] = saved + eps;
+      const double plus = loss_of(module, input, g);
+      p->value.data()[i] = saved - eps;
+      const double minus = loss_of(module, input, g);
+      p->value.data()[i] = saved;
+      const double numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(p->grad.data()[i], numeric, tolerance) << "param index " << i;
+    }
+  }
+}
+
+TEST(Layers, LinearForwardKnown) {
+  agua::common::Rng rng(1);
+  Linear layer(2, 1, rng);
+  layer.weight().value = Matrix::from_rows({{2.0}, {3.0}});
+  layer.bias().value = Matrix::row_vector({0.5});
+  const Matrix out = layer.forward(Matrix::row_vector({1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 5.5);
+}
+
+TEST(Layers, LinearGradientsNumericallyCorrect) {
+  agua::common::Rng rng(2);
+  Linear layer(4, 3, rng);
+  const Matrix input = random_matrix(5, 4, rng);
+  check_input_gradient(layer, input);
+  check_parameter_gradients(layer, input);
+}
+
+TEST(Layers, ReluForwardAndGradient) {
+  ReLU relu;
+  const Matrix out = relu.forward(Matrix::row_vector({-1.0, 0.0, 2.0}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 2.0);
+  agua::common::Rng rng(3);
+  // Keep inputs away from the kink at 0 for the finite-difference check.
+  Matrix input = random_matrix(3, 4, rng);
+  input.apply([](double x) { return x + (x >= 0 ? 0.5 : -0.5); });
+  check_input_gradient(relu, input);
+}
+
+TEST(Layers, TanhGradient) {
+  Tanh tanh_layer;
+  agua::common::Rng rng(4);
+  check_input_gradient(tanh_layer, random_matrix(3, 4, rng));
+}
+
+TEST(Layers, LayerNormNormalizesRows) {
+  LayerNorm norm(4);
+  const Matrix out = norm.forward(Matrix::row_vector({1.0, 2.0, 3.0, 4.0}));
+  double mean = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) mean += out.at(0, c);
+  EXPECT_NEAR(mean / 4.0, 0.0, 1e-9);
+  double var = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) var += out.at(0, c) * out.at(0, c);
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-4);
+}
+
+TEST(Layers, LayerNormGradientsNumericallyCorrect) {
+  LayerNorm norm(5);
+  agua::common::Rng rng(5);
+  // Give gamma/beta non-trivial values so their gradients are exercised.
+  for (Parameter* p : norm.parameters()) {
+    for (double& x : p->value.data()) x += rng.uniform(-0.3, 0.3);
+  }
+  const Matrix input = random_matrix(3, 5, rng);
+  check_input_gradient(norm, input, 1e-4);
+  check_parameter_gradients(norm, input, 1e-4);
+}
+
+TEST(Layers, SequentialComposesAndBackprops) {
+  agua::common::Rng rng(6);
+  auto net = make_concept_mapping_net(4, 8, 6, rng);
+  const Matrix input = random_matrix(3, 4, rng);
+  check_input_gradient(*net, input, 1e-4);
+  check_parameter_gradients(*net, input, 1e-4);
+}
+
+TEST(Layers, MlpShape) {
+  agua::common::Rng rng(7);
+  auto net = make_mlp(10, 16, 3, rng);
+  const Matrix out = net->forward(Matrix(5, 10, 0.1));
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(Layers, SaveLoadRoundTrip) {
+  agua::common::Rng rng(8);
+  auto net = make_concept_mapping_net(4, 6, 5, rng);
+  const Matrix input = random_matrix(2, 4, rng);
+  const Matrix before = net->forward(input);
+
+  std::stringstream stream;
+  agua::common::BinaryWriter w(stream);
+  net->save(w);
+
+  agua::common::Rng rng2(99);  // different init
+  auto loaded = make_concept_mapping_net(4, 6, 5, rng2);
+  agua::common::BinaryReader r(stream);
+  loaded->load(r);
+  const Matrix after = loaded->forward(input);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before.data()[i], after.data()[i]);
+  }
+}
+
+TEST(Layers, ZeroGradClearsAccumulation) {
+  agua::common::Rng rng(9);
+  Linear layer(3, 2, rng);
+  const Matrix input = random_matrix(2, 3, rng);
+  layer.forward(input);
+  layer.backward(Matrix(2, 2, 1.0));
+  EXPECT_GT(layer.weight().grad.abs_sum(), 0.0);
+  layer.zero_grad();
+  EXPECT_DOUBLE_EQ(layer.weight().grad.abs_sum(), 0.0);
+}
+
+}  // namespace

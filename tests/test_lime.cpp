@@ -1,0 +1,111 @@
+#include "baselines/lime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::baselines;
+
+TEST(SolveRidge, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+  const auto x = solve_ridge({{2, 1}, {1, 3}}, {5, 10}, 0.0);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(SolveRidge, RidgeShrinksSolution) {
+  const auto exact = solve_ridge({{1, 0}, {0, 1}}, {4, 4}, 0.0);
+  const auto shrunk = solve_ridge({{1, 0}, {0, 1}}, {4, 4}, 1.0);
+  EXPECT_NEAR(exact[0], 4.0, 1e-9);
+  EXPECT_NEAR(shrunk[0], 2.0, 1e-9);  // (1+1) w = 4
+}
+
+TEST(SolveRidge, SingularDirectionIsZeroNotNan) {
+  const auto x = solve_ridge({{1, 0}, {0, 0}}, {2, 5}, 0.0);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_FALSE(std::isnan(x[1]));
+}
+
+/// A linear "controller": p(class1) = sigmoid(3*x0 - 2*x1).
+std::vector<double> linear_controller(const std::vector<double>& x) {
+  const double logit = 3.0 * x[0] - 2.0 * x[1] + 0.0 * x[2];
+  const double p = 1.0 / (1.0 + std::exp(-logit));
+  return {1.0 - p, p};
+}
+
+TEST(Lime, RecoversLinearControllerSigns) {
+  LimeExplainer lime({1.0, 1.0, 1.0});
+  common::Rng rng(1);
+  const auto exp = lime.explain(linear_controller, {0.0, 0.0, 0.0}, 1, rng);
+  // At the origin, d sigmoid/dx = 0.25 * (3, -2, 0).
+  EXPECT_GT(exp.coefficients[0], 0.0);
+  EXPECT_LT(exp.coefficients[1], 0.0);
+  EXPECT_GT(std::abs(exp.coefficients[0]), std::abs(exp.coefficients[1]));
+  EXPECT_LT(std::abs(exp.coefficients[2]), 0.2 * std::abs(exp.coefficients[0]));
+}
+
+TEST(Lime, TopFeaturesRankByMagnitude) {
+  LimeExplainer lime({1.0, 1.0, 1.0});
+  common::Rng rng(2);
+  const auto exp = lime.explain(linear_controller, {0.0, 0.0, 0.0}, 1, rng);
+  const auto top = exp.top_features(3);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(Lime, LocalFitHighForLinearTarget) {
+  LimeExplainer lime({1.0, 1.0, 1.0});
+  common::Rng rng(3);
+  const auto exp = lime.explain(linear_controller, {0.0, 0.0, 0.0}, 1, rng);
+  EXPECT_GT(exp.local_fit, 0.95);
+}
+
+TEST(Lime, ComplementaryClassesHaveOppositeSigns) {
+  LimeExplainer lime({1.0, 1.0, 1.0});
+  common::Rng rng(4);
+  const auto class1 = lime.explain(linear_controller, {0.1, -0.1, 0.0}, 1, rng);
+  const auto class0 = lime.explain(linear_controller, {0.1, -0.1, 0.0}, 0, rng);
+  EXPECT_GT(class1.coefficients[0] * class0.coefficients[0], -1.0);
+  EXPECT_LT(class0.coefficients[0], 0.0);
+  EXPECT_GT(class1.coefficients[0], 0.0);
+}
+
+TEST(Lime, ScalesNormalizePerturbations) {
+  // Same controller expressed over a feature measured in 100x units: the
+  // scaled coefficient should match the unit-scale case.
+  auto scaled_controller = [](const std::vector<double>& x) {
+    return linear_controller({x[0] / 100.0, x[1], x[2]});
+  };
+  LimeExplainer lime({100.0, 1.0, 1.0});
+  common::Rng rng(5);
+  const auto exp = lime.explain(scaled_controller, {0.0, 0.0, 0.0}, 1, rng);
+  EXPECT_GT(exp.coefficients[0], 0.0);
+  EXPECT_GT(std::abs(exp.coefficients[0]), std::abs(exp.coefficients[1]) * 0.8);
+}
+
+TEST(Lime, FormatListsSignedFeatures) {
+  LimeExplainer lime({1.0, 1.0, 1.0});
+  common::Rng rng(6);
+  const auto exp = lime.explain(linear_controller, {0.0, 0.0, 0.0}, 1, rng);
+  const std::string text = exp.format({"alpha", "beta", "gamma"}, 2);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("("), std::string::npos);
+}
+
+TEST(Lime, DeterministicGivenSeed) {
+  LimeExplainer lime({1.0, 1.0, 1.0});
+  common::Rng rng_a(7);
+  common::Rng rng_b(7);
+  const auto a = lime.explain(linear_controller, {0.2, 0.1, -0.3}, 1, rng_a);
+  const auto b = lime.explain(linear_controller, {0.2, 0.1, -0.3}, 1, rng_b);
+  EXPECT_EQ(a.coefficients, b.coefficients);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace agua::nn;
+
+Matrix random_logits(std::size_t r, std::size_t c, agua::common::Rng& rng) {
+  Matrix m(r, c);
+  for (double& x : m.data()) x = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+TEST(Loss, CrossEntropyPerfectPredictionIsSmall) {
+  Matrix logits = Matrix::from_rows({{20.0, 0.0, 0.0}});
+  Matrix grad;
+  const double loss = cross_entropy_loss(logits, {0}, grad);
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(Loss, CrossEntropyUniformIsLogN) {
+  Matrix logits(1, 4, 0.0);
+  Matrix grad;
+  const double loss = cross_entropy_loss(logits, {2}, grad);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-9);
+}
+
+TEST(Loss, CrossEntropyGradientNumericallyCorrect) {
+  agua::common::Rng rng(1);
+  Matrix logits = random_logits(3, 4, rng);
+  const std::vector<std::size_t> targets = {1, 3, 0};
+  Matrix grad;
+  cross_entropy_loss(logits, targets, grad);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix plus = logits;
+    Matrix minus = logits;
+    plus.data()[i] += eps;
+    minus.data()[i] -= eps;
+    Matrix tmp;
+    const double numeric =
+        (cross_entropy_loss(plus, targets, tmp) - cross_entropy_loss(minus, targets, tmp)) /
+        (2 * eps);
+    EXPECT_NEAR(grad.data()[i], numeric, 1e-6);
+  }
+}
+
+TEST(Loss, CrossEntropyGradientRowsSumToZero) {
+  agua::common::Rng rng(2);
+  Matrix logits = random_logits(2, 5, rng);
+  Matrix grad;
+  cross_entropy_loss(logits, {0, 4}, grad);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) total += grad.at(r, c);
+    EXPECT_NEAR(total, 0.0, 1e-12);
+  }
+}
+
+TEST(Loss, MultilabelConceptLossGradientNumericallyCorrect) {
+  agua::common::Rng rng(3);
+  const std::size_t C = 3;
+  const std::size_t k = 3;
+  Matrix logits = random_logits(2, C * k, rng);
+  const std::vector<std::vector<std::size_t>> targets = {{0, 2, 1}, {1, 1, 0}};
+  Matrix grad;
+  multilabel_concept_loss(logits, targets, C, k, grad);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix plus = logits;
+    Matrix minus = logits;
+    plus.data()[i] += eps;
+    minus.data()[i] -= eps;
+    Matrix tmp;
+    const double numeric = (multilabel_concept_loss(plus, targets, C, k, tmp) -
+                            multilabel_concept_loss(minus, targets, C, k, tmp)) /
+                           (2 * eps);
+    EXPECT_NEAR(grad.data()[i], numeric, 1e-6);
+  }
+}
+
+TEST(Loss, MultilabelLossDecreasesTowardTargets) {
+  const std::size_t C = 2;
+  const std::size_t k = 3;
+  Matrix good(1, C * k, 0.0);
+  good.at(0, 0 * k + 1) = 10.0;  // concept 0 -> level 1
+  good.at(0, 1 * k + 2) = 10.0;  // concept 1 -> level 2
+  Matrix bad(1, C * k, 0.0);
+  const std::vector<std::vector<std::size_t>> targets = {{1, 2}};
+  Matrix tmp;
+  EXPECT_LT(multilabel_concept_loss(good, targets, C, k, tmp),
+            multilabel_concept_loss(bad, targets, C, k, tmp));
+}
+
+TEST(Loss, MseKnownValue) {
+  const Matrix pred = Matrix::from_rows({{1.0, 2.0}});
+  const Matrix target = Matrix::from_rows({{0.0, 4.0}});
+  Matrix grad;
+  EXPECT_NEAR(mse_loss(pred, target, grad), (1.0 + 4.0) / 2.0, 1e-12);
+  EXPECT_NEAR(grad.at(0, 0), 1.0, 1e-12);     // 2*(1-0)/2
+  EXPECT_NEAR(grad.at(0, 1), -2.0, 1e-12);    // 2*(2-4)/2
+}
+
+TEST(Loss, SoftCrossEntropyGradientNumericallyCorrect) {
+  agua::common::Rng rng(4);
+  Matrix logits = random_logits(2, 3, rng);
+  Matrix targets = Matrix::from_rows({{0.7, 0.2, 0.1}, {0.1, 0.1, 0.8}});
+  Matrix grad;
+  soft_cross_entropy_loss(logits, targets, grad);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix plus = logits;
+    Matrix minus = logits;
+    plus.data()[i] += eps;
+    minus.data()[i] -= eps;
+    Matrix tmp;
+    const double numeric = (soft_cross_entropy_loss(plus, targets, tmp) -
+                            soft_cross_entropy_loss(minus, targets, tmp)) /
+                           (2 * eps);
+    EXPECT_NEAR(grad.data()[i], numeric, 1e-6);
+  }
+}
+
+TEST(Loss, PolicyGradientPushesTowardPositiveAdvantageAction) {
+  Matrix logits(1, 3, 0.0);
+  Matrix grad;
+  policy_gradient_loss(logits, {1}, {2.0}, 0.0, grad);
+  // Gradient descent direction: -grad increases logit of action 1.
+  EXPECT_LT(grad.at(0, 1), 0.0);
+  EXPECT_GT(grad.at(0, 0), 0.0);
+  EXPECT_GT(grad.at(0, 2), 0.0);
+}
+
+TEST(Loss, PolicyGradientNegativeAdvantageReverses) {
+  Matrix logits(1, 3, 0.0);
+  Matrix grad;
+  policy_gradient_loss(logits, {1}, {-2.0}, 0.0, grad);
+  EXPECT_GT(grad.at(0, 1), 0.0);
+}
+
+TEST(Loss, EntropyBonusFlattensDistribution) {
+  // A peaked distribution: entropy gradient should push logits toward
+  // uniform (descending the loss raises entropy).
+  Matrix logits = Matrix::from_rows({{5.0, 0.0, 0.0}});
+  Matrix grad;
+  policy_gradient_loss(logits, {0}, {0.0}, 0.5, grad);
+  // With zero advantage the only force is entropy: reduce the peak logit.
+  EXPECT_GT(grad.at(0, 0), 0.0);
+  EXPECT_LT(grad.at(0, 1), 0.0);
+}
+
+}  // namespace

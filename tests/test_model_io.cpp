@@ -1,0 +1,89 @@
+#include "core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace agua;
+using namespace agua::core;
+
+AguaModel make_model(std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  ConceptMapping::Config cm;
+  cm.embedding_dim = 6;
+  cm.num_concepts = 8;
+  cm.num_levels = 3;
+  ConceptMapping mapping(cm, rng);
+  OutputMapping::Config om;
+  om.concept_dim = 24;
+  om.num_outputs = 4;
+  OutputMapping output(om, rng);
+  return AguaModel(concepts::cc_concepts(), std::move(mapping), std::move(output));
+}
+
+TEST(ModelIo, RoundTripPreservesPredictions) {
+  AguaModel model = make_model();
+  std::stringstream stream;
+  common::BinaryWriter w(stream);
+  save_model(w, model);
+  common::BinaryReader r(stream);
+  auto loaded = load_model(r);
+  ASSERT_TRUE(loaded.has_value());
+  const std::vector<double> h = {0.1, -0.2, 0.3, 0.5, -0.4, 0.2};
+  EXPECT_EQ(loaded->predict_class(h), model.predict_class(h));
+  const auto original = model.output_probs(h);
+  const auto restored = loaded->output_probs(h);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored[i], original[i]);
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesConceptSet) {
+  AguaModel model = make_model(2);
+  std::stringstream stream;
+  common::BinaryWriter w(stream);
+  save_model(w, model);
+  common::BinaryReader r(stream);
+  auto loaded = load_model(r);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->concept_set().application(), "cc");
+  EXPECT_EQ(loaded->concept_set().names(), model.concept_set().names());
+  EXPECT_EQ(loaded->num_levels(), model.num_levels());
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  std::stringstream stream;
+  stream << "this is not an agua model archive at all";
+  common::BinaryReader r(stream);
+  EXPECT_FALSE(load_model(r).has_value());
+}
+
+TEST(ModelIo, RejectsTruncatedArchive) {
+  AguaModel model = make_model(3);
+  std::stringstream stream;
+  common::BinaryWriter w(stream);
+  save_model(w, model);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  common::BinaryReader r(truncated);
+  EXPECT_FALSE(load_model(r).has_value());
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  AguaModel model = make_model(4);
+  const std::string path = testing::TempDir() + "/agua_model_test.bin";
+  ASSERT_TRUE(save_model_file(path, model));
+  auto loaded = load_model_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  const std::vector<double> h = {0.5, 0.5, -0.5, -0.5, 0.1, 0.9};
+  EXPECT_EQ(loaded->predict_class(h), model.predict_class(h));
+}
+
+TEST(ModelIo, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_model_file("/nonexistent/agua/model.bin").has_value());
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/abr_bundle.hpp"
+#include "apps/ddos_bundle.hpp"
+#include "apps/noise.hpp"
+#include "core/explain.hpp"
+#include "core/validate.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::core;
+
+/// Shared fixture: one trained bundle + Agua model reused across tests
+/// (training is deterministic, so sharing is safe and keeps the suite fast).
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bundle_ = new apps::DdosBundle(apps::make_ddos_bundle(21, 400, 200));
+    AguaConfig config;
+    config.embedder = text::closed_source_embedder_config();
+    config.concept_epochs = 120;
+    config.output_epochs = 250;
+    common::Rng rng(5);
+    artifacts_ = new AguaArtifacts(train_agua(bundle_->train,
+                                              bundle_->describer.concept_set(),
+                                              bundle_->describe_fn(), config, rng));
+  }
+  static void TearDownTestSuite() {
+    delete artifacts_;
+    delete bundle_;
+    artifacts_ = nullptr;
+    bundle_ = nullptr;
+  }
+
+  static apps::DdosBundle* bundle_;
+  static AguaArtifacts* artifacts_;
+};
+
+apps::DdosBundle* PipelineTest::bundle_ = nullptr;
+AguaArtifacts* PipelineTest::artifacts_ = nullptr;
+
+TEST_F(PipelineTest, ProducesOneDescriptionPerSample) {
+  EXPECT_EQ(artifacts_->descriptions.size(), bundle_->train.size());
+  EXPECT_EQ(artifacts_->similarity_levels.size(), bundle_->train.size());
+  for (const auto& description : artifacts_->descriptions) {
+    EXPECT_FALSE(description.empty());
+  }
+}
+
+TEST_F(PipelineTest, SimilarityLevelsWithinRange) {
+  const std::size_t k = artifacts_->labeler->num_levels();
+  for (const auto& levels : artifacts_->similarity_levels) {
+    EXPECT_EQ(levels.size(), bundle_->describer.concept_set().size());
+    for (std::size_t level : levels) EXPECT_LT(level, k);
+  }
+}
+
+TEST_F(PipelineTest, LabelsUseMultipleLevels) {
+  std::vector<std::size_t> level_counts(artifacts_->labeler->num_levels(), 0);
+  for (const auto& levels : artifacts_->similarity_levels) {
+    for (std::size_t level : levels) ++level_counts[level];
+  }
+  std::size_t populated = 0;
+  for (std::size_t count : level_counts) {
+    if (count > 0) ++populated;
+  }
+  EXPECT_GE(populated, 2u);
+}
+
+TEST_F(PipelineTest, HighTrainAndTestFidelity) {
+  EXPECT_GT(fidelity(*artifacts_->model, bundle_->train), 0.93);
+  EXPECT_GT(fidelity(*artifacts_->model, bundle_->test), 0.9);
+}
+
+TEST_F(PipelineTest, BeatsMajorityBaseline) {
+  EXPECT_GT(fidelity(*artifacts_->model, bundle_->test),
+            bundle_->test.majority_fraction());
+}
+
+TEST_F(PipelineTest, ExplanationWeightsSumToProbability) {
+  const Sample& sample = bundle_->test.samples.front();
+  const Explanation exp = explain_factual(*artifacts_->model, sample.embedding);
+  const double total =
+      std::accumulate(exp.concept_weights.begin(), exp.concept_weights.end(), 0.0);
+  EXPECT_NEAR(total, exp.output_probability, 1e-9);
+  EXPECT_GT(exp.output_probability, 0.5);  // confident surrogate
+}
+
+TEST_F(PipelineTest, ExplanationsRobustToSmallNoise) {
+  // Fig. 12c-style probe: top-5 recall under 5% input noise.
+  common::Rng rng(11);
+  double recall_total = 0.0;
+  const std::size_t trials = 20;
+  const auto scales = ddos::feature_scales();
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Sample& sample = bundle_->test.samples[t];
+    const Explanation base = explain_factual(*artifacts_->model, sample.embedding);
+    const auto noisy_input = apps::add_relative_noise(sample.input, scales, 0.03, rng);
+    const auto noisy_embedding = bundle_->controller->embedding(noisy_input);
+    const Explanation noisy = explain_factual(*artifacts_->model, noisy_embedding);
+    recall_total += common::top_k_recall(base.top_concepts(5), noisy.top_concepts(5));
+  }
+  EXPECT_GT(recall_total / static_cast<double>(trials), 0.7);
+}
+
+TEST_F(PipelineTest, DeterministicGivenSeeds) {
+  AguaConfig config;
+  config.embedder = text::closed_source_embedder_config();
+  config.concept_epochs = 30;
+  config.output_epochs = 50;
+  common::Rng rng_a(17);
+  common::Rng rng_b(17);
+  const AguaArtifacts a = train_agua(bundle_->train, bundle_->describer.concept_set(),
+                                     bundle_->describe_fn(), config, rng_a);
+  const AguaArtifacts b = train_agua(bundle_->train, bundle_->describer.concept_set(),
+                                     bundle_->describe_fn(), config, rng_b);
+  EXPECT_EQ(a.descriptions.front(), b.descriptions.front());
+  EXPECT_DOUBLE_EQ(a.concept_train_loss, b.concept_train_loss);
+  EXPECT_DOUBLE_EQ(a.output_train_loss, b.output_train_loss);
+}
+
+TEST_F(PipelineTest, DescriberPassesStandardChecks) {
+  core::ValidationOptions options;
+  options.required_sections = {"Packet timing:", "Payload characteristics:"};
+  options.max_inputs = 16;
+  const auto result = core::validate_describer(bundle_->describe_fn(), bundle_->train,
+                                               bundle_->describer.concept_set(), options);
+  EXPECT_TRUE(result.passed) << result.format();
+}
+
+TEST(PipelineAbr, EndToEndBeatsMajorityBaseline) {
+  apps::AbrBundle bundle = apps::make_abr_bundle(23, 600, 400);
+  core::AguaConfig config;
+  config.embedder = text::closed_source_embedder_config();
+  config.concept_epochs = 40;
+  config.output_epochs = 250;
+  common::Rng rng(29);
+  core::AguaArtifacts agua = core::train_agua(bundle.train, bundle.describer.concept_set(),
+                                              bundle.describe_fn(), config, rng);
+  const double f = core::fidelity(*agua.model, bundle.test);
+  EXPECT_GT(f, bundle.test.majority_fraction());
+  EXPECT_GT(f, 0.8);
+  // Standard checks hold for the ABR describer too.
+  core::ValidationOptions options;
+  options.required_sections = {"Network conditions:", "Viewer's video buffer:"};
+  options.max_inputs = 12;
+  const auto validation = core::validate_describer(
+      bundle.describe_fn(), bundle.train, bundle.describer.concept_set(), options);
+  EXPECT_TRUE(validation.passed) << validation.format();
+}
+
+TEST_F(PipelineTest, TemperatureChangesDescriptions) {
+  AguaConfig config;
+  config.embedder = text::closed_source_embedder_config();
+  config.describe_temperature = 1.0;
+  config.concept_epochs = 10;
+  config.output_epochs = 10;
+  common::Rng rng(19);
+  const AguaArtifacts noisy = train_agua(bundle_->train, bundle_->describer.concept_set(),
+                                         bundle_->describe_fn(), config, rng);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < noisy.descriptions.size(); ++i) {
+    if (noisy.descriptions[i] != artifacts_->descriptions[i]) ++differing;
+  }
+  EXPECT_GT(differing, noisy.descriptions.size() / 4);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#include "nn/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace agua::nn;
+
+PolicyNetwork make_test_network(std::size_t inputs, std::size_t outputs,
+                                std::uint64_t seed = 1) {
+  PolicyNetwork::Config cfg;
+  cfg.input_dim = inputs;
+  cfg.hidden_dim = 16;
+  cfg.embed_dim = 8;
+  cfg.num_outputs = outputs;
+  agua::common::Rng rng(seed);
+  return PolicyNetwork(cfg, rng);
+}
+
+TEST(Policy, OutputProbsSumToOne) {
+  PolicyNetwork net = make_test_network(4, 3);
+  const auto probs = net.output_probs({0.1, 0.2, 0.3, 0.4});
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0, 1e-12);
+}
+
+TEST(Policy, EmbeddingHasConfiguredDim) {
+  PolicyNetwork net = make_test_network(4, 3);
+  EXPECT_EQ(net.embedding({1.0, 0.0, 0.0, 0.0}).size(), 8u);
+}
+
+TEST(Policy, EmbeddingDeterministic) {
+  PolicyNetwork net = make_test_network(4, 3);
+  const std::vector<double> x = {0.5, -0.5, 0.25, 0.0};
+  EXPECT_EQ(net.embedding(x), net.embedding(x));
+}
+
+TEST(Policy, NormalizeAppliesScales) {
+  PolicyNetwork::Config cfg;
+  cfg.input_dim = 2;
+  cfg.num_outputs = 2;
+  cfg.input_scales = {10.0, 0.0};  // zero scale = identity
+  agua::common::Rng rng(2);
+  PolicyNetwork net(cfg, rng);
+  const auto normalized = net.normalize({20.0, 5.0});
+  EXPECT_DOUBLE_EQ(normalized[0], 2.0);
+  EXPECT_DOUBLE_EQ(normalized[1], 5.0);
+}
+
+TEST(Policy, SupervisedTrainingLearnsSeparableTask) {
+  // Classify by the sign of the first input feature.
+  PolicyNetwork net = make_test_network(3, 2, 7);
+  agua::common::Rng rng(7);
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::size_t> targets;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    inputs.push_back({x, rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)});
+    targets.push_back(x > 0.0 ? 1 : 0);
+  }
+  SgdOptimizer::Options opt;
+  opt.learning_rate = 0.1;
+  opt.momentum = 0.9;
+  SgdOptimizer optimizer(net.parameters(), opt);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    net.train_supervised_epoch(inputs, targets, 32, optimizer, rng);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (net.greedy_action(inputs[i]) == targets[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(inputs.size()), 0.95);
+}
+
+TEST(Policy, PolicyGradientShiftsProbabilityTowardRewardedAction) {
+  PolicyNetwork net = make_test_network(2, 3, 11);
+  const std::vector<double> state = {0.5, -0.2};
+  const double before = net.output_probs(state)[2];
+  SgdOptimizer::Options opt;
+  opt.learning_rate = 0.2;
+  SgdOptimizer optimizer(net.parameters(), opt);
+  for (int i = 0; i < 20; ++i) {
+    net.policy_gradient_update({state}, {2}, {1.0}, 0.0, optimizer);
+  }
+  EXPECT_GT(net.output_probs(state)[2], before);
+}
+
+TEST(Policy, SampleActionFollowsDistribution) {
+  PolicyNetwork net = make_test_network(2, 2, 13);
+  // Force a near-deterministic policy via PG updates.
+  SgdOptimizer::Options opt;
+  opt.learning_rate = 0.5;
+  SgdOptimizer optimizer(net.parameters(), opt);
+  const std::vector<double> state = {1.0, 1.0};
+  for (int i = 0; i < 50; ++i) {
+    net.policy_gradient_update({state}, {1}, {1.0}, 0.0, optimizer);
+  }
+  agua::common::Rng rng(5);
+  int action1 = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (net.sample_action(state, rng) == 1) ++action1;
+  }
+  EXPECT_GT(action1, 160);
+}
+
+TEST(Policy, SaveLoadPreservesOutputs) {
+  PolicyNetwork net = make_test_network(4, 3, 17);
+  const std::vector<double> x = {0.3, -0.1, 0.9, 0.5};
+  const auto before = net.logits(x);
+  std::stringstream stream;
+  agua::common::BinaryWriter w(stream);
+  net.save(w);
+  PolicyNetwork loaded = make_test_network(4, 3, 999);
+  agua::common::BinaryReader r(stream);
+  loaded.load(r);
+  const auto after = loaded.logits(x);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+}
+
+TEST(Policy, ParametersCoverEmbeddingAndHead) {
+  PolicyNetwork net = make_test_network(4, 3);
+  // Two Linears in embedding (W+b each) + head (W+b) = 6 parameters.
+  EXPECT_EQ(net.parameters().size(), 6u);
+}
+
+}  // namespace

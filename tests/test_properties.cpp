@@ -1,0 +1,187 @@
+// Cross-module property sweeps (TEST_P): simulator invariants across every
+// link pattern and trace family, describer determinism across applications,
+// and explanation invariants across seeds. These complement the targeted
+// unit tests with breadth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "abr/env.hpp"
+#include "abr/trace.hpp"
+#include "cc/env.hpp"
+#include "common/stats.hpp"
+#include "core/explain.hpp"
+#include "ddos/features.hpp"
+#include "ddos/flows.hpp"
+
+namespace {
+
+using namespace agua;
+
+// ---------------------------------------------------------------------------
+// CC environment invariants under every link pattern.
+
+class CcPatternTest : public ::testing::TestWithParam<cc::LinkPattern> {};
+
+TEST_P(CcPatternTest, PhysicalInvariantsUnderRandomPolicy) {
+  cc::CcEnv::Config config;
+  config.episode_mis = 150;
+  config.pattern = GetParam();
+  common::Rng rng(99);
+  cc::CcEnv env(config, rng);
+  common::Rng action_rng(100);
+  while (!env.done()) {
+    const auto result = env.step(static_cast<std::size_t>(action_rng.uniform_int(0, 8)));
+    EXPECT_GE(result.loss_rate, 0.0);
+    EXPECT_LE(result.loss_rate, 1.0);
+    EXPECT_GE(result.latency_ms, config.base_rtt_ms - 1e-9);
+    EXPECT_GE(result.throughput_mbps, 0.0);
+    EXPECT_LE(result.throughput_mbps, result.capacity_mbps + 1e-6);
+    const auto obs = env.observation();
+    EXPECT_EQ(obs.size(), env.observation_dim());
+    for (double v : obs) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(CcPatternTest, EpisodesAreSeedDeterministic) {
+  cc::CcEnv::Config config;
+  config.episode_mis = 60;
+  config.pattern = GetParam();
+  common::Rng rng_a(7);
+  common::Rng rng_b(7);
+  cc::CcEnv a(config, rng_a);
+  cc::CcEnv b(config, rng_b);
+  while (!a.done()) {
+    const auto ra = a.step(5);
+    const auto rb = b.step(5);
+    EXPECT_DOUBLE_EQ(ra.throughput_mbps, rb.throughput_mbps);
+    EXPECT_DOUBLE_EQ(ra.latency_ms, rb.latency_ms);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, CcPatternTest,
+                         ::testing::Values(cc::LinkPattern::kSteady,
+                                           cc::LinkPattern::kStepChanges,
+                                           cc::LinkPattern::kBurstyCross,
+                                           cc::LinkPattern::kVolatile));
+
+// ---------------------------------------------------------------------------
+// ABR environment invariants across every trace family.
+
+class AbrFamilyTest : public ::testing::TestWithParam<abr::TraceFamily> {};
+
+TEST_P(AbrFamilyTest, EpisodeInvariantsUnderRandomPolicy) {
+  common::Rng rng(5);
+  abr::AbrEnv env(abr::VideoManifest::generate(30, rng),
+                  abr::generate_trace(GetParam(), 120, rng));
+  common::Rng action_rng(6);
+  double clock_lower_bound = 0.0;
+  while (!env.done()) {
+    const auto result =
+        env.step(static_cast<std::size_t>(action_rng.uniform_int(0, 4)));
+    EXPECT_GE(result.stall_s, 0.0);
+    EXPECT_GE(result.buffer_s, 0.0);
+    EXPECT_LE(result.buffer_s, 15.0 + 1e-9);
+    EXPECT_GE(result.ssim_db, 5.0);
+    EXPECT_LE(result.ssim_db, 25.0);
+    EXPECT_GT(result.transmit_time_s, 0.0);
+    clock_lower_bound += result.transmit_time_s;
+  }
+  EXPECT_GT(clock_lower_bound, 0.0);
+  EXPECT_EQ(env.chunks_played(), 30u);
+}
+
+TEST_P(AbrFamilyTest, TracesPositiveAndDeterministic) {
+  common::Rng rng_a(11);
+  common::Rng rng_b(11);
+  const auto trace_a = abr::generate_trace(GetParam(), 100, rng_a);
+  const auto trace_b = abr::generate_trace(GetParam(), 100, rng_b);
+  EXPECT_EQ(trace_a.bandwidth_mbps, trace_b.bandwidth_mbps);
+  for (double bw : trace_a.bandwidth_mbps) EXPECT_GT(bw, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, AbrFamilyTest,
+                         ::testing::Values(abr::TraceFamily::k3G,
+                                           abr::TraceFamily::k4G,
+                                           abr::TraceFamily::k5G,
+                                           abr::TraceFamily::kBroadband,
+                                           abr::TraceFamily::kPuffer2021,
+                                           abr::TraceFamily::kPuffer2024));
+
+// ---------------------------------------------------------------------------
+// Flow-generator invariants across every flow type.
+
+class FlowTypeTest : public ::testing::TestWithParam<ddos::FlowType> {};
+
+TEST_P(FlowTypeTest, PacketsWellFormed) {
+  common::Rng rng(13);
+  for (int i = 0; i < 5; ++i) {
+    const ddos::Flow flow = ddos::generate_flow(GetParam(), rng);
+    EXPECT_EQ(flow.type, GetParam());
+    EXPECT_GE(flow.packets.size(), 3u);
+    EXPECT_DOUBLE_EQ(flow.packets.front().iat_ms, 0.0);
+    for (const ddos::Packet& p : flow.packets) {
+      EXPECT_GE(p.iat_ms, 0.0);
+      EXPECT_GT(p.size_bytes, 0.0);
+      EXPECT_GE(p.payload_bytes, 0.0);
+      EXPECT_LE(p.payload_bytes, p.size_bytes);
+    }
+  }
+}
+
+TEST_P(FlowTypeTest, FeaturesFiniteAndScaled) {
+  common::Rng rng(17);
+  const auto features = ddos::extract_features(ddos::generate_flow(GetParam(), rng));
+  const auto scales = ddos::feature_scales();
+  ASSERT_EQ(features.size(), scales.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(features[i]));
+    // Scaled features stay within a sane band (generators respect the
+    // declared full-scale values up to a small factor).
+    EXPECT_LE(std::abs(features[i]) / scales[i], 20.0) << "feature " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlowTypes, FlowTypeTest,
+                         ::testing::Values(ddos::FlowType::kBenignWeb,
+                                           ddos::FlowType::kBenignStreaming,
+                                           ddos::FlowType::kSynFlood,
+                                           ddos::FlowType::kUdpFlood,
+                                           ddos::FlowType::kLowAndSlow));
+
+// ---------------------------------------------------------------------------
+// Explanation invariants across random surrogate seeds.
+
+class ExplainSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExplainSeedTest, WeightsAlwaysFormScaledDistribution) {
+  common::Rng rng(GetParam());
+  core::ConceptMapping::Config cm;
+  cm.embedding_dim = 5;
+  cm.num_concepts = 4;
+  cm.num_levels = 3;
+  core::ConceptMapping mapping(cm, rng);
+  core::OutputMapping::Config om;
+  om.concept_dim = 12;
+  om.num_outputs = 3;
+  core::OutputMapping output(om, rng);
+  core::AguaModel model(concepts::ddos_concepts().prefix(4), std::move(mapping),
+                        std::move(output));
+  common::Rng probe(GetParam() ^ 0xF);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> h(5);
+    for (double& x : h) x = probe.uniform(-2.0, 2.0);
+    const core::Explanation exp = core::explain_factual(model, h);
+    const double total = std::accumulate(exp.concept_weights.begin(),
+                                         exp.concept_weights.end(), 0.0);
+    EXPECT_NEAR(total, exp.output_probability, 1e-9);
+    for (double w : exp.concept_weights) EXPECT_GE(w, 0.0);
+    for (std::size_t level : exp.dominant_levels) EXPECT_LE(level, 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplainSeedTest,
+                         ::testing::Values(1u, 17u, 123u, 999u, 31337u));
+
+}  // namespace

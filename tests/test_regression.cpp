@@ -1,0 +1,102 @@
+#include "core/regression.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace agua;
+using namespace agua::core;
+
+TEST(Regression, BinCentersSpanRange) {
+  const auto bins = make_bins(0.0, 10.0, 5);
+  ASSERT_EQ(bins.size(), 5u);
+  EXPECT_DOUBLE_EQ(bins.front(), 1.0);
+  EXPECT_DOUBLE_EQ(bins.back(), 9.0);
+  for (std::size_t i = 1; i < bins.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bins[i] - bins[i - 1], 2.0);
+  }
+}
+
+TEST(Regression, BinOfClampsAndPartitions) {
+  EXPECT_EQ(bin_of(-5.0, 0.0, 10.0, 5), 0u);
+  EXPECT_EQ(bin_of(99.0, 0.0, 10.0, 5), 4u);
+  EXPECT_EQ(bin_of(0.5, 0.0, 10.0, 5), 0u);
+  EXPECT_EQ(bin_of(9.5, 0.0, 10.0, 5), 4u);
+  EXPECT_EQ(bin_of(5.0, 0.0, 10.0, 5), 2u);
+}
+
+TEST(Regression, BinOfRoundTripsWithCenters) {
+  const auto bins = make_bins(-2.0, 2.0, 9);
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    EXPECT_EQ(bin_of(bins[i], -2.0, 2.0, 9), i);
+  }
+}
+
+TEST(Regression, ExpectedOutputIsDotProduct) {
+  EXPECT_DOUBLE_EQ(expected_output({0.5, 0.5}, {2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(expected_output({1.0, 0.0}, {2.0, 4.0}), 2.0);
+  // Mismatched lengths use the common prefix.
+  EXPECT_DOUBLE_EQ(expected_output({1.0}, {2.0, 4.0}), 2.0);
+}
+
+TEST(Regression, FidelityWithinToleranceOfSelf) {
+  // A surrogate explaining itself is perfectly faithful numerically.
+  common::Rng rng(1);
+  ConceptMapping::Config cm;
+  cm.embedding_dim = 4;
+  cm.num_concepts = 3;
+  cm.num_levels = 3;
+  ConceptMapping mapping(cm, rng);
+  OutputMapping::Config om;
+  om.concept_dim = 9;
+  om.num_outputs = 5;
+  OutputMapping output(om, rng);
+  AguaModel model(concepts::cc_concepts().prefix(3), std::move(mapping),
+                  std::move(output));
+
+  const auto bins = make_bins(0.5, 2.0, 5);
+  Dataset dataset;
+  dataset.num_outputs = 5;
+  for (int i = 0; i < 30; ++i) {
+    Sample s;
+    s.embedding = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1),
+                   rng.uniform(-1, 1)};
+    s.output_probs = model.output_probs(s.embedding);
+    s.output_class = common::argmax(s.output_probs);
+    dataset.samples.push_back(std::move(s));
+  }
+  EXPECT_DOUBLE_EQ(regression_fidelity(model, dataset, bins, 1e-9), 1.0);
+}
+
+TEST(Regression, FidelityDropsWithTightTolerance) {
+  common::Rng rng(2);
+  ConceptMapping::Config cm;
+  cm.embedding_dim = 4;
+  cm.num_concepts = 3;
+  cm.num_levels = 3;
+  ConceptMapping mapping(cm, rng);
+  OutputMapping::Config om;
+  om.concept_dim = 9;
+  om.num_outputs = 5;
+  OutputMapping output(om, rng);
+  AguaModel model(concepts::cc_concepts().prefix(3), std::move(mapping),
+                  std::move(output));
+  const auto bins = make_bins(0.5, 2.0, 5);
+  Dataset dataset;
+  dataset.num_outputs = 5;
+  for (int i = 0; i < 30; ++i) {
+    Sample s;
+    s.embedding = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1),
+                   rng.uniform(-1, 1)};
+    // Controller outputs that deviate from the surrogate's.
+    s.output_probs = {0.9, 0.1, 0.0, 0.0, 0.0};
+    s.output_class = 0;
+    dataset.samples.push_back(std::move(s));
+  }
+  const double loose = regression_fidelity(model, dataset, bins, 10.0);
+  const double tight = regression_fidelity(model, dataset, bins, 1e-6);
+  EXPECT_DOUBLE_EQ(loose, 1.0);
+  EXPECT_LT(tight, 0.5);
+}
+
+}  // namespace

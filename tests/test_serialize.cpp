@@ -1,0 +1,80 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace agua::common;
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.write_u32(42);
+  w.write_u64(1ULL << 40);
+  w.write_double(-3.25);
+  w.write_string("hello agua");
+  w.write_doubles({1.0, 2.0, 3.0});
+  ASSERT_TRUE(w.ok());
+
+  BinaryReader r(stream);
+  EXPECT_EQ(r.read_u32(), 42u);
+  EXPECT_EQ(r.read_u64(), 1ULL << 40);
+  EXPECT_DOUBLE_EQ(r.read_double(), -3.25);
+  EXPECT_EQ(r.read_string(), "hello agua");
+  const auto v = r.read_doubles();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Serialize, EmptyContainers) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.write_string("");
+  w.write_doubles({});
+  BinaryReader r(stream);
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.read_doubles().empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Serialize, ArchiveHeaderRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  write_archive_header(w, 3);
+  BinaryReader r(stream);
+  EXPECT_EQ(read_archive_header(r), 3u);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.write_u32(0xDEADBEEF);
+  w.write_u32(1);
+  BinaryReader r(stream);
+  EXPECT_EQ(read_archive_header(r), 0u);
+}
+
+TEST(Serialize, CorruptLengthDoesNotAllocate) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.write_u64(~0ULL);  // absurd length prefix
+  BinaryReader r(stream);
+  const auto v = r.read_doubles();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, TruncatedStreamSetsFail) {
+  std::stringstream stream;
+  BinaryWriter w(stream);
+  w.write_u32(7);
+  BinaryReader r(stream);
+  r.read_u32();
+  r.read_u64();  // nothing left
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include "text/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace agua::text;
+
+TEST(Quantizer, PaperDefaultBins) {
+  const SimilarityQuantizer q = SimilarityQuantizer::paper_default();
+  EXPECT_EQ(q.num_levels(), 3u);
+  EXPECT_EQ(q.quantize(0.0), 0u);
+  EXPECT_EQ(q.quantize(0.19), 0u);
+  EXPECT_EQ(q.quantize(0.2), 1u);
+  EXPECT_EQ(q.quantize(0.59), 1u);
+  EXPECT_EQ(q.quantize(0.6), 2u);
+  EXPECT_EQ(q.quantize(1.0), 2u);
+}
+
+TEST(Quantizer, LevelNames) {
+  const SimilarityQuantizer q = SimilarityQuantizer::paper_default();
+  EXPECT_EQ(q.level_name(0), "low");
+  EXPECT_EQ(q.level_name(1), "medium");
+  EXPECT_EQ(q.level_name(2), "high");
+  const SimilarityQuantizer q5({0.1, 0.2, 0.3, 0.4});
+  EXPECT_EQ(q5.level_name(4), "level-4");
+}
+
+TEST(Quantizer, RejectsNonIncreasingThresholds) {
+  EXPECT_THROW(SimilarityQuantizer({0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(SimilarityQuantizer({0.6, 0.2}), std::invalid_argument);
+}
+
+TEST(Quantizer, MonotoneInSimilarity) {
+  const SimilarityQuantizer q({0.25, 0.5, 0.75});
+  std::size_t previous = 0;
+  for (double s = 0.0; s <= 1.0; s += 0.01) {
+    const std::size_t level = q.quantize(s);
+    EXPECT_GE(level, previous);
+    previous = level;
+  }
+  EXPECT_EQ(previous, 3u);
+}
+
+TEST(SimilarityMatrix, SymmetricWithUnitDiagonal) {
+  TextEmbedder embedder;
+  std::vector<std::vector<double>> embeddings = {
+      embedder.embed("volatile network throughput"),
+      embedder.embed("stable buffer occupancy"),
+      embedder.embed("extreme network degradation"),
+  };
+  const auto matrix = similarity_matrix(embeddings);
+  ASSERT_EQ(matrix.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i][i], 1.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+    }
+  }
+}
+
+TEST(RedundancyFilter, KeepsAllWhenDissimilar) {
+  TextEmbedder embedder;
+  const std::vector<std::string> texts = {
+      "rapidly depleting buffer nearing empty",
+      "packet loss rates climbing at the bottleneck",
+      "payload anomalies with empty padded packets",
+  };
+  const auto kept = redundancy_filter_texts(embedder, texts, 0.9);
+  EXPECT_EQ(kept.size(), 3u);
+}
+
+TEST(RedundancyFilter, DropsDuplicates) {
+  TextEmbedder embedder;
+  const std::vector<std::string> texts = {
+      "volatile network throughput with wide swings",
+      "volatile network throughput with wide swings",  // exact duplicate
+      "stable buffer",
+  };
+  const auto kept = redundancy_filter_texts(embedder, texts, 0.95);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], 0u);
+  EXPECT_EQ(kept[1], 2u);
+}
+
+TEST(RedundancyFilter, OrderBiasKeepsEarlierEntry) {
+  TextEmbedder embedder;
+  const std::vector<std::string> texts = {
+      "increasing packet loss at the link",
+      "increasing packet loss at the link again",  // near-duplicate of 0
+  };
+  const auto kept = redundancy_filter_texts(embedder, texts, 0.8);
+  ASSERT_GE(kept.size(), 1u);
+  EXPECT_EQ(kept[0], 0u);
+}
+
+TEST(RedundancyFilter, ThresholdOneKeepsEverything) {
+  TextEmbedder embedder;
+  const std::vector<std::string> texts = {"a b c", "a b c", "a b c"};
+  // Similarity of identical texts is 1.0, which is not < 1.0... the filter
+  // uses >= s_max to drop, so s_max just above 1 keeps all.
+  const auto kept = redundancy_filter_texts(embedder, texts, 1.01);
+  EXPECT_EQ(kept.size(), 3u);
+}
+
+}  // namespace

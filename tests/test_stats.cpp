@@ -1,0 +1,172 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace agua::common;
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(1.25));
+}
+
+TEST(Stats, EmptyVectorsAreSafe) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(min_value({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_value({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_EQ(argmax({}), 0u);
+}
+
+TEST(Stats, Percentiles) {
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = b;
+  for (double& x : c) x = -x;
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(a, std::vector<double>{1.0, 1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(Stats, SlopeOfLine) {
+  const std::vector<double> v = {1.0, 3.0, 5.0, 7.0};
+  EXPECT_NEAR(slope(v), 2.0, 1e-12);
+  EXPECT_NEAR(slope({5.0, 5.0, 5.0}), 0.0, 1e-12);
+}
+
+TEST(Stats, EcdfMonotone) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ecdf(samples, 0.5), 0.0);
+  EXPECT_NEAR(ecdf(samples, 1.5), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ecdf(samples, 3.0), 1.0);
+}
+
+TEST(Stats, KsIdenticalIsZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+}
+
+TEST(Stats, KsDisjointIsOne) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {10.0, 11.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+}
+
+TEST(Stats, KsSymmetricAndBounded) {
+  agua::common::Rng rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.normal(0.0, 1.0));
+    b.push_back(rng.normal(0.5, 1.2));
+  }
+  const double d1 = ks_statistic(a, b);
+  const double d2 = ks_statistic(b, a);
+  EXPECT_NEAR(d1, d2, 1e-12);
+  EXPECT_GE(d1, 0.0);
+  EXPECT_LE(d1, 1.0);
+}
+
+TEST(Stats, TopKIndicesOrdered) {
+  const std::vector<double> v = {0.1, 0.9, 0.5, 0.7};
+  const auto top = top_k_indices(v, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(Stats, TopKClampsToSize) {
+  const std::vector<double> v = {0.1, 0.2};
+  EXPECT_EQ(top_k_indices(v, 10).size(), 2u);
+}
+
+TEST(Stats, TopKRecall) {
+  EXPECT_DOUBLE_EQ(top_k_recall({1, 2, 3}, {3, 2, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(top_k_recall({1, 2, 3}, {3, 9, 8}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(top_k_recall({}, {1}), 1.0);
+}
+
+TEST(Stats, SoftmaxSumsToOneAndOrders) {
+  const auto p = softmax({1.0, 2.0, 3.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Stats, SoftmaxStableForLargeLogits) {
+  const auto p = softmax({1000.0, 1001.0});
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  const auto h = histogram({-5.0, 0.5, 1.5, 25.0}, 0.0, 2.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -5 clamped into bin 0
+  EXPECT_EQ(h[1], 2u);  // 25 clamped into bin 1
+}
+
+TEST(Stats, NormalizeCounts) {
+  const auto p = normalize_counts({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+  const auto zero = normalize_counts({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(zero[0] + zero[1], 0.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  agua::common::Rng rng(9);
+  RunningStats rs;
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    rs.add(x);
+    v.push_back(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(v), 1e-9);
+}
+
+// Property sweep: KS statistic of a distribution against a shifted copy grows
+// with the shift.
+class KsShiftTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KsShiftTest, GrowsWithShift) {
+  const double shift = GetParam();
+  agua::common::Rng rng(11);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    a.push_back(x);
+    b.push_back(x + shift);
+  }
+  const double d = ks_statistic(a, b);
+  if (shift == 0.0) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  } else {
+    EXPECT_GT(d, shift / 10.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, KsShiftTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace

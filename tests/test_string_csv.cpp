@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace agua::common;
+
+TEST(StringUtil, ToLower) { EXPECT_EQ(to_lower("AbC dEf"), "abc def"); }
+
+TEST(StringUtil, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitWhitespaceDropsEmpty) {
+  const auto parts = split_whitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtil, JoinRoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x y \t"), "x y");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("hello world", "hello"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(StringUtil, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("xyz", "q", "r"), "xyz");
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(Csv, RoundTrip) {
+  CsvDocument doc;
+  doc.header = {"x", "y"};
+  doc.rows = {{1.0, 2.0}, {3.5, -4.25}};
+  const CsvDocument parsed = parse_csv(to_csv(doc));
+  ASSERT_EQ(parsed.header, doc.header);
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.rows[1][1], -4.25);
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvDocument doc = parse_csv("a,b\n1,2\n3,4\n");
+  EXPECT_EQ(doc.column("b"), 1u);
+  EXPECT_EQ(doc.column("zzz"), static_cast<std::size_t>(-1));
+  const auto values = doc.column_values("b");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 2.0);
+  EXPECT_DOUBLE_EQ(values[1], 4.0);
+}
+
+TEST(Csv, RaggedRowsPadded) {
+  const CsvDocument doc = parse_csv("a,b,c\n1,2\n");
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.rows[0][2], 0.0);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"v"};
+  doc.rows = {{42.0}};
+  const std::string path = testing::TempDir() + "/agua_csv_test.csv";
+  ASSERT_TRUE(write_csv_file(path, doc));
+  const CsvDocument loaded = read_csv_file(path);
+  ASSERT_EQ(loaded.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.rows[0][0], 42.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, AsciiBarSignsAndBounds) {
+  const std::string pos = ascii_bar(1.0, 1.0, 10);
+  const std::string neg = ascii_bar(-1.0, 1.0, 10);
+  const std::string zero = ascii_bar(0.0, 1.0, 10);
+  EXPECT_NE(pos.find('#'), std::string::npos);
+  EXPECT_NE(neg.find('#'), std::string::npos);
+  EXPECT_EQ(zero.find('#'), std::string::npos);
+  // Overflow values are clamped, not out-of-bounds.
+  EXPECT_NO_THROW(ascii_bar(100.0, 1.0, 10));
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace {
+
+using agua::nn::Matrix;
+
+Matrix random_matrix(std::size_t r, std::size_t c, agua::common::Rng& rng) {
+  Matrix m(r, c);
+  for (double& x : m.data()) x = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+TEST(Tensor, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.fill(0.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+}
+
+TEST(Tensor, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Tensor, MatmulKnownValues) {
+  const Matrix a = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  const Matrix b = Matrix::from_rows({{5.0, 6.0}, {7.0, 8.0}});
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Tensor, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+}
+
+TEST(Tensor, TransposeMatmulMatchesExplicit) {
+  agua::common::Rng rng(5);
+  const Matrix a = random_matrix(4, 3, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  const Matrix fast = a.transpose_matmul(b);
+  const Matrix slow = a.transposed().matmul(b);
+  ASSERT_EQ(fast.rows(), slow.rows());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast.data()[i], slow.data()[i], 1e-12);
+  }
+}
+
+TEST(Tensor, MatmulTransposeMatchesExplicit) {
+  agua::common::Rng rng(6);
+  const Matrix a = random_matrix(4, 3, rng);
+  const Matrix b = random_matrix(5, 3, rng);
+  const Matrix fast = a.matmul_transpose(b);
+  const Matrix slow = a.matmul(b.transposed());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast.data()[i], slow.data()[i], 1e-12);
+  }
+}
+
+TEST(Tensor, GatherRows) {
+  const Matrix m = Matrix::from_rows({{1.0}, {2.0}, {3.0}});
+  const Matrix g = m.gather_rows({2, 0});
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 1.0);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Matrix a = Matrix::from_rows({{1.0, -2.0}});
+  const Matrix b = Matrix::from_rows({{3.0, 4.0}});
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+  a.sub(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -2.0);
+  a.scale(2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  a.hadamard(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -16.0);
+  a.apply([](double x) { return x * 0.0 + 1.0; });
+  EXPECT_DOUBLE_EQ(a.sum(), 2.0);
+}
+
+TEST(Tensor, RowBroadcastAndColumnSums) {
+  Matrix m(2, 2, 1.0);
+  m.add_row_broadcast(Matrix::row_vector({1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 3.0);
+  const Matrix sums = m.column_sums();
+  EXPECT_DOUBLE_EQ(sums.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sums.at(0, 1), 6.0);
+}
+
+TEST(Tensor, Reductions) {
+  const Matrix m = Matrix::from_rows({{1.0, -2.0}, {3.0, -4.0}});
+  EXPECT_DOUBLE_EQ(m.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(m.abs_sum(), 10.0);
+  EXPECT_DOUBLE_EQ(m.squared_sum(), 30.0);
+}
+
+TEST(Tensor, XavierInitBounded) {
+  agua::common::Rng rng(7);
+  Matrix m(20, 30);
+  m.xavier_init(rng);
+  const double limit = std::sqrt(6.0 / 50.0);
+  for (double x : m.data()) {
+    EXPECT_GE(x, -limit);
+    EXPECT_LE(x, limit);
+  }
+  EXPECT_GT(m.abs_sum(), 0.0);
+}
+
+TEST(Tensor, SaveLoadRoundTrip) {
+  agua::common::Rng rng(8);
+  const Matrix m = random_matrix(3, 4, rng);
+  std::stringstream stream;
+  agua::common::BinaryWriter w(stream);
+  m.save(w);
+  agua::common::BinaryReader r(stream);
+  const Matrix loaded = Matrix::load(r);
+  ASSERT_EQ(loaded.rows(), 3u);
+  ASSERT_EQ(loaded.cols(), 4u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.data()[i], m.data()[i]);
+  }
+}
+
+TEST(Tensor, RowSoftmaxRowsSumToOne) {
+  const Matrix logits = Matrix::from_rows({{1.0, 2.0, 3.0}, {-10.0, 0.0, 10.0}});
+  const Matrix probs = agua::nn::row_softmax(logits);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < probs.cols(); ++c) {
+      total += probs.at(r, c);
+      EXPECT_GE(probs.at(r, c), 0.0);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+  EXPECT_GT(probs.at(1, 2), 0.99);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+#include "trustee/trustee.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace agua::trustee;
+
+/// A simple axis-aligned teacher: class = (x0 > 0.5) + 2*(x1 > 0.3).
+std::size_t grid_teacher(const std::vector<double>& x) {
+  return static_cast<std::size_t>(x[0] > 0.5) + 2 * static_cast<std::size_t>(x[1] > 0.3);
+}
+
+std::vector<std::vector<double>> random_inputs(std::size_t n, std::size_t dims,
+                                               agua::common::Rng& rng) {
+  std::vector<std::vector<double>> inputs(n, std::vector<double>(dims));
+  for (auto& row : inputs) {
+    for (double& x : row) x = rng.uniform(0.0, 1.0);
+  }
+  return inputs;
+}
+
+TEST(DecisionTree, LearnsAxisAlignedFunctionPerfectly) {
+  agua::common::Rng rng(1);
+  const auto inputs = random_inputs(500, 3, rng);
+  std::vector<std::size_t> labels;
+  for (const auto& x : inputs) labels.push_back(grid_teacher(x));
+  DecisionTree::Options exact;  // disable the regularization defaults
+  exact.min_samples_split = 2;
+  exact.min_samples_leaf = 1;
+  exact.max_thresholds = 0;
+  DecisionTree tree;
+  tree.fit(inputs, labels, 4, exact);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(tree.predict(inputs[i]), labels[i]);
+  }
+}
+
+TEST(DecisionTree, DefaultsStillFitWell) {
+  agua::common::Rng rng(11);
+  const auto inputs = random_inputs(500, 3, rng);
+  std::vector<std::size_t> labels;
+  for (const auto& x : inputs) labels.push_back(grid_teacher(x));
+  DecisionTree tree;
+  tree.fit(inputs, labels, 4);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (tree.predict(inputs[i]) == labels[i]) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(inputs.size()), 0.95);
+}
+
+TEST(DecisionTree, GeneralizesOnHeldOut) {
+  agua::common::Rng rng(2);
+  const auto train = random_inputs(800, 3, rng);
+  std::vector<std::size_t> labels;
+  for (const auto& x : train) labels.push_back(grid_teacher(x));
+  DecisionTree tree;
+  tree.fit(train, labels, 4);
+  const auto test = random_inputs(300, 3, rng);
+  std::size_t correct = 0;
+  for (const auto& x : test) {
+    if (tree.predict(x) == grid_teacher(x)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / 300.0, 0.95);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  agua::common::Rng rng(3);
+  const auto inputs = random_inputs(400, 5, rng);
+  std::vector<std::size_t> labels;
+  for (const auto& x : inputs) labels.push_back(grid_teacher(x));
+  DecisionTree::Options options;
+  options.max_depth = 2;
+  DecisionTree tree;
+  tree.fit(inputs, labels, 4, options);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, PureNodeStopsSplitting) {
+  const std::vector<std::vector<double>> inputs = {{0.1}, {0.2}, {0.3}};
+  DecisionTree tree;
+  tree.fit(inputs, {1, 1, 1}, 2);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict({0.9}), 1u);
+}
+
+TEST(DecisionTree, DecisionPathConsistentWithPrediction) {
+  agua::common::Rng rng(4);
+  const auto inputs = random_inputs(300, 2, rng);
+  std::vector<std::size_t> labels;
+  for (const auto& x : inputs) labels.push_back(grid_teacher(x));
+  DecisionTree tree;
+  tree.fit(inputs, labels, 4);
+  const std::vector<double> query = {0.7, 0.1};
+  const auto path = tree.decision_path(query);
+  EXPECT_FALSE(path.empty());
+  // Replaying the path decisions must reach the predicted leaf.
+  for (const DecisionStep& step : path) {
+    EXPECT_EQ(step.went_left, query[step.feature] <= step.threshold);
+  }
+}
+
+TEST(DecisionTree, FormatPathReadable) {
+  const std::vector<DecisionStep> path = {{0, 0.5, true}, {1, 0.25, false}};
+  const std::string text = DecisionTree::format_path(path, {"buffer", "throughput"});
+  EXPECT_NE(text.find("buffer <= 0.500"), std::string::npos);
+  EXPECT_NE(text.find("throughput > 0.250"), std::string::npos);
+}
+
+TEST(DecisionTree, PrunedTopKShrinksTree) {
+  agua::common::Rng rng(5);
+  const auto inputs = random_inputs(800, 4, rng);
+  // A noisy target forces a large tree.
+  std::vector<std::size_t> labels;
+  for (const auto& x : inputs) {
+    labels.push_back((grid_teacher(x) + (rng.bernoulli(0.15) ? 1 : 0)) % 4);
+  }
+  DecisionTree tree;
+  tree.fit(inputs, labels, 4);
+  ASSERT_GT(tree.leaf_count(), 8u);
+  const DecisionTree pruned = tree.pruned_top_k(4);
+  EXPECT_LT(pruned.node_count(), tree.node_count());
+  EXPECT_LE(pruned.depth(), tree.depth());
+  // Pruned tree still predicts valid classes.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LT(pruned.predict(inputs[static_cast<std::size_t>(i)]), 4u);
+  }
+}
+
+TEST(DecisionTree, PrunedKeepsMajorityBehaviour) {
+  agua::common::Rng rng(6);
+  const auto inputs = random_inputs(600, 2, rng);
+  std::vector<std::size_t> labels;
+  for (const auto& x : inputs) labels.push_back(grid_teacher(x));
+  DecisionTree tree;
+  tree.fit(inputs, labels, 4);
+  const DecisionTree pruned = tree.pruned_top_k(6);
+  std::size_t agree = 0;
+  for (const auto& x : inputs) {
+    if (pruned.predict(x) == tree.predict(x)) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(inputs.size()), 0.8);
+}
+
+TEST(Fidelity, MatchesDefinition) {
+  EXPECT_DOUBLE_EQ(fidelity({1, 2, 3, 4}, {1, 2, 0, 4}), 0.75);
+  EXPECT_DOUBLE_EQ(fidelity({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(fidelity({1}, {1, 2}), 0.0);
+}
+
+TEST(Trustee, DistillsControllerWithHighFidelity) {
+  agua::common::Rng rng(7);
+  const auto train = random_inputs(600, 3, rng);
+  const auto test = random_inputs(300, 3, rng);
+  TrusteeExplainer trustee;
+  const TrustReport report = trustee.train(train, grid_teacher, 4, test, rng);
+  EXPECT_GT(report.full_fidelity, 0.9);
+  EXPECT_GT(report.pruned_fidelity, 0.7);
+  EXPECT_EQ(report.iterations_run, 5u);
+  EXPECT_GT(report.full_tree.node_count(), 0u);
+  EXPECT_LE(report.pruned_tree.node_count(), report.full_tree.node_count());
+}
+
+TEST(Trustee, SummaryContainsKeyNumbers) {
+  agua::common::Rng rng(8);
+  const auto train = random_inputs(200, 2, rng);
+  TrusteeExplainer trustee;
+  const TrustReport report = trustee.train(train, grid_teacher, 4, train, rng);
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("full tree"), std::string::npos);
+  EXPECT_NE(summary.find("pruned tree"), std::string::npos);
+  EXPECT_NE(summary.find("fidelity"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/ddos_bundle.hpp"
+#include "core/validate.hpp"
+#include "trustee/decision_tree.hpp"
+
+namespace {
+
+using namespace agua;
+
+// ---------------------------------------------------------------------------
+// Describer validation (§6's "standard checks").
+
+core::Dataset tiny_dataset() {
+  core::Dataset dataset;
+  dataset.num_outputs = 2;
+  common::Rng rng(3);
+  for (int i = 0; i < 8; ++i) {
+    core::Sample s;
+    s.input = ddos::extract_features(ddos::generate_flow(
+        i % 2 == 0 ? ddos::FlowType::kBenignWeb : ddos::FlowType::kSynFlood, rng));
+    s.embedding = {0.0};
+    s.output_probs = {0.5, 0.5};
+    dataset.samples.push_back(std::move(s));
+  }
+  return dataset;
+}
+
+TEST(ValidateDescriber, RealDescriberPasses) {
+  const ddos::DdosDescriber describer;
+  const core::Dataset dataset = tiny_dataset();
+  core::ValidationOptions options;
+  options.required_sections = {"Packet timing:", "Protocol flags:"};
+  const auto result = core::validate_describer(
+      [&](const std::vector<double>& x, const text::DescriberOptions& o) {
+        return describer.describe(x, o);
+      },
+      dataset, describer.concept_set(), options);
+  EXPECT_TRUE(result.passed) << result.format();
+  EXPECT_EQ(result.inputs_checked, 8u);
+}
+
+TEST(ValidateDescriber, CatchesEmptyOutput) {
+  const core::Dataset dataset = tiny_dataset();
+  const auto result = core::validate_describer(
+      [](const std::vector<double>&, const text::DescriberOptions&) {
+        return std::string();
+      },
+      dataset, concepts::ddos_concepts(), core::ValidationOptions{});
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.format().find("non-empty"), std::string::npos);
+}
+
+TEST(ValidateDescriber, CatchesInputInsensitivity) {
+  const core::Dataset dataset = tiny_dataset();
+  const auto result = core::validate_describer(
+      [](const std::vector<double>&, const text::DescriberOptions&) {
+        return std::string(
+            "Same text every time. Correlates with the key concept of "
+            "Payload Anomalies.");
+      },
+      dataset, concepts::ddos_concepts(), core::ValidationOptions{});
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.format().find("sensitivity"), std::string::npos);
+}
+
+TEST(ValidateDescriber, CatchesNondeterminism) {
+  const core::Dataset dataset = tiny_dataset();
+  int counter = 0;
+  const auto result = core::validate_describer(
+      [&counter](const std::vector<double>&, const text::DescriberOptions&) {
+        return "call " + std::to_string(counter++) +
+               ": correlates with the key concept of Payload Anomalies.";
+      },
+      dataset, concepts::ddos_concepts(), core::ValidationOptions{});
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.format().find("determinism"), std::string::npos);
+}
+
+TEST(ValidateDescriber, CatchesMissingConceptMention) {
+  const core::Dataset dataset = tiny_dataset();
+  int i = 0;
+  const auto result = core::validate_describer(
+      [&i](const std::vector<double>&, const text::DescriberOptions&) {
+        return "text " + std::to_string(i++) + " without the required sentence";
+      },
+      dataset, concepts::ddos_concepts(), core::ValidationOptions{});
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.format().find("concept-correlation"), std::string::npos);
+}
+
+TEST(ValidateDescriber, RespectsMaxInputs) {
+  const ddos::DdosDescriber describer;
+  const core::Dataset dataset = tiny_dataset();
+  core::ValidationOptions options;
+  options.max_inputs = 3;
+  const auto result = core::validate_describer(
+      [&](const std::vector<double>& x, const text::DescriberOptions& o) {
+        return describer.describe(x, o);
+      },
+      dataset, describer.concept_set(), options);
+  EXPECT_EQ(result.inputs_checked, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// DecisionTree serialization.
+
+TEST(TreeIo, RoundTripPreservesPredictions) {
+  common::Rng rng(5);
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> x = {rng.uniform(0, 1), rng.uniform(0, 1)};
+    labels.push_back(x[0] > 0.5 ? 1u : 0u);
+    inputs.push_back(std::move(x));
+  }
+  trustee::DecisionTree tree;
+  tree.fit(inputs, labels, 2);
+
+  std::stringstream stream;
+  common::BinaryWriter w(stream);
+  tree.save(w);
+  common::BinaryReader r(stream);
+  const trustee::DecisionTree loaded = trustee::DecisionTree::load(r);
+  ASSERT_EQ(loaded.node_count(), tree.node_count());
+  EXPECT_EQ(loaded.depth(), tree.depth());
+  for (const auto& x : inputs) {
+    EXPECT_EQ(loaded.predict(x), tree.predict(x));
+  }
+}
+
+TEST(TreeIo, RoundTripPreservesPaths) {
+  common::Rng rng(6);
+  std::vector<std::vector<double>> inputs;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = {rng.uniform(0, 1), rng.uniform(0, 1), rng.uniform(0, 1)};
+    labels.push_back((x[0] > 0.3 ? 1u : 0u) + (x[1] > 0.7 ? 2u : 0u));
+    inputs.push_back(std::move(x));
+  }
+  trustee::DecisionTree tree;
+  tree.fit(inputs, labels, 4);
+  std::stringstream stream;
+  common::BinaryWriter w(stream);
+  tree.save(w);
+  common::BinaryReader r(stream);
+  const trustee::DecisionTree loaded = trustee::DecisionTree::load(r);
+  const auto original_path = tree.decision_path(inputs[0]);
+  const auto loaded_path = loaded.decision_path(inputs[0]);
+  ASSERT_EQ(original_path.size(), loaded_path.size());
+  for (std::size_t i = 0; i < original_path.size(); ++i) {
+    EXPECT_EQ(original_path[i].feature, loaded_path[i].feature);
+    EXPECT_DOUBLE_EQ(original_path[i].threshold, loaded_path[i].threshold);
+  }
+}
+
+TEST(TreeIo, GarbageYieldsEmptyTree) {
+  std::stringstream stream;
+  common::BinaryWriter w(stream);
+  w.write_u64(2);
+  w.write_u64(~0ULL);  // absurd node count
+  common::BinaryReader r(stream);
+  const trustee::DecisionTree loaded = trustee::DecisionTree::load(r);
+  EXPECT_FALSE(loaded.trained());
+}
+
+TEST(TreeIo, CorruptChildIndicesRejected) {
+  std::stringstream stream;
+  common::BinaryWriter w(stream);
+  w.write_u64(2);  // num classes
+  w.write_u64(1);  // one node
+  w.write_u32(0);  // not a leaf...
+  w.write_u64(0);  // feature
+  w.write_double(0.5);
+  w.write_u64(100);  // left -> 99 (out of range)
+  w.write_u64(101);  // right -> 100
+  w.write_u64(0);
+  w.write_u64(10);
+  common::BinaryReader r(stream);
+  const trustee::DecisionTree loaded = trustee::DecisionTree::load(r);
+  EXPECT_FALSE(loaded.trained());
+}
+
+}  // namespace
