@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_config.cpp" "bench-build/CMakeFiles/ablation_config.dir/ablation_config.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_config.dir/ablation_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/agua_bundles.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/agua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/agua_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/agua_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddos/CMakeFiles/agua_ddos.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/agua_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/agua_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/trustee/CMakeFiles/agua_trustee.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/agua_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/agua_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/agua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_config"
+  "../bench/ablation_config.pdb"
+  "CMakeFiles/ablation_config.dir/ablation_config.cpp.o"
+  "CMakeFiles/ablation_config.dir/ablation_config.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baseline_local_explainer"
+  "../bench/baseline_local_explainer.pdb"
+  "CMakeFiles/baseline_local_explainer.dir/baseline_local_explainer.cpp.o"
+  "CMakeFiles/baseline_local_explainer.dir/baseline_local_explainer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_local_explainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

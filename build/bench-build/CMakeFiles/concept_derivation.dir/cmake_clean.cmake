@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/concept_derivation"
+  "../bench/concept_derivation.pdb"
+  "CMakeFiles/concept_derivation.dir/concept_derivation.cpp.o"
+  "CMakeFiles/concept_derivation.dir/concept_derivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concept_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

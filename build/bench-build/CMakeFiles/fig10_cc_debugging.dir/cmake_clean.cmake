@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cc_debugging"
+  "../bench/fig10_cc_debugging.pdb"
+  "CMakeFiles/fig10_cc_debugging.dir/fig10_cc_debugging.cpp.o"
+  "CMakeFiles/fig10_cc_debugging.dir/fig10_cc_debugging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cc_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_dataset_expansion"
+  "../bench/fig11_dataset_expansion.pdb"
+  "CMakeFiles/fig11_dataset_expansion.dir/fig11_dataset_expansion.cpp.o"
+  "CMakeFiles/fig11_dataset_expansion.dir/fig11_dataset_expansion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dataset_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

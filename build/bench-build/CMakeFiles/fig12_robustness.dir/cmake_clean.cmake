@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_robustness"
+  "../bench/fig12_robustness.pdb"
+  "CMakeFiles/fig12_robustness.dir/fig12_robustness.cpp.o"
+  "CMakeFiles/fig12_robustness.dir/fig12_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_description_validation"
+  "../bench/fig14_description_validation.pdb"
+  "CMakeFiles/fig14_description_validation.dir/fig14_description_validation.cpp.o"
+  "CMakeFiles/fig14_description_validation.dir/fig14_description_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_description_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_16_description"
+  "../bench/fig15_16_description.pdb"
+  "CMakeFiles/fig15_16_description.dir/fig15_16_description.cpp.o"
+  "CMakeFiles/fig15_16_description.dir/fig15_16_description.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_16_description.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

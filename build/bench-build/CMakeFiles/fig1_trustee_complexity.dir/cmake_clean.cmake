@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_trustee_complexity"
+  "../bench/fig1_trustee_complexity.pdb"
+  "CMakeFiles/fig1_trustee_complexity.dir/fig1_trustee_complexity.cpp.o"
+  "CMakeFiles/fig1_trustee_complexity.dir/fig1_trustee_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_trustee_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_trustee_complexity.
+# This may be replaced when dependencies are built.

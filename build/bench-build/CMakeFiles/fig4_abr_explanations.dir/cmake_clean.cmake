@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_abr_explanations"
+  "../bench/fig4_abr_explanations.pdb"
+  "CMakeFiles/fig4_abr_explanations.dir/fig4_abr_explanations.cpp.o"
+  "CMakeFiles/fig4_abr_explanations.dir/fig4_abr_explanations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_abr_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

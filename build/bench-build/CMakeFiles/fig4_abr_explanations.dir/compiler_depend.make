@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_abr_explanations.
+# This may be replaced when dependencies are built.

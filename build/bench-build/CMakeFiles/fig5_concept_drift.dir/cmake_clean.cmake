@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_concept_drift"
+  "../bench/fig5_concept_drift.pdb"
+  "CMakeFiles/fig5_concept_drift.dir/fig5_concept_drift.cpp.o"
+  "CMakeFiles/fig5_concept_drift.dir/fig5_concept_drift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_concept_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ddos_explanations"
+  "../bench/fig6_ddos_explanations.pdb"
+  "CMakeFiles/fig6_ddos_explanations.dir/fig6_ddos_explanations.cpp.o"
+  "CMakeFiles/fig6_ddos_explanations.dir/fig6_ddos_explanations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ddos_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

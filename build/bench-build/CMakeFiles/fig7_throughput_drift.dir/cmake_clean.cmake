@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_throughput_drift"
+  "../bench/fig7_throughput_drift.pdb"
+  "CMakeFiles/fig7_throughput_drift.dir/fig7_throughput_drift.cpp.o"
+  "CMakeFiles/fig7_throughput_drift.dir/fig7_throughput_drift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_throughput_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

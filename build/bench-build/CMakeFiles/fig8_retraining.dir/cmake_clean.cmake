@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_retraining"
+  "../bench/fig8_retraining.pdb"
+  "CMakeFiles/fig8_retraining.dir/fig8_retraining.cpp.o"
+  "CMakeFiles/fig8_retraining.dir/fig8_retraining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_cc_timeline"
+  "../bench/fig9_cc_timeline.pdb"
+  "CMakeFiles/fig9_cc_timeline.dir/fig9_cc_timeline.cpp.o"
+  "CMakeFiles/fig9_cc_timeline.dir/fig9_cc_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cc_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

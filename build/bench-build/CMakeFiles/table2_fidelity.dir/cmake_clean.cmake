@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_fidelity"
+  "../bench/table2_fidelity.pdb"
+  "CMakeFiles/table2_fidelity.dir/table2_fidelity.cpp.o"
+  "CMakeFiles/table2_fidelity.dir/table2_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

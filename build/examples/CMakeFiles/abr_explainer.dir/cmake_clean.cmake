@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_explainer.dir/abr_explainer.cpp.o"
+  "CMakeFiles/abr_explainer.dir/abr_explainer.cpp.o.d"
+  "abr_explainer"
+  "abr_explainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_explainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

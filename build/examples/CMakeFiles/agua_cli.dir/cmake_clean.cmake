@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_cli.dir/agua_cli.cpp.o"
+  "CMakeFiles/agua_cli.dir/agua_cli.cpp.o.d"
+  "agua_cli"
+  "agua_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_debugging.dir/cc_debugging.cpp.o"
+  "CMakeFiles/cc_debugging.dir/cc_debugging.cpp.o.d"
+  "cc_debugging"
+  "cc_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

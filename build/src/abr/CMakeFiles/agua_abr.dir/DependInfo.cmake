@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/controller.cpp" "src/abr/CMakeFiles/agua_abr.dir/controller.cpp.o" "gcc" "src/abr/CMakeFiles/agua_abr.dir/controller.cpp.o.d"
+  "/root/repo/src/abr/describe.cpp" "src/abr/CMakeFiles/agua_abr.dir/describe.cpp.o" "gcc" "src/abr/CMakeFiles/agua_abr.dir/describe.cpp.o.d"
+  "/root/repo/src/abr/env.cpp" "src/abr/CMakeFiles/agua_abr.dir/env.cpp.o" "gcc" "src/abr/CMakeFiles/agua_abr.dir/env.cpp.o.d"
+  "/root/repo/src/abr/teacher.cpp" "src/abr/CMakeFiles/agua_abr.dir/teacher.cpp.o" "gcc" "src/abr/CMakeFiles/agua_abr.dir/teacher.cpp.o.d"
+  "/root/repo/src/abr/trace.cpp" "src/abr/CMakeFiles/agua_abr.dir/trace.cpp.o" "gcc" "src/abr/CMakeFiles/agua_abr.dir/trace.cpp.o.d"
+  "/root/repo/src/abr/video.cpp" "src/abr/CMakeFiles/agua_abr.dir/video.cpp.o" "gcc" "src/abr/CMakeFiles/agua_abr.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/agua_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/agua_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/agua_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/agua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_abr.dir/controller.cpp.o"
+  "CMakeFiles/agua_abr.dir/controller.cpp.o.d"
+  "CMakeFiles/agua_abr.dir/describe.cpp.o"
+  "CMakeFiles/agua_abr.dir/describe.cpp.o.d"
+  "CMakeFiles/agua_abr.dir/env.cpp.o"
+  "CMakeFiles/agua_abr.dir/env.cpp.o.d"
+  "CMakeFiles/agua_abr.dir/teacher.cpp.o"
+  "CMakeFiles/agua_abr.dir/teacher.cpp.o.d"
+  "CMakeFiles/agua_abr.dir/trace.cpp.o"
+  "CMakeFiles/agua_abr.dir/trace.cpp.o.d"
+  "CMakeFiles/agua_abr.dir/video.cpp.o"
+  "CMakeFiles/agua_abr.dir/video.cpp.o.d"
+  "libagua_abr.a"
+  "libagua_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_bundles.dir/abr_bundle.cpp.o"
+  "CMakeFiles/agua_bundles.dir/abr_bundle.cpp.o.d"
+  "CMakeFiles/agua_bundles.dir/cc_bundle.cpp.o"
+  "CMakeFiles/agua_bundles.dir/cc_bundle.cpp.o.d"
+  "CMakeFiles/agua_bundles.dir/ddos_bundle.cpp.o"
+  "CMakeFiles/agua_bundles.dir/ddos_bundle.cpp.o.d"
+  "CMakeFiles/agua_bundles.dir/noise.cpp.o"
+  "CMakeFiles/agua_bundles.dir/noise.cpp.o.d"
+  "libagua_bundles.a"
+  "libagua_bundles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_bundles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

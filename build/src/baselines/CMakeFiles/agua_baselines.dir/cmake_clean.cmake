@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_baselines.dir/lime.cpp.o"
+  "CMakeFiles/agua_baselines.dir/lime.cpp.o.d"
+  "libagua_baselines.a"
+  "libagua_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

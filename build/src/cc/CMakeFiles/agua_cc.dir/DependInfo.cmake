@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/controller.cpp" "src/cc/CMakeFiles/agua_cc.dir/controller.cpp.o" "gcc" "src/cc/CMakeFiles/agua_cc.dir/controller.cpp.o.d"
+  "/root/repo/src/cc/describe.cpp" "src/cc/CMakeFiles/agua_cc.dir/describe.cpp.o" "gcc" "src/cc/CMakeFiles/agua_cc.dir/describe.cpp.o.d"
+  "/root/repo/src/cc/env.cpp" "src/cc/CMakeFiles/agua_cc.dir/env.cpp.o" "gcc" "src/cc/CMakeFiles/agua_cc.dir/env.cpp.o.d"
+  "/root/repo/src/cc/teacher.cpp" "src/cc/CMakeFiles/agua_cc.dir/teacher.cpp.o" "gcc" "src/cc/CMakeFiles/agua_cc.dir/teacher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/agua_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/agua_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/agua_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/agua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_cc.dir/controller.cpp.o"
+  "CMakeFiles/agua_cc.dir/controller.cpp.o.d"
+  "CMakeFiles/agua_cc.dir/describe.cpp.o"
+  "CMakeFiles/agua_cc.dir/describe.cpp.o.d"
+  "CMakeFiles/agua_cc.dir/env.cpp.o"
+  "CMakeFiles/agua_cc.dir/env.cpp.o.d"
+  "CMakeFiles/agua_cc.dir/teacher.cpp.o"
+  "CMakeFiles/agua_cc.dir/teacher.cpp.o.d"
+  "libagua_cc.a"
+  "libagua_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_common.dir/csv.cpp.o"
+  "CMakeFiles/agua_common.dir/csv.cpp.o.d"
+  "CMakeFiles/agua_common.dir/rng.cpp.o"
+  "CMakeFiles/agua_common.dir/rng.cpp.o.d"
+  "CMakeFiles/agua_common.dir/serialize.cpp.o"
+  "CMakeFiles/agua_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/agua_common.dir/stats.cpp.o"
+  "CMakeFiles/agua_common.dir/stats.cpp.o.d"
+  "CMakeFiles/agua_common.dir/string_util.cpp.o"
+  "CMakeFiles/agua_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/agua_common.dir/table.cpp.o"
+  "CMakeFiles/agua_common.dir/table.cpp.o.d"
+  "libagua_common.a"
+  "libagua_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/concepts/concept_set.cpp" "src/concepts/CMakeFiles/agua_concepts.dir/concept_set.cpp.o" "gcc" "src/concepts/CMakeFiles/agua_concepts.dir/concept_set.cpp.o.d"
+  "/root/repo/src/concepts/derivation.cpp" "src/concepts/CMakeFiles/agua_concepts.dir/derivation.cpp.o" "gcc" "src/concepts/CMakeFiles/agua_concepts.dir/derivation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/agua_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/agua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

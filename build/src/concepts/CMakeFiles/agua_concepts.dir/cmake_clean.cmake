@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_concepts.dir/concept_set.cpp.o"
+  "CMakeFiles/agua_concepts.dir/concept_set.cpp.o.d"
+  "CMakeFiles/agua_concepts.dir/derivation.cpp.o"
+  "CMakeFiles/agua_concepts.dir/derivation.cpp.o.d"
+  "libagua_concepts.a"
+  "libagua_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

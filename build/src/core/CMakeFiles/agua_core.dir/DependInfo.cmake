@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/concept_mapping.cpp" "src/core/CMakeFiles/agua_core.dir/concept_mapping.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/concept_mapping.cpp.o.d"
+  "/root/repo/src/core/datastore.cpp" "src/core/CMakeFiles/agua_core.dir/datastore.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/datastore.cpp.o.d"
+  "/root/repo/src/core/drift.cpp" "src/core/CMakeFiles/agua_core.dir/drift.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/drift.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/agua_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/intervene.cpp" "src/core/CMakeFiles/agua_core.dir/intervene.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/intervene.cpp.o.d"
+  "/root/repo/src/core/labeler.cpp" "src/core/CMakeFiles/agua_core.dir/labeler.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/labeler.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/agua_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/output_mapping.cpp" "src/core/CMakeFiles/agua_core.dir/output_mapping.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/output_mapping.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/agua_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/regression.cpp" "src/core/CMakeFiles/agua_core.dir/regression.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/regression.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/agua_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/core/CMakeFiles/agua_core.dir/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/surrogate.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/agua_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/agua_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/agua_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/agua_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/concepts/CMakeFiles/agua_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/agua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

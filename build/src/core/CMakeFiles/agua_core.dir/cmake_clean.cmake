@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_core.dir/concept_mapping.cpp.o"
+  "CMakeFiles/agua_core.dir/concept_mapping.cpp.o.d"
+  "CMakeFiles/agua_core.dir/datastore.cpp.o"
+  "CMakeFiles/agua_core.dir/datastore.cpp.o.d"
+  "CMakeFiles/agua_core.dir/drift.cpp.o"
+  "CMakeFiles/agua_core.dir/drift.cpp.o.d"
+  "CMakeFiles/agua_core.dir/explain.cpp.o"
+  "CMakeFiles/agua_core.dir/explain.cpp.o.d"
+  "CMakeFiles/agua_core.dir/intervene.cpp.o"
+  "CMakeFiles/agua_core.dir/intervene.cpp.o.d"
+  "CMakeFiles/agua_core.dir/labeler.cpp.o"
+  "CMakeFiles/agua_core.dir/labeler.cpp.o.d"
+  "CMakeFiles/agua_core.dir/model_io.cpp.o"
+  "CMakeFiles/agua_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/agua_core.dir/output_mapping.cpp.o"
+  "CMakeFiles/agua_core.dir/output_mapping.cpp.o.d"
+  "CMakeFiles/agua_core.dir/pipeline.cpp.o"
+  "CMakeFiles/agua_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/agua_core.dir/regression.cpp.o"
+  "CMakeFiles/agua_core.dir/regression.cpp.o.d"
+  "CMakeFiles/agua_core.dir/report.cpp.o"
+  "CMakeFiles/agua_core.dir/report.cpp.o.d"
+  "CMakeFiles/agua_core.dir/surrogate.cpp.o"
+  "CMakeFiles/agua_core.dir/surrogate.cpp.o.d"
+  "CMakeFiles/agua_core.dir/validate.cpp.o"
+  "CMakeFiles/agua_core.dir/validate.cpp.o.d"
+  "libagua_core.a"
+  "libagua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_ddos.dir/controller.cpp.o"
+  "CMakeFiles/agua_ddos.dir/controller.cpp.o.d"
+  "CMakeFiles/agua_ddos.dir/describe.cpp.o"
+  "CMakeFiles/agua_ddos.dir/describe.cpp.o.d"
+  "CMakeFiles/agua_ddos.dir/features.cpp.o"
+  "CMakeFiles/agua_ddos.dir/features.cpp.o.d"
+  "CMakeFiles/agua_ddos.dir/flows.cpp.o"
+  "CMakeFiles/agua_ddos.dir/flows.cpp.o.d"
+  "libagua_ddos.a"
+  "libagua_ddos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_ddos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_nn.dir/layers.cpp.o"
+  "CMakeFiles/agua_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/agua_nn.dir/loss.cpp.o"
+  "CMakeFiles/agua_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/agua_nn.dir/optim.cpp.o"
+  "CMakeFiles/agua_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/agua_nn.dir/policy.cpp.o"
+  "CMakeFiles/agua_nn.dir/policy.cpp.o.d"
+  "CMakeFiles/agua_nn.dir/tensor.cpp.o"
+  "CMakeFiles/agua_nn.dir/tensor.cpp.o.d"
+  "libagua_nn.a"
+  "libagua_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

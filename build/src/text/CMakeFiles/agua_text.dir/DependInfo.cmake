@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/describer.cpp" "src/text/CMakeFiles/agua_text.dir/describer.cpp.o" "gcc" "src/text/CMakeFiles/agua_text.dir/describer.cpp.o.d"
+  "/root/repo/src/text/embedder.cpp" "src/text/CMakeFiles/agua_text.dir/embedder.cpp.o" "gcc" "src/text/CMakeFiles/agua_text.dir/embedder.cpp.o.d"
+  "/root/repo/src/text/similarity.cpp" "src/text/CMakeFiles/agua_text.dir/similarity.cpp.o" "gcc" "src/text/CMakeFiles/agua_text.dir/similarity.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/text/CMakeFiles/agua_text.dir/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/agua_text.dir/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

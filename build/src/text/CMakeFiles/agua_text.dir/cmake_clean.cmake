@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_text.dir/describer.cpp.o"
+  "CMakeFiles/agua_text.dir/describer.cpp.o.d"
+  "CMakeFiles/agua_text.dir/embedder.cpp.o"
+  "CMakeFiles/agua_text.dir/embedder.cpp.o.d"
+  "CMakeFiles/agua_text.dir/similarity.cpp.o"
+  "CMakeFiles/agua_text.dir/similarity.cpp.o.d"
+  "CMakeFiles/agua_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/agua_text.dir/tokenizer.cpp.o.d"
+  "libagua_text.a"
+  "libagua_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trustee/decision_tree.cpp" "src/trustee/CMakeFiles/agua_trustee.dir/decision_tree.cpp.o" "gcc" "src/trustee/CMakeFiles/agua_trustee.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/trustee/trustee.cpp" "src/trustee/CMakeFiles/agua_trustee.dir/trustee.cpp.o" "gcc" "src/trustee/CMakeFiles/agua_trustee.dir/trustee.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/agua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

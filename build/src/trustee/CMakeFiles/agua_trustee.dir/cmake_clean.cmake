@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agua_trustee.dir/decision_tree.cpp.o"
+  "CMakeFiles/agua_trustee.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/agua_trustee.dir/trustee.cpp.o"
+  "CMakeFiles/agua_trustee.dir/trustee.cpp.o.d"
+  "libagua_trustee.a"
+  "libagua_trustee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agua_trustee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagua_trustee.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for agua_trustee.
+# This may be replaced when dependencies are built.

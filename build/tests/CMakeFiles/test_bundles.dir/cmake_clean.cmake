@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bundles.dir/test_bundles.cpp.o"
+  "CMakeFiles/test_bundles.dir/test_bundles.cpp.o.d"
+  "test_bundles"
+  "test_bundles.pdb"
+  "test_bundles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bundles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bundles.
+# This may be replaced when dependencies are built.

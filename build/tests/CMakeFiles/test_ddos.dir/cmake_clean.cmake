@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddos.dir/test_ddos.cpp.o"
+  "CMakeFiles/test_ddos.dir/test_ddos.cpp.o.d"
+  "test_ddos"
+  "test_ddos.pdb"
+  "test_ddos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

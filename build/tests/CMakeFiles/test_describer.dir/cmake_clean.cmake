@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_describer.dir/test_describer.cpp.o"
+  "CMakeFiles/test_describer.dir/test_describer.cpp.o.d"
+  "test_describer"
+  "test_describer.pdb"
+  "test_describer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_describer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

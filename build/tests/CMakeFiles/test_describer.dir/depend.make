@@ -1,0 +1,2 @@
+# Empty dependencies file for test_describer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drift_datastore.dir/test_drift_datastore.cpp.o"
+  "CMakeFiles/test_drift_datastore.dir/test_drift_datastore.cpp.o.d"
+  "test_drift_datastore"
+  "test_drift_datastore.pdb"
+  "test_drift_datastore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drift_datastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lime.dir/test_lime.cpp.o"
+  "CMakeFiles/test_lime.dir/test_lime.cpp.o.d"
+  "test_lime"
+  "test_lime.pdb"
+  "test_lime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_string_csv.dir/test_string_csv.cpp.o"
+  "CMakeFiles/test_string_csv.dir/test_string_csv.cpp.o.d"
+  "test_string_csv"
+  "test_string_csv.pdb"
+  "test_string_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_string_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tokenizer_embedder.dir/test_tokenizer_embedder.cpp.o"
+  "CMakeFiles/test_tokenizer_embedder.dir/test_tokenizer_embedder.cpp.o.d"
+  "test_tokenizer_embedder"
+  "test_tokenizer_embedder.pdb"
+  "test_tokenizer_embedder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tokenizer_embedder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

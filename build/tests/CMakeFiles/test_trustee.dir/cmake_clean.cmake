@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trustee.dir/test_trustee.cpp.o"
+  "CMakeFiles/test_trustee.dir/test_trustee.cpp.o.d"
+  "test_trustee"
+  "test_trustee.pdb"
+  "test_trustee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trustee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validate_treeio.dir/test_validate_treeio.cpp.o"
+  "CMakeFiles/test_validate_treeio.dir/test_validate_treeio.cpp.o.d"
+  "test_validate_treeio"
+  "test_validate_treeio.pdb"
+  "test_validate_treeio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validate_treeio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

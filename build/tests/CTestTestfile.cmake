@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_string_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_tokenizer_embedder[1]_include.cmake")
+include("/root/repo/build/tests/test_similarity[1]_include.cmake")
+include("/root/repo/build/tests/test_describer[1]_include.cmake")
+include("/root/repo/build/tests/test_concepts[1]_include.cmake")
+include("/root/repo/build/tests/test_trustee[1]_include.cmake")
+include("/root/repo/build/tests/test_abr[1]_include.cmake")
+include("/root/repo/build/tests/test_cc[1]_include.cmake")
+include("/root/repo/build/tests/test_ddos[1]_include.cmake")
+include("/root/repo/build/tests/test_core_mapping[1]_include.cmake")
+include("/root/repo/build/tests/test_explain[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_drift_datastore[1]_include.cmake")
+include("/root/repo/build/tests/test_model_io[1]_include.cmake")
+include("/root/repo/build/tests/test_intervene_report[1]_include.cmake")
+include("/root/repo/build/tests/test_bundles[1]_include.cmake")
+include("/root/repo/build/tests/test_lime[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_validate_treeio[1]_include.cmake")
