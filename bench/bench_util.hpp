@@ -4,6 +4,7 @@
 // to the paper's, so shape-level agreement can be checked at a glance.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -25,10 +26,19 @@ struct MetricRow {
 };
 
 inline void print_metrics(const std::vector<MetricRow>& rows, int precision = 3) {
-  common::TablePrinter table({"metric", "paper", "measured"});
+  common::TablePrinter table({"metric", "paper", "measured", "rel err"});
   for (const MetricRow& row : rows) {
+    // |measured − paper| / |paper| quantifies shape-level agreement; a paper
+    // value of zero has no meaningful relative scale. Fixed 3-decimal
+    // formatting, independent of the metric's own precision (which is 0 for
+    // integer metrics like node counts).
+    const std::string rel_err =
+        row.paper != 0.0
+            ? common::format_double(
+                  std::abs(row.measured - row.paper) / std::abs(row.paper), 3)
+            : "-";
     table.add_row({row.label, common::format_double(row.paper, precision),
-                   common::format_double(row.measured, precision)});
+                   common::format_double(row.measured, precision), rel_err});
   }
   std::printf("%s", table.render().c_str());
 }

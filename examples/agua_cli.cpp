@@ -3,10 +3,13 @@
 // explanation, and (optionally) a checkpoint.
 //
 //   agua_cli <abr|cc|ddos> [--seed N] [--open] [--save PATH] [--paper-config]
+//            [--trace] [--metrics-out PATH]
 //
 //   --open          use the open-source embedding stack (default: closed)
 //   --paper-config  train with the paper's exact §4 hyperparameters
 //   --save PATH     write the trained surrogate to PATH (binary archive)
+//   --trace         capture begin/end spans and print the span tree after the run
+//   --metrics-out   write the metrics registry (and spans) as JSON lines to PATH
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +21,8 @@
 #include "core/explain.hpp"
 #include "core/model_io.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -28,7 +33,9 @@ struct CliOptions {
   std::uint64_t seed = 42;
   bool open_embeddings = false;
   bool paper_config = false;
+  bool trace = false;
   std::string save_path;
+  std::string metrics_out;
 };
 
 bool parse(int argc, char** argv, CliOptions& options) {
@@ -46,6 +53,10 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.paper_config = true;
     } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
       options.save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      options.trace = true;
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      options.metrics_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return false;
@@ -81,6 +92,18 @@ void run(const CliOptions& options, core::Dataset& train, core::Dataset& test,
       std::fprintf(stderr, "failed to write %s\n", options.save_path.c_str());
     }
   }
+
+  if (options.trace) {
+    std::printf("span tree (wall-clock, children indented under parents):\n%s\n",
+                obs::format_span_tree(obs::collect_spans()).c_str());
+  }
+  if (!options.metrics_out.empty()) {
+    if (obs::write_json_file(options.metrics_out)) {
+      std::printf("metrics written to %s\n", options.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", options.metrics_out.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -90,10 +113,11 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, options)) {
     std::fprintf(stderr,
                  "usage: %s <abr|cc|ddos> [--seed N] [--open] [--save PATH]"
-                 " [--paper-config]\n",
+                 " [--paper-config] [--trace] [--metrics-out PATH]\n",
                  argv[0]);
     return 2;
   }
+  obs::set_trace_enabled(options.trace);
   std::printf("building the %s application bundle (seed %llu)...\n",
               options.app.c_str(), static_cast<unsigned long long>(options.seed));
   if (options.app == "abr") {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verify in one command: configure + build the default preset, then
+# run the test suite. Pass `asan` to do the same under the sanitizer preset.
+#
+#   scripts/check.sh [default|asan] [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+preset="default"
+jobs="$(nproc 2>/dev/null || echo 2)"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    default|asan) preset="$1" ;;
+    -j) jobs="$2"; shift ;;
+    *) echo "usage: $0 [default|asan] [-j N]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$jobs"
+ctest --preset "$preset" -j "$jobs"

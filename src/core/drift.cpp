@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 
 namespace agua::core {
 namespace {
@@ -26,6 +27,9 @@ std::vector<std::size_t> tag_from_stats(const std::vector<double>& intensity,
 
 std::vector<double> trace_concept_intensity(AguaModel& model,
                                             const TraceEmbeddings& trace) {
+  static obs::Counter& traces =
+      obs::MetricsRegistry::instance().counter("agua.drift.trace_intensity");
+  traces.add(1);
   const std::size_t C = model.num_concepts();
   const std::size_t k = model.num_levels();
   std::vector<double> intensity(C, 0.0);
@@ -59,6 +63,7 @@ DriftReport detect_concept_drift(AguaModel& model,
                                  const std::vector<TraceEmbeddings>& dataset_a,
                                  const std::vector<TraceEmbeddings>& dataset_b,
                                  std::size_t top_k) {
+  obs::TraceSpan span("agua.drift.detect");
   DriftReport report;
   report.concept_names = model.concept_set().names();
   const std::size_t C = model.num_concepts();

@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 
 namespace agua::core {
 namespace {
@@ -14,6 +15,9 @@ namespace {
 /// Core of eq. 7-10 for one embedding and one target class.
 Explanation explain_one(AguaModel& model, const std::vector<double>& embedding,
                         std::size_t output_class) {
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::instance().histogram("agua.explain.single");
+  obs::ScopedTimer timer(latency);
   Explanation exp;
   const std::size_t C = model.num_concepts();
   const std::size_t k = model.num_levels();
@@ -106,6 +110,9 @@ Explanation explain_batched(AguaModel& model,
                             std::size_t output_class) {
   Explanation aggregate;
   if (embeddings.empty()) return aggregate;
+  obs::TraceSpan span("agua.explain.batch");
+  obs::MetricsRegistry::instance().counter("agua.explain.batch.samples")
+      .add(embeddings.size());
   const bool factual = output_class == static_cast<std::size_t>(-1);
   bool first = true;
   for (const auto& embedding : embeddings) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace agua::core {
 
@@ -14,6 +15,7 @@ ConceptLabeler::ConceptLabeler(concepts::ConceptSet concept_set, text::TextEmbed
 
 void ConceptLabeler::fit(const std::vector<std::string>& descriptions,
                          bool calibrate_quantizer) {
+  obs::TraceSpan span("agua.labeler.fit");
   std::vector<std::string> corpus = descriptions;
   for (const auto& textual : concepts_.embedding_texts()) corpus.push_back(textual);
   embedder_.fit(corpus);
@@ -64,6 +66,9 @@ std::vector<double> ConceptLabeler::similarities(const std::string& description)
 
 std::vector<double> ConceptLabeler::similarities_from_embedding(
     const std::vector<double>& description_embedding) const {
+  static obs::Counter& tags =
+      obs::MetricsRegistry::instance().counter("agua.labeler.similarity");
+  tags.add(1);
   std::vector<double> sims;
   sims.reserve(concept_embeddings_.size());
   for (const auto& concept_embedding : concept_embeddings_) {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace agua::core {
 
 AguaConfig paper_agua_config() {
@@ -16,77 +18,94 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
                          const DescribeFn& describe, const AguaConfig& config,
                          common::Rng& rng) {
   assert(!train.empty());
+  obs::TraceSpan pipeline_span("agua.pipeline.train");
+  obs::MetricsRegistry::instance().counter("agua.pipeline.train.samples").add(train.size());
   AguaArtifacts artifacts;
 
   // Stage ②: input description generation.
-  common::Rng describe_rng = rng.fork(0xDE5C);
-  text::DescriberOptions describe_options;
-  describe_options.temperature = config.describe_temperature;
-  describe_options.rng = config.describe_temperature > 0.0 ? &describe_rng : nullptr;
-  artifacts.descriptions.reserve(train.size());
-  for (const Sample& sample : train.samples) {
-    artifacts.descriptions.push_back(describe(sample.input, describe_options));
+  {
+    obs::TraceSpan span("agua.pipeline.describe");
+    common::Rng describe_rng = rng.fork(0xDE5C);
+    text::DescriberOptions describe_options;
+    describe_options.temperature = config.describe_temperature;
+    describe_options.rng = config.describe_temperature > 0.0 ? &describe_rng : nullptr;
+    artifacts.descriptions.reserve(train.size());
+    for (const Sample& sample : train.samples) {
+      artifacts.descriptions.push_back(describe(sample.input, describe_options));
+    }
   }
 
   // Stage ③: input concept embedding + similarity quantization.
-  text::SimilarityQuantizer quantizer = text::SimilarityQuantizer::paper_default();
-  if (config.quantizer_levels != 3 && config.quantizer_levels >= 2) {
-    // Evenly spaced initial bins; fit() recalibrates them to percentiles.
-    std::vector<double> thresholds;
-    for (std::size_t i = 1; i < config.quantizer_levels; ++i) {
-      thresholds.push_back(static_cast<double>(i) /
-                           static_cast<double>(config.quantizer_levels));
+  {
+    obs::TraceSpan span("agua.pipeline.embed_label");
+    text::SimilarityQuantizer quantizer = text::SimilarityQuantizer::paper_default();
+    if (config.quantizer_levels != 3 && config.quantizer_levels >= 2) {
+      // Evenly spaced initial bins; fit() recalibrates them to percentiles.
+      std::vector<double> thresholds;
+      for (std::size_t i = 1; i < config.quantizer_levels; ++i) {
+        thresholds.push_back(static_cast<double>(i) /
+                             static_cast<double>(config.quantizer_levels));
+      }
+      quantizer = text::SimilarityQuantizer(std::move(thresholds));
     }
-    quantizer = text::SimilarityQuantizer(std::move(thresholds));
-  }
-  artifacts.labeler = std::make_unique<ConceptLabeler>(
-      concept_set, text::TextEmbedder(config.embedder), std::move(quantizer));
-  artifacts.labeler->fit(artifacts.descriptions, config.calibrate_quantizer);
-  artifacts.description_embeddings.reserve(train.size());
-  artifacts.similarity_levels.reserve(train.size());
-  for (const auto& description : artifacts.descriptions) {
-    auto embedding = artifacts.labeler->embed(description);
-    auto sims = artifacts.labeler->similarities_from_embedding(embedding);
-    artifacts.description_embeddings.push_back(std::move(embedding));
-    artifacts.similarity_levels.push_back(artifacts.labeler->levels_from_similarities(sims));
+    artifacts.labeler = std::make_unique<ConceptLabeler>(
+        concept_set, text::TextEmbedder(config.embedder), std::move(quantizer));
+    artifacts.labeler->fit(artifacts.descriptions, config.calibrate_quantizer);
+    artifacts.description_embeddings.reserve(train.size());
+    artifacts.similarity_levels.reserve(train.size());
+    for (const auto& description : artifacts.descriptions) {
+      auto embedding = artifacts.labeler->embed(description);
+      auto sims = artifacts.labeler->similarities_from_embedding(embedding);
+      artifacts.description_embeddings.push_back(std::move(embedding));
+      artifacts.similarity_levels.push_back(
+          artifacts.labeler->levels_from_similarities(sims));
+    }
   }
 
   // Stage ④: train the concept mapping δθ on (h(x), similarity labels).
-  ConceptMapping::Config cm_config;
-  cm_config.embedding_dim = train.embedding_dim();
-  cm_config.num_concepts = concept_set.size();
-  cm_config.num_levels = artifacts.labeler->num_levels();
-  cm_config.hidden_dim = config.concept_hidden_dim;
-  cm_config.epochs = config.concept_epochs;
-  cm_config.batch_size = config.concept_batch_size;
-  cm_config.learning_rate = config.concept_learning_rate;
-  cm_config.momentum = config.concept_momentum;
-  common::Rng cm_rng = rng.fork(0xC09C);
-  ConceptMapping concept_mapping(cm_config, cm_rng);
   std::vector<std::vector<double>> embeddings;
   embeddings.reserve(train.size());
   for (const Sample& sample : train.samples) embeddings.push_back(sample.embedding);
-  artifacts.concept_train_loss =
-      concept_mapping.train(embeddings, artifacts.similarity_levels, cm_rng);
+  ConceptMapping concept_mapping = [&] {
+    obs::TraceSpan span("agua.pipeline.train_concept");
+    ConceptMapping::Config cm_config;
+    cm_config.embedding_dim = train.embedding_dim();
+    cm_config.num_concepts = concept_set.size();
+    cm_config.num_levels = artifacts.labeler->num_levels();
+    cm_config.hidden_dim = config.concept_hidden_dim;
+    cm_config.epochs = config.concept_epochs;
+    cm_config.batch_size = config.concept_batch_size;
+    cm_config.learning_rate = config.concept_learning_rate;
+    cm_config.momentum = config.concept_momentum;
+    common::Rng cm_rng = rng.fork(0xC09C);
+    ConceptMapping mapping(cm_config, cm_rng);
+    artifacts.concept_train_loss =
+        mapping.train(embeddings, artifacts.similarity_levels, cm_rng);
+    return mapping;
+  }();
 
   // Stage ⑤: train the output mapping Ω on (δθ(h(x)), controller outputs).
-  const nn::Matrix concept_probs =
-      concept_mapping.concept_probs_batch(nn::Matrix::from_rows(embeddings));
-  std::vector<std::vector<double>> targets;
-  targets.reserve(train.size());
-  for (const Sample& sample : train.samples) targets.push_back(sample.output_probs);
-  OutputMapping::Config om_config;
-  om_config.concept_dim = concept_mapping.output_dim();
-  om_config.num_outputs = train.num_outputs;
-  om_config.epochs = config.output_epochs;
-  om_config.batch_size = config.output_batch_size;
-  om_config.learning_rate = config.output_learning_rate;
-  om_config.elastic_alpha = config.elastic_alpha;
-  om_config.elastic_coef = config.elastic_coef;
-  common::Rng om_rng = rng.fork(0x0A7B);
-  OutputMapping output_mapping(om_config, om_rng);
-  artifacts.output_train_loss =
-      output_mapping.train(concept_probs, nn::Matrix::from_rows(targets), om_rng);
+  OutputMapping output_mapping = [&] {
+    obs::TraceSpan span("agua.pipeline.train_output");
+    const nn::Matrix concept_probs =
+        concept_mapping.concept_probs_batch(nn::Matrix::from_rows(embeddings));
+    std::vector<std::vector<double>> targets;
+    targets.reserve(train.size());
+    for (const Sample& sample : train.samples) targets.push_back(sample.output_probs);
+    OutputMapping::Config om_config;
+    om_config.concept_dim = concept_mapping.output_dim();
+    om_config.num_outputs = train.num_outputs;
+    om_config.epochs = config.output_epochs;
+    om_config.batch_size = config.output_batch_size;
+    om_config.learning_rate = config.output_learning_rate;
+    om_config.elastic_alpha = config.elastic_alpha;
+    om_config.elastic_coef = config.elastic_coef;
+    common::Rng om_rng = rng.fork(0x0A7B);
+    OutputMapping mapping(om_config, om_rng);
+    artifacts.output_train_loss =
+        mapping.train(concept_probs, nn::Matrix::from_rows(targets), om_rng);
+    return mapping;
+  }();
 
   artifacts.model = std::make_unique<AguaModel>(concept_set, std::move(concept_mapping),
                                                 std::move(output_mapping));

@@ -1,8 +1,20 @@
 #include "core/surrogate.hpp"
 
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace agua::core {
+namespace {
+
+// Resolved once; a forward pass then costs one relaxed atomic increment, so
+// instrumentation stays far under the 2% overhead budget on this hot path.
+obs::Counter& forward_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::instance().counter("agua.surrogate.forward");
+  return counter;
+}
+
+}  // namespace
 
 AguaModel::AguaModel(concepts::ConceptSet concept_set, ConceptMapping concept_mapping,
                      OutputMapping output_mapping)
@@ -11,6 +23,7 @@ AguaModel::AguaModel(concepts::ConceptSet concept_set, ConceptMapping concept_ma
       output_mapping_(std::move(output_mapping)) {}
 
 std::vector<double> AguaModel::logits(const std::vector<double>& embedding) {
+  forward_counter().add(1);
   return output_mapping_.logits(concept_mapping_.concept_probs(embedding));
 }
 
@@ -24,6 +37,7 @@ std::size_t AguaModel::predict_class(const std::vector<double>& embedding) {
 
 double fidelity(AguaModel& model, const Dataset& dataset) {
   if (dataset.empty()) return 0.0;
+  obs::ScopedTimer timer("agua.surrogate.fidelity");
   std::size_t matches = 0;
   for (const Sample& sample : dataset.samples) {
     if (model.predict_class(sample.embedding) == sample.output_class) ++matches;

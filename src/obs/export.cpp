@@ -1,0 +1,119 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace agua::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  // Shortest round-trippable representation; avoids locale surprises.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string ms(double seconds) { return common::format_double(seconds * 1e3, 3); }
+
+}  // namespace
+
+std::string format_table(const std::vector<MetricSnapshot>& metrics) {
+  common::TablePrinter table(
+      {"metric", "kind", "count", "value", "mean ms", "p50 ms", "p90 ms", "p99 ms",
+       "total ms"});
+  for (const MetricSnapshot& metric : metrics) {
+    switch (metric.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        table.add_row({metric.name, "counter", std::to_string(metric.counter_value), "-",
+                       "-", "-", "-", "-", "-"});
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        table.add_row({metric.name, "gauge", "-",
+                       common::format_double(metric.gauge_value, 4), "-", "-", "-", "-",
+                       "-"});
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
+        table.add_row({metric.name, "timer", std::to_string(h.count), "-", ms(h.mean()),
+                       ms(h.p50()), ms(h.p90()), ms(h.p99()), ms(h.sum)});
+        break;
+      }
+    }
+  }
+  return table.render();
+}
+
+std::string format_table() { return format_table(MetricsRegistry::instance().snapshot()); }
+
+std::string export_json(const std::vector<MetricSnapshot>& metrics,
+                        const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  for (const MetricSnapshot& metric : metrics) {
+    os << "{\"name\":\"" << json_escape(metric.name) << "\",";
+    switch (metric.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << "\"type\":\"counter\",\"value\":" << metric.counter_value;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << "\"type\":\"gauge\",\"value\":" << json_number(metric.gauge_value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
+        os << "\"type\":\"histogram\",\"count\":" << h.count
+           << ",\"sum\":" << json_number(h.sum) << ",\"min\":" << json_number(h.min)
+           << ",\"max\":" << json_number(h.max) << ",\"mean\":" << json_number(h.mean())
+           << ",\"p50\":" << json_number(h.p50()) << ",\"p90\":" << json_number(h.p90())
+           << ",\"p99\":" << json_number(h.p99());
+        break;
+      }
+    }
+    os << "}\n";
+  }
+  for (const SpanRecord& span : spans) {
+    os << "{\"name\":\"" << json_escape(span.name) << "\",\"type\":\"span\",\"id\":"
+       << span.id << ",\"parent_id\":" << span.parent_id << ",\"thread\":"
+       << span.thread_id << ",\"depth\":" << span.depth << ",\"begin_ns\":"
+       << span.begin_ns << ",\"end_ns\":" << span.end_ns
+       << ",\"duration_s\":" << json_number(span.duration_seconds()) << "}\n";
+  }
+  return os.str();
+}
+
+std::string export_json() {
+  return export_json(MetricsRegistry::instance().snapshot(), collect_spans());
+}
+
+bool write_json_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string payload = export_json();
+  const bool ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace agua::obs

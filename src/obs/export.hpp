@@ -1,0 +1,34 @@
+// Exporters over the metrics registry: a human-readable table (for terminals
+// and bench output) and machine-readable JSON lines (one object per metric,
+// plus optional span events) for offline analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace agua::obs {
+
+/// Fixed-width table of every registered metric: counters/gauges show their
+/// value, histograms show count, mean, p50/p90/p99 and total (milliseconds
+/// for the latency histograms, which record seconds).
+std::string format_table(const std::vector<MetricSnapshot>& metrics);
+
+/// Convenience over the live registry.
+std::string format_table();
+
+/// JSON lines: one `{"type":"counter"|"gauge"|"histogram",...}` object per
+/// metric, then one `{"type":"span",...}` object per span (if any are given).
+/// Histogram durations are exported in seconds, timestamps in nanoseconds.
+std::string export_json(const std::vector<MetricSnapshot>& metrics,
+                        const std::vector<SpanRecord>& spans = {});
+
+/// Convenience over the live registry (includes collected spans).
+std::string export_json();
+
+/// Write export_json() to `path`. Returns false on I/O failure.
+bool write_json_file(const std::string& path);
+
+}  // namespace agua::obs

@@ -1,0 +1,215 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+namespace agua::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+void atomic_fetch_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fetch_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fetch_add_double(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void set_enabled(bool enabled) { g_enabled.store(enabled, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Counter::add(std::uint64_t n) {
+  if (!enabled()) return;
+  value_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) {
+  if (!enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) {
+  if (!enabled()) return;
+  atomic_fetch_add_double(value_, delta);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Linearly interpolate inside the bucket, then clamp to the observed
+      // range so degenerate distributions report exact values.
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      const double frac =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_.resize(bounds_.size() + 1);
+  reset();
+}
+
+void Histogram::record(double value) {
+  if (!enabled()) return;
+  const std::size_t index =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_fetch_add_double(sum_, value);
+  atomic_fetch_min(min_, value);
+  atomic_fetch_max(max_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snap.bucket_counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count == 0) {
+    snap.min = 0.0;
+    snap.max = 0.0;
+  } else {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::default_latency_bounds() {
+  // Log-spaced (1, 2.5, 5 per decade) from 100 ns to 100 s, in seconds.
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> bounds;
+    for (double decade = 1e-7; decade < 1e3; decade *= 10.0) {
+      bounds.push_back(decade);
+      bounds.push_back(decade * 2.5);
+      bounds.push_back(decade * 5.0);
+    }
+    return bounds;
+  }();
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+template <typename Store, typename... Args>
+auto& MetricsRegistry::find_or_make(Store& store, std::string_view name,
+                                    Args&&... args) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [existing, metric] : store) {
+    if (existing == name) return metric;
+  }
+  // Atomics are neither copyable nor movable, so build the metric in place.
+  store.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                     std::forward_as_tuple(std::forward<Args>(args)...));
+  return store.back().second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_make(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_make(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return find_or_make(histograms_, name, Histogram::default_latency_bounds());
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  return find_or_make(histograms_, name, std::move(bounds));
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, metric] : counters_) {
+      MetricSnapshot snap;
+      snap.kind = MetricSnapshot::Kind::kCounter;
+      snap.name = name;
+      snap.counter_value = metric.value();
+      out.push_back(std::move(snap));
+    }
+    for (const auto& [name, metric] : gauges_) {
+      MetricSnapshot snap;
+      snap.kind = MetricSnapshot::Kind::kGauge;
+      snap.name = name;
+      snap.gauge_value = metric.value();
+      out.push_back(std::move(snap));
+    }
+    for (const auto& [name, metric] : histograms_) {
+      MetricSnapshot snap;
+      snap.kind = MetricSnapshot::Kind::kHistogram;
+      snap.name = name;
+      snap.histogram = metric.snapshot();
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : counters_) metric.reset();
+  for (auto& [name, metric] : gauges_) metric.reset();
+  for (auto& [name, metric] : histograms_) metric.reset();
+}
+
+}  // namespace agua::obs

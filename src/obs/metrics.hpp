@@ -1,0 +1,139 @@
+// Always-on runtime metrics for the serving paths: a process-wide registry of
+// named counters, gauges, and fixed-bucket latency histograms that the rest of
+// the system reports into. Metric names follow `agua.<layer>.<op>` (see
+// DESIGN.md §6). Recording is lock-free after the first lookup — call sites
+// cache the returned reference (it is stable for the process lifetime) so the
+// hot-path cost is one relaxed atomic op.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agua::obs {
+
+/// Master instrumentation switch. When disabled every record/add call is a
+/// relaxed load + branch (used by the microbench to measure overhead).
+void set_enabled(bool enabled);
+bool enabled();
+
+/// Monotonic wall clock in nanoseconds (steady_clock based).
+std::int64_t now_ns();
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A point-in-time value (last write wins).
+class Gauge {
+ public:
+  void set(double v);
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-only view of a histogram at a moment in time. Percentiles are
+/// estimated by linear interpolation inside the owning bucket and clamped to
+/// the observed [min, max], so single-sample and all-equal distributions
+/// report the exact value.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;                // upper bound per bucket (last = +inf omitted)
+  std::vector<std::uint64_t> bucket_counts;  // size == bounds.size() + 1
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// p in [0, 100]; returns 0 for an empty histogram.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p90() const { return percentile(90.0); }
+  double p99() const { return percentile(99.0); }
+};
+
+/// Fixed-bucket histogram with atomic buckets. Values are in seconds when the
+/// histogram records durations (the default bounds are latency-shaped,
+/// log-spaced 100 ns → 100 s), but any non-negative quantity works.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; an implicit +inf bucket is added.
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value);
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  /// The default latency bucket layout (shared by all timer histograms).
+  static const std::vector<double>& default_latency_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;  // deque: atomics aren't movable
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// One row of MetricsRegistry::snapshot().
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  HistogramSnapshot histogram;
+};
+
+/// Process-wide, thread-safe registry of named metrics. Lookup takes a mutex;
+/// the returned references stay valid for the process lifetime, so hot paths
+/// should resolve once (e.g. into a function-local static) and reuse.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Uses default_latency_bounds() unless `bounds` is supplied on first use.
+  Histogram& histogram(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Sorted-by-name snapshot of every registered metric.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zero all values but keep registrations (references stay valid).
+  void reset();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  template <typename Store, typename... Args>
+  auto& find_or_make(Store& store, std::string_view name, Args&&... args);
+
+  mutable std::mutex mutex_;
+  // deques keep element addresses stable across growth.
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+}  // namespace agua::obs

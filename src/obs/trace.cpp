@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace agua::obs {
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint64_t> g_next_thread_ordinal{1};
+
+std::mutex g_span_mutex;
+std::vector<SpanRecord>& span_buffer() {
+  static std::vector<SpanRecord> buffer;
+  return buffer;
+}
+
+struct ThreadSpanState {
+  std::uint64_t ordinal = g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint64_t> stack;  // open span ids, innermost last
+};
+
+ThreadSpanState& thread_state() {
+  thread_local ThreadSpanState state;
+  return state;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+std::vector<SpanRecord> collect_spans() {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(g_span_mutex);
+    out = span_buffer();
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns : a.id < b.id;
+  });
+  return out;
+}
+
+void clear_spans() {
+  std::lock_guard<std::mutex> lock(g_span_mutex);
+  span_buffer().clear();
+}
+
+TraceSpan::TraceSpan(std::string name)
+    : name_(std::move(name)),
+      histogram_(&MetricsRegistry::instance().histogram(name_)) {
+  if (trace_enabled()) {
+    ThreadSpanState& state = thread_state();
+    id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_id_ = state.stack.empty() ? 0 : state.stack.back();
+    depth_ = state.stack.size();
+    state.stack.push_back(id_);
+  }
+  begin_ns_ = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  const std::int64_t end_ns = now_ns();
+  histogram_->record(static_cast<double>(end_ns - begin_ns_) * 1e-9);
+  if (id_ == 0) return;  // tracing was off when the span opened
+  ThreadSpanState& state = thread_state();
+  // Tolerate out-of-order destruction (shouldn't happen with scoped use).
+  auto it = std::find(state.stack.begin(), state.stack.end(), id_);
+  if (it != state.stack.end()) state.stack.erase(it, state.stack.end());
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.thread_id = state.ordinal;
+  record.depth = depth_;
+  record.name = name_;
+  record.begin_ns = begin_ns_;
+  record.end_ns = end_ns;
+  std::lock_guard<std::mutex> lock(g_span_mutex);
+  span_buffer().push_back(std::move(record));
+}
+
+std::string format_span_tree(const std::vector<SpanRecord>& spans) {
+  if (spans.empty()) return "(no spans recorded — was tracing enabled?)\n";
+  // Children grouped under each parent, in begin order (collect_spans() sorts).
+  std::vector<const SpanRecord*> roots;
+  std::vector<std::vector<const SpanRecord*>> children(spans.size());
+  std::vector<std::size_t> index_of_id;  // sparse id → index map
+  for (const SpanRecord& span : spans) {
+    if (span.id >= index_of_id.size()) index_of_id.resize(span.id + 1, spans.size());
+    index_of_id[span.id] = static_cast<std::size_t>(&span - spans.data());
+  }
+  for (const SpanRecord& span : spans) {
+    const std::size_t parent_index =
+        span.parent_id < index_of_id.size() ? index_of_id[span.parent_id] : spans.size();
+    if (span.parent_id != 0 && parent_index < spans.size()) {
+      children[parent_index].push_back(&span);
+    } else {
+      roots.push_back(&span);
+    }
+  }
+  std::ostringstream os;
+  auto render = [&](auto&& self, const SpanRecord& span, std::size_t depth,
+                    double parent_seconds) -> void {
+    const double seconds = span.duration_seconds();
+    os << std::string(depth * 2, ' ') << span.name << "  "
+       << common::format_double(seconds * 1e3, 3) << " ms";
+    if (parent_seconds > 0.0) {
+      os << "  (" << common::format_double(100.0 * seconds / parent_seconds, 1)
+         << "% of parent)";
+    }
+    os << '\n';
+    const std::size_t index = index_of_id[span.id];
+    for (const SpanRecord* child : children[index]) {
+      self(self, *child, depth + 1, seconds);
+    }
+  };
+  for (const SpanRecord* root : roots) render(render, *root, 0, 0.0);
+  return os.str();
+}
+
+}  // namespace agua::obs

@@ -1,0 +1,97 @@
+// RAII timing primitives on top of the metrics registry.
+//
+// ScopedTimer records one wall-clock duration into a named histogram.
+// TraceSpan does the same *and* captures a begin/end event into the process
+// span buffer, with parentage tracked through a thread-local span stack, so a
+// run can be rendered as a hierarchical span tree (format_span_tree).
+//
+// Span capture is off by default (set_trace_enabled); histogram recording is
+// always on so `--metrics-out` works without `--trace`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace agua::obs {
+
+/// One completed begin/end event. Parentage refers to span ids; parent_id 0
+/// means a root span. Ids are unique per process, start at 1.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t thread_id = 0;  // small per-thread ordinal, not the OS tid
+  std::size_t depth = 0;        // root = 0
+  std::string name;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+
+  double duration_seconds() const {
+    return static_cast<double>(end_ns - begin_ns) * 1e-9;
+  }
+};
+
+/// Toggle span capture (TraceSpan begin/end buffering). Histogram timing is
+/// unaffected.
+void set_trace_enabled(bool enabled);
+bool trace_enabled();
+
+/// Copy out every span completed so far (across all threads), ordered by
+/// begin time.
+std::vector<SpanRecord> collect_spans();
+
+/// Drop all buffered spans.
+void clear_spans();
+
+/// Render spans as an indented tree with per-span durations (ms) and each
+/// child's share of its parent. Spans from different threads render as
+/// separate roots.
+std::string format_span_tree(const std::vector<SpanRecord>& spans);
+
+/// Times a scope into `histogram` (seconds). Resolve the histogram once at
+/// the call site and reuse it:
+///   static obs::Histogram& h = obs::MetricsRegistry::instance().histogram("agua.x.y");
+///   obs::ScopedTimer timer(h);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(&histogram), begin_ns_(now_ns()) {}
+  /// Convenience: looks the histogram up by name (mutex-guarded; fine for
+  /// coarse-grained scopes).
+  explicit ScopedTimer(std::string_view name)
+      : ScopedTimer(MetricsRegistry::instance().histogram(name)) {}
+  ~ScopedTimer() {
+    histogram_->record(static_cast<double>(now_ns() - begin_ns_) * 1e-9);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::int64_t begin_ns_;
+};
+
+/// A ScopedTimer that additionally captures a SpanRecord (when tracing is
+/// enabled) and parents any TraceSpan opened while it is alive on the same
+/// thread. The span's histogram shares the span name.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  Histogram* histogram_;
+  std::uint64_t id_ = 0;         // 0 when tracing was off at construction
+  std::uint64_t parent_id_ = 0;
+  std::size_t depth_ = 0;
+  std::int64_t begin_ns_ = 0;
+};
+
+}  // namespace agua::obs

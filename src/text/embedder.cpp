@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
 #include "text/tokenizer.hpp"
 
 namespace agua::text {
@@ -55,6 +56,9 @@ double TextEmbedder::idf(const std::string& token) const {
 }
 
 std::vector<double> TextEmbedder::embed(std::string_view text) const {
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::instance().histogram("agua.text.embed");
+  obs::ScopedTimer timer(latency);
   std::vector<double> vec(config_.dim, 0.0);
   // Term frequencies over the token stream.
   std::unordered_map<std::string, std::size_t> tf;

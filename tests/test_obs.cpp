@@ -1,0 +1,263 @@
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+namespace {
+
+using namespace agua::obs;
+
+/// Each test starts from a clean registry/span buffer; the registry is a
+/// process singleton so state would otherwise leak between tests.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    set_trace_enabled(false);
+    MetricsRegistry::instance().reset();
+    clear_spans();
+  }
+};
+
+/// Pull a numeric field out of a JSON-lines dump: finds the line whose
+/// "name" matches and returns the value after `"key":`.
+double json_field(const std::string& json, const std::string& name,
+                  const std::string& key) {
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"name\":\"" + name + "\"") == std::string::npos) continue;
+    // A TraceSpan emits both a histogram and a span line under the same name,
+    // so keep scanning until a matching line actually carries the key.
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) continue;
+    return std::stod(line.substr(at + needle.size()));
+  }
+  ADD_FAILURE() << "field " << key << " for metric " << name << " not found";
+  return -1.0;
+}
+
+TEST_F(ObsTest, CounterAndGaugeBasics) {
+  Counter& hits = MetricsRegistry::instance().counter("test.hits");
+  hits.add();
+  hits.add(41);
+  EXPECT_EQ(hits.value(), 42u);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(&MetricsRegistry::instance().counter("test.hits"), &hits);
+
+  Gauge& level = MetricsRegistry::instance().gauge("test.level");
+  level.set(2.5);
+  level.add(-0.5);
+  EXPECT_DOUBLE_EQ(level.value(), 2.0);
+}
+
+TEST_F(ObsTest, DisabledRecordingIsANoOp) {
+  Counter& hits = MetricsRegistry::instance().counter("test.disabled");
+  Histogram& hist = MetricsRegistry::instance().histogram("test.disabled.hist");
+  set_enabled(false);
+  hits.add(5);
+  hist.record(1.0);
+  set_enabled(true);
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(hist.snapshot().count, 0u);
+}
+
+TEST_F(ObsTest, EmptyHistogramPercentiles) {
+  Histogram& hist = MetricsRegistry::instance().histogram("test.empty");
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0);
+}
+
+TEST_F(ObsTest, SingleSamplePercentilesAreExact) {
+  Histogram& hist = MetricsRegistry::instance().histogram("test.single");
+  hist.record(3.3e-4);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  // Clamping to [min, max] makes every percentile the sample itself.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.0), 3.3e-4);
+  EXPECT_DOUBLE_EQ(snap.p50(), 3.3e-4);
+  EXPECT_DOUBLE_EQ(snap.p99(), 3.3e-4);
+}
+
+TEST_F(ObsTest, AllEqualSamplesPercentilesAreExact) {
+  Histogram& hist = MetricsRegistry::instance().histogram("test.equal");
+  for (int i = 0; i < 100; ++i) hist.record(7.0e-3);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.p50(), 7.0e-3);
+  EXPECT_DOUBLE_EQ(snap.p90(), 7.0e-3);
+  EXPECT_DOUBLE_EQ(snap.p99(), 7.0e-3);
+  EXPECT_NEAR(snap.mean(), 7.0e-3, 1e-12);  // sum accumulates rounding error
+}
+
+TEST_F(ObsTest, PercentilesAreOrderedAndBucketAccurate) {
+  // Custom unit-spaced buckets so the interpolation error is easy to bound.
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 100.0; b += 1.0) bounds.push_back(b);
+  Histogram& hist = MetricsRegistry::instance().histogram("test.spread", bounds);
+  for (int v = 1; v <= 100; ++v) hist.record(static_cast<double>(v) - 0.5);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_NEAR(snap.p50(), 50.0, 1.0);
+  EXPECT_NEAR(snap.p90(), 90.0, 1.0);
+  EXPECT_NEAR(snap.p99(), 99.0, 1.0);
+  EXPECT_LE(snap.p50(), snap.p90());
+  EXPECT_LE(snap.p90(), snap.p99());
+  EXPECT_DOUBLE_EQ(snap.percentile(100.0), snap.max);
+}
+
+TEST_F(ObsTest, HistogramValuesAboveAllBoundsLandInOverflowBucket) {
+  Histogram& hist = MetricsRegistry::instance().histogram("test.overflow", {1.0, 2.0});
+  hist.record(50.0);
+  const HistogramSnapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 3u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_DOUBLE_EQ(snap.p50(), 50.0);  // clamped to max
+}
+
+TEST_F(ObsTest, ScopedTimerRecordsIntoHistogram) {
+  Histogram& hist = MetricsRegistry::instance().histogram("test.timer");
+  { ScopedTimer timer(hist); }
+  { ScopedTimer timer("test.timer"); }  // name-based lookup, same histogram
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_GE(snap.min, 0.0);
+}
+
+TEST_F(ObsTest, NestedSpansRecordParentage) {
+  set_trace_enabled(true);
+  {
+    TraceSpan outer("test.outer");
+    {
+      TraceSpan middle("test.middle");
+      TraceSpan inner("test.inner");
+    }
+    TraceSpan sibling("test.sibling");
+  }
+  const std::vector<SpanRecord> spans = collect_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // collect_spans() orders by begin time: outer, middle, inner, sibling.
+  EXPECT_EQ(spans[0].name, "test.outer");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].name, "test.middle");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "test.inner");
+  EXPECT_EQ(spans[2].parent_id, spans[1].id);
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[3].name, "test.sibling");
+  EXPECT_EQ(spans[3].parent_id, spans[0].id);
+  // Children are contained in their parent's [begin, end] window.
+  EXPECT_GE(spans[1].begin_ns, spans[0].begin_ns);
+  EXPECT_LE(spans[1].end_ns, spans[0].end_ns);
+
+  const std::string tree = format_span_tree(spans);
+  EXPECT_NE(tree.find("test.outer"), std::string::npos);
+  EXPECT_NE(tree.find("    test.inner"), std::string::npos);  // depth-2 indent
+}
+
+TEST_F(ObsTest, SpansAreNotCapturedWhenTracingDisabled) {
+  { TraceSpan span("test.untraced"); }
+  EXPECT_TRUE(collect_spans().empty());
+  // The duration still lands in the histogram.
+  EXPECT_EQ(MetricsRegistry::instance().histogram("test.untraced").snapshot().count, 1u);
+}
+
+TEST_F(ObsTest, JsonExportRoundTrip) {
+  MetricsRegistry::instance().counter("test.json.count").add(7);
+  MetricsRegistry::instance().gauge("test.json.gauge").set(-1.25);
+  Histogram& hist = MetricsRegistry::instance().histogram("test.json.hist");
+  hist.record(0.5);
+  hist.record(1.5);
+  set_trace_enabled(true);
+  { TraceSpan span("test.json.span"); }
+
+  const std::string json = export_json();
+  EXPECT_EQ(json_field(json, "test.json.count", "value"), 7.0);
+  EXPECT_DOUBLE_EQ(json_field(json, "test.json.gauge", "value"), -1.25);
+  EXPECT_EQ(json_field(json, "test.json.hist", "count"), 2.0);
+  EXPECT_DOUBLE_EQ(json_field(json, "test.json.hist", "sum"), 2.0);
+  EXPECT_DOUBLE_EQ(json_field(json, "test.json.hist", "min"), 0.5);
+  EXPECT_DOUBLE_EQ(json_field(json, "test.json.hist", "max"), 1.5);
+  EXPECT_GE(json_field(json, "test.json.span", "duration_s"), 0.0);
+  // Every line is a braced object (JSON lines framing).
+  std::istringstream lines(json);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST_F(ObsTest, FormatTableListsAllMetrics) {
+  MetricsRegistry::instance().counter("test.table.count").add(3);
+  MetricsRegistry::instance().histogram("test.table.hist").record(1e-3);
+  const std::string table = format_table();
+  EXPECT_NE(table.find("test.table.count"), std::string::npos);
+  EXPECT_NE(table.find("test.table.hist"), std::string::npos);
+}
+
+TEST_F(ObsTest, ConcurrentIncrementsAreLossless) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  Counter& hits = MetricsRegistry::instance().counter("test.mt.count");
+  Histogram& hist = MetricsRegistry::instance().histogram("test.mt.hist");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        hits.add(1);
+        hist.record(1e-6);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hits.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(hist.snapshot().count, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, ConcurrentSpansKeepPerThreadParentage) {
+  set_trace_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      TraceSpan outer("test.mt.outer");
+      TraceSpan inner("test.mt.inner");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<SpanRecord> spans = collect_spans();
+  ASSERT_EQ(spans.size(), 2u * kThreads);
+  for (const SpanRecord& span : spans) {
+    if (span.name != "test.mt.inner") continue;
+    // Each inner span's parent is the outer span from the same thread.
+    const auto parent = std::find_if(
+        spans.begin(), spans.end(),
+        [&](const SpanRecord& candidate) { return candidate.id == span.parent_id; });
+    ASSERT_NE(parent, spans.end());
+    EXPECT_EQ(parent->name, "test.mt.outer");
+    EXPECT_EQ(parent->thread_id, span.thread_id);
+  }
+}
+
+TEST_F(ObsTest, ResetClearsValuesButKeepsRegistrations) {
+  Counter& hits = MetricsRegistry::instance().counter("test.reset");
+  hits.add(9);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(hits.value(), 0u);
+  EXPECT_EQ(&MetricsRegistry::instance().counter("test.reset"), &hits);
+}
+
+}  // namespace
