@@ -1,13 +1,27 @@
 // Performance microbenchmarks (not a paper figure): latency of the hot paths
 // a deployment would care about — explanation generation (no LLM involved at
 // explanation time, §3.5), the text-embedding substitute, concept-similarity
-// tagging, decision-tree prediction, and controller inference.
+// tagging, decision-tree prediction, controller inference, and the
+// data-parallel training/batched-explanation paths.
+//
+//   perf_microbench [--threads N] [google-benchmark flags]
+//
+// --threads sizes the default worker pool for the pooled benchmarks and the
+// serial-vs-parallel speedup report at the end (default: hardware
+// concurrency). The report also verifies the §7 determinism contract:
+// training losses and batched explanations must be bitwise identical across
+// pool sizes.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "concepts/concept_set.hpp"
 #include "core/explain.hpp"
 #include "core/labeler.hpp"
@@ -57,6 +71,54 @@ void BM_SurrogateForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SurrogateForward);
+
+std::vector<std::vector<double>> make_embeddings(std::size_t count, std::size_t dim,
+                                                 std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::vector<double>> out(count);
+  for (auto& e : out) {
+    e.resize(dim);
+    for (double& x : e) x = rng.uniform(-1.0, 1.0);
+  }
+  return out;
+}
+
+/// Synthetic concept-mapping training workload (600 x 48, C=16, k=3).
+double run_concept_training(std::size_t epochs) {
+  common::Rng init_rng(11);
+  core::ConceptMapping::Config cm;
+  cm.embedding_dim = 48;
+  cm.num_concepts = 16;
+  cm.num_levels = 3;
+  cm.epochs = epochs;
+  cm.batch_size = 100;
+  core::ConceptMapping mapping(cm, init_rng);
+  const auto embeddings = make_embeddings(600, 48, 12);
+  common::Rng label_rng(13);
+  std::vector<std::vector<std::size_t>> levels(embeddings.size());
+  for (auto& l : levels) {
+    l.resize(cm.num_concepts);
+    for (auto& v : l) v = static_cast<std::size_t>(label_rng.uniform(0.0, 2.999));
+  }
+  common::Rng train_rng(14);
+  return mapping.train(embeddings, levels, train_rng);
+}
+
+void BM_ConceptMappingTrainEpoch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_concept_training(1));
+  }
+}
+BENCHMARK(BM_ConceptMappingTrainEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_ExplainBatched(benchmark::State& state) {
+  core::AguaModel model = make_model();
+  const auto embeddings = make_embeddings(256, 48, 15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::explain_batched(model, embeddings));
+  }
+}
+BENCHMARK(BM_ExplainBatched)->Unit(benchmark::kMillisecond);
 
 void BM_TextEmbedding(benchmark::State& state) {
   text::TextEmbedder embedder;
@@ -154,9 +216,96 @@ void report_instrumentation_overhead() {
       enabled_ns, disabled_ns, overhead_pct, overhead_pct < 2.0 ? "PASS" : "WARN");
 }
 
+/// Wall-clock one invocation of `fn`, best of `repeats`.
+template <typename Fn>
+double best_of_ms(int repeats, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto begin = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - begin)
+            .count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Serial vs parallel wall clock on the pooled paths, with the determinism
+/// contract checked on every row: the parallel result must be bitwise equal
+/// to the serial one (DESIGN.md §7). Prints a table ready to paste into
+/// EXPERIMENTS.md / bench/PARALLEL.md.
+void report_parallel_speedup(std::size_t threads) {
+  constexpr int kRepeats = 3;
+  struct Row {
+    const char* task;
+    double serial_ms;
+    double parallel_ms;
+    bool bitwise_equal;
+  };
+  std::vector<Row> rows;
+
+  {  // Concept-mapping training (eq. 4), 4 epochs of the synthetic workload.
+    common::set_default_thread_count(1);
+    double serial_loss = 0.0;
+    const double serial_ms =
+        best_of_ms(kRepeats, [&] { serial_loss = run_concept_training(4); });
+    common::set_default_thread_count(threads);
+    double parallel_loss = 0.0;
+    const double parallel_ms =
+        best_of_ms(kRepeats, [&] { parallel_loss = run_concept_training(4); });
+    rows.push_back({"concept-mapping train", serial_ms, parallel_ms,
+                    serial_loss == parallel_loss});
+  }
+  {  // Batched explanation (§3.6) over 2048 embeddings.
+    core::AguaModel model = make_model();
+    const auto embeddings = make_embeddings(2048, 48, 21);
+    common::set_default_thread_count(1);
+    core::Explanation serial_exp;
+    const double serial_ms =
+        best_of_ms(kRepeats, [&] { serial_exp = core::explain_batched(model, embeddings); });
+    common::set_default_thread_count(threads);
+    core::Explanation parallel_exp;
+    const double parallel_ms = best_of_ms(
+        kRepeats, [&] { parallel_exp = core::explain_batched(model, embeddings); });
+    bool equal = serial_exp.concept_weights == parallel_exp.concept_weights &&
+                 serial_exp.raw_contributions == parallel_exp.raw_contributions &&
+                 serial_exp.output_probability == parallel_exp.output_probability;
+    rows.push_back({"explain_batched (2048)", serial_ms, parallel_ms, equal});
+  }
+
+  std::printf("\nserial vs parallel (--threads %zu, best of %d):\n", threads, kRepeats);
+  std::printf("| task | serial ms | parallel ms | speedup | bitwise equal |\n");
+  std::printf("|------|-----------|-------------|---------|---------------|\n");
+  for (const Row& row : rows) {
+    std::printf("| %s | %.1f | %.1f | %.2fx | %s |\n", row.task, row.serial_ms,
+                row.parallel_ms,
+                row.parallel_ms > 0.0 ? row.serial_ms / row.parallel_ms : 0.0,
+                row.bitwise_equal ? "yes" : "NO (BUG)");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --threads N before google-benchmark sees the arguments.
+  std::size_t threads = 0;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
+  common::set_default_thread_count(threads);
+  threads = common::default_thread_count();
+  std::printf("worker pool: %zu threads\n", threads);
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -166,5 +315,6 @@ int main(int argc, char** argv) {
   // raw numbers.
   std::printf("\nmetrics registry after benchmarks:\n%s", obs::format_table().c_str());
   report_instrumentation_overhead();
+  report_parallel_speedup(threads);
   return 0;
 }

@@ -3,19 +3,23 @@
 // explanation, and (optionally) a checkpoint.
 //
 //   agua_cli <abr|cc|ddos> [--seed N] [--open] [--save PATH] [--paper-config]
-//            [--trace] [--metrics-out PATH]
+//            [--trace] [--metrics-out PATH] [--threads N]
 //
 //   --open          use the open-source embedding stack (default: closed)
 //   --paper-config  train with the paper's exact §4 hyperparameters
 //   --save PATH     write the trained surrogate to PATH (binary archive)
 //   --trace         capture begin/end spans and print the span tree after the run
 //   --metrics-out   write the metrics registry (and spans) as JSON lines to PATH
+//   --threads N     worker-pool size for training/explanation (0 = auto;
+//                   default: AGUA_THREADS env or hardware concurrency).
+//                   Results are bitwise identical for any N (DESIGN.md §7).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "apps/abr_bundle.hpp"
+#include "common/thread_pool.hpp"
 #include "apps/cc_bundle.hpp"
 #include "apps/ddos_bundle.hpp"
 #include "core/explain.hpp"
@@ -34,6 +38,7 @@ struct CliOptions {
   bool open_embeddings = false;
   bool paper_config = false;
   bool trace = false;
+  std::size_t threads = 0;  // 0 = auto (AGUA_THREADS env or hardware)
   std::string save_path;
   std::string metrics_out;
 };
@@ -57,6 +62,8 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.trace = true;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       options.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return false;
@@ -113,13 +120,15 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, options)) {
     std::fprintf(stderr,
                  "usage: %s <abr|cc|ddos> [--seed N] [--open] [--save PATH]"
-                 " [--paper-config] [--trace] [--metrics-out PATH]\n",
+                 " [--paper-config] [--trace] [--metrics-out PATH] [--threads N]\n",
                  argv[0]);
     return 2;
   }
   obs::set_trace_enabled(options.trace);
-  std::printf("building the %s application bundle (seed %llu)...\n",
-              options.app.c_str(), static_cast<unsigned long long>(options.seed));
+  common::set_default_thread_count(options.threads);
+  std::printf("building the %s application bundle (seed %llu, %zu worker threads)...\n",
+              options.app.c_str(), static_cast<unsigned long long>(options.seed),
+              common::default_thread_count());
   if (options.app == "abr") {
     apps::AbrBundle bundle = apps::make_abr_bundle(options.seed);
     run(options, bundle.train, bundle.test, bundle.describer.concept_set(),

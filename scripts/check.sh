@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verify in one command: configure + build the default preset, then
-# run the test suite. Pass `asan` to do the same under the sanitizer preset.
+# run the test suite. Pass `asan` to do the same under the sanitizer preset,
+# or `tsan` to build just the concurrency-sensitive tests (thread pool + obs)
+# and run them under ThreadSanitizer.
 #
-#   scripts/check.sh [default|asan] [-j N]
+#   scripts/check.sh [default|asan|tsan] [-j N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,13 +13,19 @@ preset="default"
 jobs="$(nproc 2>/dev/null || echo 2)"
 while [ $# -gt 0 ]; do
   case "$1" in
-    default|asan) preset="$1" ;;
+    default|asan|tsan) preset="$1" ;;
     -j) jobs="$2"; shift ;;
-    *) echo "usage: $0 [default|asan] [-j N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [default|asan|tsan] [-j N]" >&2; exit 2 ;;
   esac
   shift
 done
 
 cmake --preset "$preset"
-cmake --build --preset "$preset" -j "$jobs"
+if [ "$preset" = "tsan" ]; then
+  # TSan doubles build time and the race surface is the pool + obs layer;
+  # build and run only those suites (the test preset filters to match).
+  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs
+else
+  cmake --build --preset "$preset" -j "$jobs"
+fi
 ctest --preset "$preset" -j "$jobs"

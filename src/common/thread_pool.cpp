@@ -1,0 +1,163 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace agua::common {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+std::size_t resolve_auto_threads() {
+  if (const char* env = std::getenv("AGUA_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+}  // namespace
+
+/// One parallel_for execution. Lives on the caller's stack; the caller only
+/// returns once every worker that picked the region up has left it.
+struct ThreadPool::Region {
+  std::size_t count = 0;
+  const IndexFn* fn = nullptr;
+  std::atomic<std::size_t> next{0};       // claim ticket
+  std::atomic<std::size_t> completed{0};  // claimed items fully processed
+  std::atomic<bool> abort{false};         // set on first exception
+  std::size_t active_workers = 0;         // guarded by pool mutex
+  std::mutex error_mutex;
+  std::exception_ptr error;               // guarded by error_mutex
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = resolve_auto_threads();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
+
+void ThreadPool::run_region(Region& region, std::size_t worker) {
+  t_in_parallel_region = true;
+  for (;;) {
+    const std::size_t index = region.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= region.count) break;
+    if (!region.abort.load(std::memory_order_relaxed)) {
+      try {
+        (*region.fn)(index, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(region.error_mutex);
+        if (!region.error) region.error = std::current_exception();
+        region.abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    region.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  t_in_parallel_region = false;
+}
+
+void ThreadPool::parallel_for(std::size_t count, const IndexFn& fn) {
+  if (count == 0) return;
+  if (t_in_parallel_region) {
+    throw std::logic_error(
+        "ThreadPool::parallel_for: nested parallel regions are not supported");
+  }
+
+  Region region;
+  region.count = count;
+  region.fn = &fn;
+
+  if (workers_.empty()) {
+    // Size-1 pool: run inline, in index order. Same abort-on-first-exception
+    // semantics as the threaded path.
+    run_region(region, 0);
+    if (region.error) std::rethrow_exception(region.error);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    region_ = &region;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  run_region(region, 0);  // the caller is worker 0
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return region.completed.load(std::memory_order_acquire) == count &&
+             region.active_workers == 0;
+    });
+    region_ = nullptr;
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (region_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      region = region_;
+      ++region->active_workers;
+    }
+    run_region(*region, worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --region->active_workers;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+namespace {
+
+std::mutex g_default_pool_mutex;
+std::unique_ptr<ThreadPool>& default_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mutex);
+  auto& slot = default_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(0);
+  return *slot;
+}
+
+std::size_t default_thread_count() { return default_pool().thread_count(); }
+
+void set_default_thread_count(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_default_pool_mutex);
+  auto& slot = default_pool_slot();
+  if (slot && threads != 0 && slot->thread_count() == threads) return;
+  slot.reset();  // join the old pool before spawning the new one
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace agua::common

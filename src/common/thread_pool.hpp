@@ -1,0 +1,95 @@
+// Fixed-size worker pool with a parallel_for/parallel_map API.
+//
+// Design rules that the rest of the stack relies on (DESIGN.md §7):
+//  - The calling thread participates as worker 0; a pool of size 1 spawns no
+//    threads and runs tasks inline in index order, so "1 thread" *is* the
+//    serial path (no scheduling, no synchronization).
+//  - Work items are claimed dynamically (atomic ticket), so callers that need
+//    determinism must make each item's result independent of which worker ran
+//    it and reduce results in a fixed order afterwards.
+//  - The first exception thrown by a task aborts the remaining unclaimed
+//    items and is rethrown on the calling thread.
+//  - Nested parallel regions are rejected (std::logic_error): a task may not
+//    call parallel_for on any pool.
+//
+// This header is observability-free on purpose (obs depends on common);
+// instrumented fan-out lives in obs/parallel.hpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace agua::common {
+
+class ThreadPool {
+ public:
+  /// Task signature: `index` in [0, count), `worker` in [0, thread_count()).
+  /// A given worker runs its items sequentially, so per-worker scratch state
+  /// indexed by `worker` needs no locking.
+  using IndexFn = std::function<void(std::size_t index, std::size_t worker)>;
+
+  /// `threads` counts the calling thread: N spawns N-1 background workers.
+  /// 0 resolves to the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread (>= 1).
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Run fn(0..count-1, worker) across the pool; blocks until every item has
+  /// completed. Rethrows the first task exception. Throws std::logic_error if
+  /// called from inside a task of any pool.
+  void parallel_for(std::size_t count, const IndexFn& fn);
+
+  /// parallel_for that collects fn(index) results in index order. The result
+  /// type must be default-constructible.
+  template <typename Fn>
+  auto parallel_map(std::size_t count, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+    std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(count);
+    parallel_for(count,
+                 [&](std::size_t index, std::size_t) { out[index] = fn(index); });
+    return out;
+  }
+
+  /// True while the current thread is executing a parallel_for task.
+  static bool in_parallel_region();
+
+ private:
+  struct Region;
+
+  /// `worker_id` is 1-based (the calling thread is worker 0).
+  void worker_loop(std::size_t worker_id);
+  static void run_region(Region& region, std::size_t worker);
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for a new region
+  std::condition_variable done_cv_;  // caller waits for region completion
+  Region* region_ = nullptr;         // guarded by mutex_
+  std::uint64_t generation_ = 0;     // guarded by mutex_
+  bool shutdown_ = false;            // guarded by mutex_
+};
+
+/// The process-wide pool used by the training / explanation hot paths when no
+/// pool is passed explicitly. Sized on first use from AGUA_THREADS or the
+/// hardware concurrency; resize with set_default_thread_count.
+ThreadPool& default_pool();
+
+/// Current size of the default pool (resolves it if not yet created).
+std::size_t default_thread_count();
+
+/// Recreate the default pool with `threads` workers (0 = auto). Joins the old
+/// pool first — must not be called while a parallel_for is in flight.
+void set_default_thread_count(std::size_t threads);
+
+}  // namespace agua::common

@@ -4,10 +4,21 @@
 #include <cmath>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
+#include "obs/parallel.hpp"
 
 namespace agua::core {
+namespace {
+
+// Row width of one gradient-accumulation chunk. Fixed — independent of the
+// pool size — so the chunk partition, and therefore the floating-point
+// reduction order, never changes with --threads: training is bitwise
+// reproducible across any thread count (DESIGN.md §7).
+constexpr std::size_t kGradChunkRows = 16;
+
+}  // namespace
 
 ConceptMapping::ConceptMapping(Config config, common::Rng& rng) : config_(config) {
   net_ = nn::make_concept_mapping_net(config_.embedding_dim, config_.hidden_dim,
@@ -24,6 +35,26 @@ double ConceptMapping::train(const std::vector<std::vector<double>>& embeddings,
   opt.gradient_clip = 5.0;
   nn::SgdOptimizer optimizer(net_->parameters(), opt);
 
+  // Layers cache forward activations, so concurrent chunks cannot share the
+  // master net: each worker runs its own replica, lazily re-synced to the
+  // master weights once per optimizer step.
+  common::ThreadPool& pool = common::default_pool();
+  const std::vector<nn::Parameter*> master_params = net_->parameters();
+  std::vector<std::unique_ptr<nn::Sequential>> replicas(pool.thread_count());
+  std::vector<std::vector<nn::Parameter*>> replica_params(replicas.size());
+  {
+    common::Rng scratch(0);  // replica init weights are overwritten by syncs
+    for (std::size_t w = 0; w < replicas.size(); ++w) {
+      replicas[w] = nn::make_concept_mapping_net(config_.embedding_dim,
+                                                 config_.hidden_dim, output_dim(), scratch);
+      replica_params[w] = replicas[w]->parameters();
+    }
+  }
+  std::vector<std::uint64_t> replica_step(replicas.size(), 0);
+  std::uint64_t step = 0;
+  std::vector<double> chunk_losses;
+  std::vector<std::vector<nn::Matrix>> chunk_grads;  // [chunk][param]
+
   double last_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     const auto order = rng.permutation(embeddings.size());
@@ -31,19 +62,60 @@ double ConceptMapping::train(const std::vector<std::vector<double>>& embeddings,
     std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
       const std::size_t end = std::min(order.size(), start + config_.batch_size);
-      std::vector<std::vector<double>> batch;
-      std::vector<std::vector<std::size_t>> batch_levels;
-      batch.reserve(end - start);
-      for (std::size_t i = start; i < end; ++i) {
-        batch.push_back(embeddings[order[i]]);
-        batch_levels.push_back(levels[order[i]]);
-      }
+      const std::size_t batch_rows = end - start;
+      const std::size_t num_chunks = (batch_rows + kGradChunkRows - 1) / kGradChunkRows;
+      ++step;
+      chunk_losses.assign(num_chunks, 0.0);
+      chunk_grads.resize(num_chunks);
+
+      obs::parallel_for(
+          pool, "agua.pool.train_concept", num_chunks,
+          [&](std::size_t chunk, std::size_t worker) {
+            // A worker executes its chunks sequentially, so its replica needs
+            // at most one weight sync per step; the master is read-only while
+            // the region is in flight.
+            if (replica_step[worker] != step) {
+              for (std::size_t p = 0; p < master_params.size(); ++p) {
+                replica_params[worker][p]->value = master_params[p]->value;
+              }
+              replica_step[worker] = step;
+            }
+            const std::size_t row0 = start + chunk * kGradChunkRows;
+            const std::size_t row1 = std::min(end, row0 + kGradChunkRows);
+            nn::Matrix input(row1 - row0, config_.embedding_dim);
+            std::vector<std::vector<std::size_t>> chunk_targets;
+            chunk_targets.reserve(row1 - row0);
+            for (std::size_t i = row0; i < row1; ++i) {
+              input.set_row(i - row0, embeddings[order[i]]);
+              chunk_targets.push_back(levels[order[i]]);
+            }
+            nn::Sequential& net = *replicas[worker];
+            net.zero_grad();
+            const nn::Matrix logits = net.forward(input);
+            nn::Matrix grad;
+            // norm_rows = batch_rows: per-chunk losses/grads sum exactly to
+            // the batch-averaged quantities.
+            chunk_losses[chunk] = nn::multilabel_concept_loss(
+                logits, chunk_targets, config_.num_concepts, config_.num_levels, grad,
+                batch_rows);
+            net.backward(grad);
+            std::vector<nn::Matrix>& sink = chunk_grads[chunk];
+            sink.resize(master_params.size());
+            for (std::size_t p = 0; p < master_params.size(); ++p) {
+              sink[p] = replica_params[worker][p]->grad;
+            }
+          });
+
+      // Fixed-order reduction: chunk 0, 1, 2, ... regardless of which worker
+      // computed what, so the summed gradient is bitwise identical for any
+      // pool size (including 1).
       optimizer.zero_grad();
-      const nn::Matrix logits = net_->forward(nn::Matrix::from_rows(batch));
-      nn::Matrix grad;
-      epoch_loss += nn::multilabel_concept_loss(logits, batch_levels, config_.num_concepts,
-                                                config_.num_levels, grad);
-      net_->backward(grad);
+      for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        epoch_loss += chunk_losses[chunk];
+        for (std::size_t p = 0; p < master_params.size(); ++p) {
+          master_params[p]->grad.add(chunk_grads[chunk][p]);
+        }
+      }
       optimizer.step();
       ++batches;
     }

@@ -32,12 +32,18 @@ class ConceptMapping {
   ConceptMapping(Config config, common::Rng& rng);
 
   /// Train against quantized similarity labels (one class per concept per
-  /// sample). Returns the final epoch's mean loss.
+  /// sample). Returns the final epoch's mean loss. Minibatch gradients are
+  /// computed in fixed 16-row chunks fanned out over
+  /// `common::default_pool()` and reduced in chunk order, so the result is
+  /// bitwise identical for any pool size (DESIGN.md §7).
   double train(const std::vector<std::vector<double>>& embeddings,
                const std::vector<std::vector<std::size_t>>& levels, common::Rng& rng);
 
   /// δθ(h): per-(concept, level) probabilities (softmax within each concept's
   /// k-block), flattened to C*k.
+  ///
+  /// Non-const on purpose: forward passes cache activations inside the net,
+  /// so a shared ConceptMapping must not be queried from several threads.
   std::vector<double> concept_probs(const std::vector<double>& embedding);
   nn::Matrix concept_probs_batch(const nn::Matrix& embeddings);
 

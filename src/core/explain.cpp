@@ -7,6 +7,8 @@
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/parallel.hpp"
 #include "obs/trace.hpp"
 
 namespace agua::core {
@@ -114,10 +116,33 @@ Explanation explain_batched(AguaModel& model,
   obs::MetricsRegistry::instance().counter("agua.explain.batch.samples")
       .add(embeddings.size());
   const bool factual = output_class == static_cast<std::size_t>(-1);
+
+  // Fan the per-input explanations out across the pool. Each explanation
+  // depends only on the (identical) weights of the model clone that computed
+  // it, and the aggregation below walks results in index order, so the
+  // batched explanation is bitwise identical for any pool size.
+  common::ThreadPool& pool = common::default_pool();
+  std::vector<Explanation> per_input(embeddings.size());
+  auto explain_index = [&](AguaModel& m, std::size_t i) {
+    per_input[i] = factual ? explain_factual(m, embeddings[i])
+                           : explain_for_class(m, embeddings[i], output_class);
+  };
+  if (pool.thread_count() <= 1 || embeddings.size() < 2) {
+    for (std::size_t i = 0; i < embeddings.size(); ++i) explain_index(model, i);
+  } else {
+    // Forward passes cache activations inside the model, so workers other
+    // than the caller run on clones (see AguaModel::clone).
+    std::vector<AguaModel> clones;
+    clones.reserve(pool.thread_count() - 1);
+    for (std::size_t w = 1; w < pool.thread_count(); ++w) clones.push_back(model.clone());
+    obs::parallel_for(pool, "agua.pool.explain_batch", embeddings.size(),
+                      [&](std::size_t i, std::size_t worker) {
+                        explain_index(worker == 0 ? model : clones[worker - 1], i);
+                      });
+  }
+
   bool first = true;
-  for (const auto& embedding : embeddings) {
-    Explanation exp = factual ? explain_factual(model, embedding)
-                              : explain_for_class(model, embedding, output_class);
+  for (const Explanation& exp : per_input) {
     if (first) {
       aggregate = exp;
       first = false;

@@ -46,6 +46,11 @@ Explanation explain_for_class(AguaModel& model, const std::vector<double>& embed
 
 /// Batched explanation: average concept contributions over a batch (§3.6).
 /// When `output_class` is npos, each input contributes its own factual class.
+///
+/// Fans out over `common::default_pool()` with one `model.clone()` per extra
+/// worker (forward passes cache activations, so the shared model itself is
+/// never queried concurrently); per-input results aggregate in index order,
+/// so the explanation is bitwise identical for any pool size (DESIGN.md §7).
 Explanation explain_batched(AguaModel& model,
                             const std::vector<std::vector<double>>& embeddings,
                             std::size_t output_class = static_cast<std::size_t>(-1));

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/parallel.hpp"
 #include "obs/trace.hpp"
 
 namespace agua::core {
@@ -30,9 +32,15 @@ void ConceptLabeler::fit(const std::vector<std::string>& descriptions,
     // that every concept's similarity spans all k classes regardless of the
     // embedding family's cosine range (hashed n-gram cosines sit lower than
     // dense-model cosines and vary with concept text length).
+    // Per-description similarity vectors are independent const computations;
+    // fan them out, then scatter into per-concept columns in index order.
+    const std::vector<std::vector<double>> sims_per_description =
+        obs::parallel_map(common::default_pool(), "agua.pool.labeler_fit",
+                          descriptions.size(), [&](std::size_t i) {
+                            return similarities(descriptions[i]);
+                          });
     std::vector<std::vector<double>> sims_per_concept(concepts_.size());
-    for (const auto& description : descriptions) {
-      const auto sims = similarities(description);
+    for (const auto& sims : sims_per_description) {
       for (std::size_t c = 0; c < sims.size(); ++c) {
         sims_per_concept[c].push_back(sims[c]);
       }

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
+#include "obs/parallel.hpp"
 
 namespace agua::core {
+namespace {
+
+// Same fixed chunk width as ConceptMapping::train — see the determinism
+// contract in DESIGN.md §7.
+constexpr std::size_t kGradChunkRows = 16;
+
+}  // namespace
 
 OutputMapping::OutputMapping(Config config, common::Rng& rng) : config_(config) {
   layer_ = std::make_unique<nn::Linear>(config_.concept_dim, config_.num_outputs, rng);
@@ -19,6 +28,26 @@ double OutputMapping::train(const nn::Matrix& concept_probs, const nn::Matrix& t
   opt.gradient_clip = 5.0;
   nn::SgdOptimizer optimizer(layer_->parameters(), opt);
 
+  // Per-worker layer replicas (Linear caches its forward input), re-synced to
+  // the master weights once per step. See ConceptMapping::train for the
+  // data-parallel scheme; gradients reduce in fixed chunk order.
+  common::ThreadPool& pool = common::default_pool();
+  const std::vector<nn::Parameter*> master_params = layer_->parameters();
+  std::vector<std::unique_ptr<nn::Linear>> replicas(pool.thread_count());
+  std::vector<std::vector<nn::Parameter*>> replica_params(replicas.size());
+  {
+    common::Rng scratch(0);  // replica init weights are overwritten by syncs
+    for (std::size_t w = 0; w < replicas.size(); ++w) {
+      replicas[w] =
+          std::make_unique<nn::Linear>(config_.concept_dim, config_.num_outputs, scratch);
+      replica_params[w] = replicas[w]->parameters();
+    }
+  }
+  std::vector<std::uint64_t> replica_step(replicas.size(), 0);
+  std::uint64_t step = 0;
+  std::vector<double> chunk_losses;
+  std::vector<std::vector<nn::Matrix>> chunk_grads;  // [chunk][param]
+
   double last_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     const auto order = rng.permutation(concept_probs.rows());
@@ -30,11 +59,46 @@ double OutputMapping::train(const nn::Matrix& concept_probs, const nn::Matrix& t
                                              order.begin() + static_cast<std::ptrdiff_t>(end));
       const nn::Matrix batch = concept_probs.gather_rows(batch_indices);
       const nn::Matrix targets = target_probs.gather_rows(batch_indices);
+      const std::size_t batch_rows = batch.rows();
+      const std::size_t num_chunks = (batch_rows + kGradChunkRows - 1) / kGradChunkRows;
+      ++step;
+      chunk_losses.assign(num_chunks, 0.0);
+      chunk_grads.resize(num_chunks);
+
+      obs::parallel_for(
+          pool, "agua.pool.train_output", num_chunks,
+          [&](std::size_t chunk, std::size_t worker) {
+            if (replica_step[worker] != step) {
+              for (std::size_t p = 0; p < master_params.size(); ++p) {
+                replica_params[worker][p]->value = master_params[p]->value;
+              }
+              replica_step[worker] = step;
+            }
+            const std::size_t row0 = chunk * kGradChunkRows;
+            const std::size_t row1 = std::min(batch_rows, row0 + kGradChunkRows);
+            nn::Linear& layer = *replicas[worker];
+            layer.zero_grad();
+            const nn::Matrix out = layer.forward(batch.slice_rows(row0, row1));
+            nn::Matrix grad;
+            chunk_losses[chunk] = nn::soft_cross_entropy_loss(
+                out, targets.slice_rows(row0, row1), grad, batch_rows);
+            layer.backward(grad);
+            std::vector<nn::Matrix>& sink = chunk_grads[chunk];
+            sink.resize(master_params.size());
+            for (std::size_t p = 0; p < master_params.size(); ++p) {
+              sink[p] = replica_params[worker][p]->grad;
+            }
+          });
+
       optimizer.zero_grad();
-      const nn::Matrix out = layer_->forward(batch);
-      nn::Matrix grad;
-      epoch_loss += nn::soft_cross_entropy_loss(out, targets, grad);
-      layer_->backward(grad);
+      for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        epoch_loss += chunk_losses[chunk];
+        for (std::size_t p = 0; p < master_params.size(); ++p) {
+          master_params[p]->grad.add(chunk_grads[chunk][p]);
+        }
+      }
+      // ElasticNet subgradient on the master weights, once per step, exactly
+      // as the serial recipe applied it.
       nn::apply_elastic_net(layer_->parameters(), config_.elastic_alpha,
                             config_.elastic_coef);
       optimizer.step();

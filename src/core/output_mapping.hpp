@@ -35,10 +35,14 @@ class OutputMapping {
 
   /// Train against the controller's output distributions (soft targets),
   /// minimizing cross-entropy + ElasticNet. Returns the final epoch loss.
+  /// Gradients are computed in fixed 16-row chunks over
+  /// `common::default_pool()` and reduced in chunk order — bitwise identical
+  /// for any pool size (DESIGN.md §7).
   double train(const nn::Matrix& concept_probs, const nn::Matrix& target_probs,
                common::Rng& rng);
 
-  /// Ω(z): raw logits over the n output classes.
+  /// Ω(z): raw logits over the n output classes. Non-const (the layer caches
+  /// its forward input); do not share one instance across threads.
   std::vector<double> logits(const std::vector<double>& concept_probs);
   nn::Matrix logits_batch(const nn::Matrix& concept_probs);
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/thread_pool.hpp"
+#include "obs/parallel.hpp"
 #include "obs/trace.hpp"
 
 namespace agua::core {
@@ -29,9 +31,20 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
     text::DescriberOptions describe_options;
     describe_options.temperature = config.describe_temperature;
     describe_options.rng = config.describe_temperature > 0.0 ? &describe_rng : nullptr;
-    artifacts.descriptions.reserve(train.size());
-    for (const Sample& sample : train.samples) {
-      artifacts.descriptions.push_back(describe(sample.input, describe_options));
+    artifacts.descriptions.resize(train.size());
+    if (describe_options.rng == nullptr) {
+      // Deterministic describers are pure functions of the input — fan out.
+      obs::parallel_for(common::default_pool(), "agua.pool.describe", train.size(),
+                        [&](std::size_t i, std::size_t) {
+                          artifacts.descriptions[i] =
+                              describe(train.samples[i].input, describe_options);
+                        });
+    } else {
+      // A stochastic describer draws from one shared Rng stream; keep the
+      // draws ordered (and the output reproducible) by staying serial.
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        artifacts.descriptions[i] = describe(train.samples[i].input, describe_options);
+      }
     }
   }
 
@@ -51,15 +64,19 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
     artifacts.labeler = std::make_unique<ConceptLabeler>(
         concept_set, text::TextEmbedder(config.embedder), std::move(quantizer));
     artifacts.labeler->fit(artifacts.descriptions, config.calibrate_quantizer);
-    artifacts.description_embeddings.reserve(train.size());
-    artifacts.similarity_levels.reserve(train.size());
-    for (const auto& description : artifacts.descriptions) {
-      auto embedding = artifacts.labeler->embed(description);
-      auto sims = artifacts.labeler->similarities_from_embedding(embedding);
-      artifacts.description_embeddings.push_back(std::move(embedding));
-      artifacts.similarity_levels.push_back(
-          artifacts.labeler->levels_from_similarities(sims));
-    }
+    // Embedding + similarity tagging are const per-description lookups on the
+    // fitted labeler — fan them out, writing each slot by index.
+    artifacts.description_embeddings.resize(train.size());
+    artifacts.similarity_levels.resize(train.size());
+    obs::parallel_for(common::default_pool(), "agua.pool.embed_label", train.size(),
+                      [&](std::size_t i, std::size_t) {
+                        auto embedding = artifacts.labeler->embed(artifacts.descriptions[i]);
+                        auto sims =
+                            artifacts.labeler->similarities_from_embedding(embedding);
+                        artifacts.description_embeddings[i] = std::move(embedding);
+                        artifacts.similarity_levels[i] =
+                            artifacts.labeler->levels_from_similarities(sims);
+                      });
   }
 
   // Stage ④: train the concept mapping δθ on (h(x), similarity labels).

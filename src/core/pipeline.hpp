@@ -72,6 +72,15 @@ struct AguaArtifacts {
 };
 
 /// Run stages ②–⑤ over a rollout dataset and return the trained surrogate.
+///
+/// Threading: the describe/embed-label stages and both training loops fan
+/// out over `common::default_pool()`; for a fixed seed the artifacts are
+/// bitwise identical for any pool size (DESIGN.md §7). The `describe`
+/// callable must therefore be safe to invoke concurrently when
+/// `describe_temperature == 0` (the bundled describers are — they are pure
+/// functions of the input); with temperature > 0 it is only ever called
+/// serially. Call from one thread at a time: `rng` is advanced without
+/// synchronization.
 AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& concept_set,
                          const DescribeFn& describe, const AguaConfig& config,
                          common::Rng& rng);

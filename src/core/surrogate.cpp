@@ -1,5 +1,8 @@
 #include "core/surrogate.hpp"
 
+#include <sstream>
+
+#include "common/serialize.hpp"
 #include "common/stats.hpp"
 #include "obs/trace.hpp"
 
@@ -21,6 +24,17 @@ AguaModel::AguaModel(concepts::ConceptSet concept_set, ConceptMapping concept_ma
     : concepts_(std::move(concept_set)),
       concept_mapping_(std::move(concept_mapping)),
       output_mapping_(std::move(output_mapping)) {}
+
+AguaModel AguaModel::clone() const {
+  std::stringstream buffer;
+  common::BinaryWriter writer(buffer);
+  concept_mapping_.save(writer);
+  output_mapping_.save(writer);
+  common::BinaryReader reader(buffer);
+  ConceptMapping concept_mapping = ConceptMapping::load(reader);
+  OutputMapping output_mapping = OutputMapping::load(reader);
+  return AguaModel(concepts_, std::move(concept_mapping), std::move(output_mapping));
+}
 
 std::vector<double> AguaModel::logits(const std::vector<double>& embedding) {
   forward_counter().add(1);

@@ -29,6 +29,12 @@ class AguaModel {
   std::vector<double> output_probs(const std::vector<double>& embedding);
   std::size_t predict_class(const std::vector<double>& embedding);
 
+  /// Deep copy via an in-memory serialization round-trip. Forward passes
+  /// cache activations inside the nets, so a shared AguaModel must NOT be
+  /// used from several threads; clones give each worker its own instance
+  /// (weights are bitwise identical, so per-input outputs are too).
+  AguaModel clone() const;
+
   const concepts::ConceptSet& concept_set() const { return concepts_; }
   ConceptMapping& concept_mapping() { return concept_mapping_; }
   OutputMapping& output_mapping() { return output_mapping_; }

@@ -27,11 +27,12 @@ double cross_entropy_loss(const Matrix& logits, const std::vector<std::size_t>& 
 double multilabel_concept_loss(const Matrix& logits,
                                const std::vector<std::vector<std::size_t>>& targets,
                                std::size_t num_concepts, std::size_t num_levels,
-                               Matrix& grad_logits) {
+                               Matrix& grad_logits, std::size_t norm_rows) {
   assert(logits.cols() == num_concepts * num_levels);
   assert(logits.rows() == targets.size());
   grad_logits = Matrix(logits.rows(), logits.cols());
-  const double inv_norm = 1.0 / (static_cast<double>(logits.rows()) *
+  if (norm_rows == 0) norm_rows = logits.rows();
+  const double inv_norm = 1.0 / (static_cast<double>(norm_rows) *
                                  static_cast<double>(num_concepts));
   double loss = 0.0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {
@@ -66,12 +67,13 @@ double mse_loss(const Matrix& predictions, const Matrix& targets, Matrix& grad) 
 }
 
 double soft_cross_entropy_loss(const Matrix& logits, const Matrix& target_probs,
-                               Matrix& grad_logits) {
+                               Matrix& grad_logits, std::size_t norm_rows) {
   assert(logits.rows() == target_probs.rows() && logits.cols() == target_probs.cols());
   const Matrix probs = row_softmax(logits);
   grad_logits = probs;
   grad_logits.sub(target_probs);
-  const double inv_batch = 1.0 / static_cast<double>(logits.rows());
+  if (norm_rows == 0) norm_rows = logits.rows();
+  const double inv_batch = 1.0 / static_cast<double>(norm_rows);
   grad_logits.scale(inv_batch);
   double loss = 0.0;
   for (std::size_t r = 0; r < logits.rows(); ++r) {

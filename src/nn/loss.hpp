@@ -18,19 +18,24 @@ double cross_entropy_loss(const Matrix& logits, const std::vector<std::size_t>& 
 /// Eq. 4 of the paper: per-concept softmax cross-entropy. `logits` has
 /// C*k columns; block i of width k scores the k similarity classes of concept
 /// i. `targets` holds one class index per concept per sample (batch x C).
+/// `norm_rows` overrides the averaging denominator (0 = logits.rows()): the
+/// data-parallel trainers evaluate a minibatch in row chunks and pass the
+/// full minibatch size so per-chunk losses/grads sum exactly to the batch
+/// quantity (DESIGN.md §7 determinism contract).
 double multilabel_concept_loss(const Matrix& logits,
                                const std::vector<std::vector<std::size_t>>& targets,
                                std::size_t num_concepts, std::size_t num_levels,
-                               Matrix& grad_logits);
+                               Matrix& grad_logits, std::size_t norm_rows = 0);
 
 /// Mean squared error against a dense target matrix; grad = 2(p - t)/(batch*n).
 double mse_loss(const Matrix& predictions, const Matrix& targets, Matrix& grad);
 
 /// Soft-target cross entropy: targets are probability rows (e.g., the
 /// controller's output distribution). Used to train the output mapping to
-/// mimic the controller (Definition 3.1).
+/// mimic the controller (Definition 3.1). `norm_rows` as in
+/// multilabel_concept_loss (0 = logits.rows()).
 double soft_cross_entropy_loss(const Matrix& logits, const Matrix& target_probs,
-                               Matrix& grad_logits);
+                               Matrix& grad_logits, std::size_t norm_rows = 0);
 
 /// Policy-gradient "loss": fills grad_logits = advantage * (softmax - onehot)
 /// per row (REINFORCE with baseline), optionally adding an entropy bonus with

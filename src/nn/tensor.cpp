@@ -44,6 +44,13 @@ Matrix Matrix::gather_rows(const std::vector<std::size_t>& indices) const {
   return out;
 }
 
+Matrix Matrix::slice_rows(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > rows_) throw std::invalid_argument("slice_rows: bad range");
+  Matrix out(end - begin, cols_);
+  std::copy(row_data(begin), row_data(begin) + (end - begin) * cols_, out.row_data(0));
+  return out;
+}
+
 Matrix Matrix::matmul(const Matrix& other) const {
   if (cols_ != other.rows_) throw std::invalid_argument("matmul: shape mismatch");
   Matrix out(rows_, other.cols_);

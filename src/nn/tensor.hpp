@@ -49,6 +49,9 @@ class Matrix {
   /// Select a subset of rows (gather), preserving order of `indices`.
   Matrix gather_rows(const std::vector<std::size_t>& indices) const;
 
+  /// Copy of the contiguous row range [begin, end).
+  Matrix slice_rows(std::size_t begin, std::size_t end) const;
+
   /// Matrix product this(rows x cols) * other(cols x n).
   Matrix matmul(const Matrix& other) const;
 

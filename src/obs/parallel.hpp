@@ -1,0 +1,64 @@
+// Instrumented fan-out: the bridge between common::ThreadPool (which is
+// observability-free by layering) and the obs subsystem.
+//
+// obs::parallel_for wraps ThreadPool::parallel_for and
+//  - times the whole region into the `name` histogram (one sample per region,
+//    e.g. one per minibatch for training),
+//  - counts dispatched items in agua.pool.tasks and regions in
+//    agua.pool.regions,
+//  - publishes the pool width in the agua.pool.threads gauge,
+//  - re-parents spans opened on pool workers under the span that was open on
+//    the submitting thread (per-worker span attribution: each worker keeps
+//    its own thread ordinal in SpanRecord::thread_id).
+//
+// Determinism is inherited from the call site contract (DESIGN.md §7): items
+// are claimed dynamically, so results must be reduced in fixed index order by
+// the caller.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace agua::obs {
+
+/// Pool-wide bookkeeping metrics, resolved once per process.
+inline void note_pool_region(std::size_t items, std::size_t threads) {
+  static Counter& tasks = MetricsRegistry::instance().counter("agua.pool.tasks");
+  static Counter& regions = MetricsRegistry::instance().counter("agua.pool.regions");
+  static Gauge& width = MetricsRegistry::instance().gauge("agua.pool.threads");
+  tasks.add(items);
+  regions.add(1);
+  width.set(static_cast<double>(threads));
+}
+
+/// Run fn(index, worker) for index in [0, count) on `pool`, instrumented.
+/// `name` is the region histogram (use the agua.pool.<stage> convention) —
+/// resolve-by-name is mutex-guarded, fine for per-minibatch granularity.
+template <typename Fn>
+void parallel_for(common::ThreadPool& pool, std::string_view name, std::size_t count,
+                  Fn&& fn) {
+  note_pool_region(count, pool.thread_count());
+  ScopedTimer timer(MetricsRegistry::instance().histogram(name));
+  const std::uint64_t parent_span = current_span_id();
+  pool.parallel_for(count, [&](std::size_t index, std::size_t worker) {
+    SpanParentScope adopt(parent_span);
+    fn(index, worker);
+  });
+}
+
+/// parallel_map with the same instrumentation; results in index order.
+template <typename Fn>
+auto parallel_map(common::ThreadPool& pool, std::string_view name, std::size_t count,
+                  Fn&& fn) -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(count);
+  parallel_for(pool, name, count,
+               [&](std::size_t index, std::size_t) { out[index] = fn(index); });
+  return out;
+}
+
+}  // namespace agua::obs

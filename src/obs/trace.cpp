@@ -54,6 +54,25 @@ void clear_spans() {
   span_buffer().clear();
 }
 
+std::uint64_t current_span_id() {
+  if (!trace_enabled()) return 0;
+  const ThreadSpanState& state = thread_state();
+  return state.stack.empty() ? 0 : state.stack.back();
+}
+
+SpanParentScope::SpanParentScope(std::uint64_t parent_id) {
+  if (parent_id == 0 || !trace_enabled()) return;
+  thread_state().stack.push_back(parent_id);
+  parent_id_ = parent_id;
+}
+
+SpanParentScope::~SpanParentScope() {
+  if (parent_id_ == 0) return;
+  auto& stack = thread_state().stack;
+  // Defensive: only pop what we pushed (a leaked child span would sit above).
+  if (!stack.empty() && stack.back() == parent_id_) stack.pop_back();
+}
+
 TraceSpan::TraceSpan(std::string name)
     : name_(std::move(name)),
       histogram_(&MetricsRegistry::instance().histogram(name_)) {

@@ -50,6 +50,28 @@ void clear_spans();
 /// separate roots.
 std::string format_span_tree(const std::vector<SpanRecord>& spans);
 
+/// Id of the innermost span currently open on this thread (0 when none, or
+/// when tracing is disabled). Capture it before handing work to a pool so the
+/// worker can adopt it via SpanParentScope.
+std::uint64_t current_span_id();
+
+/// RAII adoption of a foreign parent span: spans opened on this thread while
+/// the scope is alive nest under `parent_id` (typically captured on the
+/// submitting thread with current_span_id()). This is how pool workers
+/// attribute their spans to the region that fanned them out. No-op when
+/// `parent_id` is 0 or tracing is disabled.
+class SpanParentScope {
+ public:
+  explicit SpanParentScope(std::uint64_t parent_id);
+  ~SpanParentScope();
+
+  SpanParentScope(const SpanParentScope&) = delete;
+  SpanParentScope& operator=(const SpanParentScope&) = delete;
+
+ private:
+  std::uint64_t parent_id_ = 0;  // 0 = nothing pushed
+};
+
 /// Times a scope into `histogram` (seconds). Resolve the histogram once at
 /// the call site and reuse it:
 ///   static obs::Histogram& h = obs::MetricsRegistry::instance().histogram("agua.x.y");
