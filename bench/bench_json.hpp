@@ -1,0 +1,101 @@
+// Machine-readable bench telemetry: every bench binary that accepts
+// `--json PATH` writes one schema-stable JSON document describing its run —
+// build metadata plus one entry per measured section — so the repo's perf
+// trajectory (`BENCH_*.json` at the repo root) can be diffed across PRs by
+// tooling instead of eyeballs.
+//
+// Schema (`agua.bench.v1`):
+//   {
+//     "schema": "agua.bench.v1",
+//     "bench": "<binary name>",
+//     "threads": N,
+//     "build": {"type": "...", "compiler": "..."},
+//     "meta": {"<key>": <number>, ...},
+//     "results": [{"name": "...", "value": <number>, "unit": "..."}, ...]
+//   }
+// Values are numbers; units are free-form strings ("ns/op", "fidelity",
+// "percent"). New keys may be added; existing keys never change meaning.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+// Injected by bench/CMakeLists.txt; harmless fallback for other build setups.
+#ifndef AGUA_BUILD_TYPE
+#define AGUA_BUILD_TYPE "unknown"
+#endif
+
+namespace agua::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name, std::size_t threads)
+      : bench_name_(std::move(bench_name)), threads_(threads) {}
+
+  /// Run-level numeric metadata (e.g. overhead percentages, repeat counts).
+  void set_meta(std::string key, double value) {
+    meta_.emplace_back(std::move(key), value);
+  }
+
+  /// One measured section. `unit` declares what `value` is ("ns/op", ...).
+  void add(std::string name, double value, std::string unit) {
+    results_.push_back({std::move(name), value, std::move(unit)});
+  }
+
+  std::string render() const {
+    using obs::detail::json_escape;
+    using obs::detail::json_number;
+    std::string out = "{\"schema\":\"agua.bench.v1\",\"bench\":\"" +
+                      json_escape(bench_name_) + "\",\"threads\":" +
+                      std::to_string(threads_) + ",\"build\":{\"type\":\"" +
+                      json_escape(AGUA_BUILD_TYPE) + "\",\"compiler\":\"" +
+                      json_escape(compiler_version()) + "\"},\"meta\":{";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '"' + json_escape(meta_[i].first) + "\":" + json_number(meta_[i].second);
+    }
+    out += "},\"results\":[";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"name\":\"" + json_escape(results_[i].name) +
+             "\",\"value\":" + json_number(results_[i].value) + ",\"unit\":\"" +
+             json_escape(results_[i].unit) + "\"}";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::string payload = render();
+    const bool ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  struct Result {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+
+  static std::string compiler_version() {
+#if defined(__VERSION__)
+    return __VERSION__;
+#else
+    return "unknown";
+#endif
+  }
+
+  std::string bench_name_;
+  std::size_t threads_ = 0;
+  std::vector<std::pair<std::string, double>> meta_;
+  std::vector<Result> results_;
+};
+
+}  // namespace agua::bench

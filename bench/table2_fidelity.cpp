@@ -1,12 +1,21 @@
 // Table 2: fidelity of Trustee (full / pruned) vs Agua (open-source and
 // closed-source embedding stacks) on ABR, congestion control, and DDoS
 // detection. Fidelity is eq. 11 on a held-out test set.
+//
+//   table2_fidelity [--json PATH]
+//
+// --json writes the measured fidelities as an `agua.bench.v1` document
+// (unit "fidelity") next to the human-readable table.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "apps/abr_bundle.hpp"
 #include "apps/cc_bundle.hpp"
 #include "apps/ddos_bundle.hpp"
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
+#include "common/thread_pool.hpp"
 #include "trustee/trustee.hpp"
 
 namespace {
@@ -54,8 +63,14 @@ AppResult evaluate(core::Dataset& train, core::Dataset& test,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agua;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   bench::print_header("Table 2", "Explanation fidelity: Trustee vs Agua");
 
   std::printf("\n[ABR] training Gelato-like controller and collecting 4,000 pairs...\n");
@@ -106,5 +121,22 @@ int main() {
   std::printf(
       "\nShape checks: Agua >= 0.9 everywhere; Agua > Trustee on CC by a wide\n"
       "margin; Trustee competitive on ABR/DDoS.\n");
+
+  if (!json_path.empty()) {
+    bench::BenchJson doc("table2_fidelity", common::default_thread_count());
+    for (const Row& row : rows) {
+      const std::string app = row.app;
+      doc.add(app + ".trustee_full", row.measured.trustee_full, "fidelity");
+      doc.add(app + ".trustee_pruned", row.measured.trustee_pruned, "fidelity");
+      doc.add(app + ".agua_open", row.measured.agua_open, "fidelity");
+      doc.add(app + ".agua_closed", row.measured.agua_closed, "fidelity");
+    }
+    if (doc.write(json_path)) {
+      std::printf("bench telemetry written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -3,16 +3,24 @@
 // explanation, and (optionally) a checkpoint.
 //
 //   agua_cli <abr|cc|ddos> [--seed N] [--open] [--save PATH] [--paper-config]
-//            [--trace] [--metrics-out PATH] [--threads N]
+//            [--trace] [--metrics-out PATH] [--metrics-format json|prometheus]
+//            [--flight-record PATH] [--threads N] [--tiny]
 //
-//   --open          use the open-source embedding stack (default: closed)
-//   --paper-config  train with the paper's exact §4 hyperparameters
-//   --save PATH     write the trained surrogate to PATH (binary archive)
-//   --trace         capture begin/end spans and print the span tree after the run
-//   --metrics-out   write the metrics registry (and spans) as JSON lines to PATH
-//   --threads N     worker-pool size for training/explanation (0 = auto;
-//                   default: AGUA_THREADS env or hardware concurrency).
-//                   Results are bitwise identical for any N (DESIGN.md §7).
+//   --open            use the open-source embedding stack (default: closed)
+//   --paper-config    train with the paper's exact §4 hyperparameters
+//   --save PATH       write the trained surrogate to PATH (binary archive)
+//   --trace           capture begin/end spans and print the span tree after the run
+//   --metrics-out     write the metrics registry to PATH
+//   --metrics-format  json (JSON lines, the default) or prometheus (text exposition)
+//   --flight-record   record structured events (per-epoch training telemetry,
+//                     stage boundaries, health alerts) into a bounded ring and
+//                     write them to PATH as JSON lines; also dumps on
+//                     std::terminate so failed runs leave a forensic trail
+//   --threads N       worker-pool size for training/explanation (0 = auto;
+//                     default: AGUA_THREADS env or hardware concurrency).
+//                     Results are bitwise identical for any N (DESIGN.md §7).
+//   --tiny            shrink the datasets/epochs to smoke-test scale (seconds,
+//                     not minutes) — for CI plumbing checks, not evaluation
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +33,7 @@
 #include "core/explain.hpp"
 #include "core/model_io.hpp"
 #include "core/report.hpp"
+#include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 
@@ -38,9 +47,12 @@ struct CliOptions {
   bool open_embeddings = false;
   bool paper_config = false;
   bool trace = false;
+  bool tiny = false;
   std::size_t threads = 0;  // 0 = auto (AGUA_THREADS env or hardware)
   std::string save_path;
   std::string metrics_out;
+  std::string metrics_format = "json";
+  std::string flight_record;
 };
 
 bool parse(int argc, char** argv, CliOptions& options) {
@@ -60,8 +72,19 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.save_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       options.trace = true;
+    } else if (std::strcmp(argv[i], "--tiny") == 0) {
+      options.tiny = true;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       options.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-format") == 0 && i + 1 < argc) {
+      options.metrics_format = argv[++i];
+      if (options.metrics_format != "json" && options.metrics_format != "prometheus") {
+        std::fprintf(stderr, "unknown --metrics-format: %s\n",
+                     options.metrics_format.c_str());
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--flight-record") == 0 && i + 1 < argc) {
+      options.flight_record = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
@@ -72,16 +95,26 @@ bool parse(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
+/// Shrink a bundle's datasets and the training recipe to smoke-test scale.
+void make_tiny(core::Dataset& train, core::Dataset& test, core::AguaConfig& config) {
+  if (train.samples.size() > 160) train.samples.resize(160);
+  if (test.samples.size() > 60) test.samples.resize(60);
+  config.concept_epochs = 8;
+  config.output_epochs = 40;
+}
+
 void run(const CliOptions& options, core::Dataset& train, core::Dataset& test,
          const concepts::ConceptSet& concept_set, const core::DescribeFn& describe) {
   core::AguaConfig config =
       options.paper_config ? core::paper_agua_config() : core::AguaConfig{};
   config.embedder = options.open_embeddings ? text::open_source_embedder_config()
                                             : text::closed_source_embedder_config();
+  if (options.tiny) make_tiny(train, test, config);
   common::Rng rng(options.seed ^ 0xA90A);
-  std::printf("training Agua (%s embeddings, %s recipe)...\n",
+  std::printf("training Agua (%s embeddings, %s recipe%s)...\n",
               options.open_embeddings ? "open" : "closed",
-              options.paper_config ? "paper" : "tuned");
+              options.paper_config ? "paper" : "tuned",
+              options.tiny ? ", tiny smoke scale" : "");
   core::AguaArtifacts agua = core::train_agua(train, concept_set, describe, config, rng);
 
   const core::AguaReport report = core::build_report(*agua.model, train, test);
@@ -105,10 +138,23 @@ void run(const CliOptions& options, core::Dataset& train, core::Dataset& test,
                 obs::format_span_tree(obs::collect_spans()).c_str());
   }
   if (!options.metrics_out.empty()) {
-    if (obs::write_json_file(options.metrics_out)) {
-      std::printf("metrics written to %s\n", options.metrics_out.c_str());
+    const bool ok = options.metrics_format == "prometheus"
+                        ? obs::write_prometheus_file(options.metrics_out)
+                        : obs::write_json_file(options.metrics_out);
+    if (ok) {
+      std::printf("metrics written to %s (%s)\n", options.metrics_out.c_str(),
+                  options.metrics_format.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", options.metrics_out.c_str());
+    }
+  }
+  if (!options.flight_record.empty()) {
+    if (obs::flush_flight_record()) {
+      std::printf("flight record written to %s (%zu events, %llu dropped)\n",
+                  options.flight_record.c_str(), obs::event_log().size(),
+                  static_cast<unsigned long long>(obs::event_log().dropped()));
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", options.flight_record.c_str());
     }
   }
 }
@@ -120,11 +166,22 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, options)) {
     std::fprintf(stderr,
                  "usage: %s <abr|cc|ddos> [--seed N] [--open] [--save PATH]"
-                 " [--paper-config] [--trace] [--metrics-out PATH] [--threads N]\n",
+                 " [--paper-config] [--trace] [--metrics-out PATH]"
+                 " [--metrics-format json|prometheus] [--flight-record PATH]"
+                 " [--threads N] [--tiny]\n",
                  argv[0]);
     return 2;
   }
   obs::set_trace_enabled(options.trace);
+  if (!options.flight_record.empty()) {
+    // Enable event capture and install the dump-on-terminate hook up front,
+    // so even a crash mid-training leaves the ring on disk.
+    obs::event_log().set_enabled(true);
+    obs::set_flight_record_path(options.flight_record);
+    obs::event_log().append("cli.run.begin",
+                            {{"seed", static_cast<double>(options.seed)},
+                             {"tiny", options.tiny ? 1.0 : 0.0}});
+  }
   common::set_default_thread_count(options.threads);
   std::printf("building the %s application bundle (seed %llu, %zu worker threads)...\n",
               options.app.c_str(), static_cast<unsigned long long>(options.seed),

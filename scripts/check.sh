@@ -1,30 +1,69 @@
 #!/usr/bin/env bash
 # Tier-1 verify in one command: configure + build the default preset, then
 # run the test suite. Pass `asan` to do the same under the sanitizer preset,
-# or `tsan` to build just the concurrency-sensitive tests (thread pool + obs)
-# and run them under ThreadSanitizer.
+# `tsan` to build just the concurrency-sensitive tests (thread pool + obs +
+# flight recorder) and run them under ThreadSanitizer, or `obs` to smoke-test
+# the observability surface end to end: run agua_cli at tiny scale with
+# --flight-record and Prometheus metrics output, then validate that both
+# files parse and the flight record carries per-epoch training telemetry.
 #
-#   scripts/check.sh [default|asan|tsan] [-j N]
+#   scripts/check.sh [default|asan|tsan|obs] [-j N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 preset="default"
 jobs="$(nproc 2>/dev/null || echo 2)"
+mode=""
 while [ $# -gt 0 ]; do
   case "$1" in
     default|asan|tsan) preset="$1" ;;
+    obs) mode="obs" ;;
     -j) jobs="$2"; shift ;;
-    *) echo "usage: $0 [default|asan|tsan] [-j N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [default|asan|tsan|obs] [-j N]" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [ "$mode" = "obs" ]; then
+  # Observability smoke: tiny training run with the flight recorder armed and
+  # Prometheus metric exposition, validated with the stdlib only.
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target agua_cli
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+  ./build/examples/agua_cli abr --tiny --threads 2 \
+    --flight-record "$out/flight.jsonl" \
+    --metrics-out "$out/metrics.prom" --metrics-format prometheus
+  python3 - "$out/flight.jsonl" "$out/metrics.prom" <<'PY'
+import json, re, sys
+flight, prom = sys.argv[1], sys.argv[2]
+events = [json.loads(line) for line in open(flight) if line.strip()]
+kinds = {e["kind"] for e in events}
+for required in ("cli.run.begin", "pipeline.train.begin",
+                 "train.concept.epoch", "train.output.epoch",
+                 "pipeline.train.end"):
+    assert required in kinds, f"missing event kind {required}: {sorted(kinds)}"
+epochs = [e for e in events if e["kind"] == "train.concept.epoch"]
+assert all({"epoch", "loss", "grad_norm", "weight_norm", "lr"}
+           <= set(e["fields"]) for e in epochs), "epoch event fields incomplete"
+line_re = re.compile(r'^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* \w+'
+                     r'|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?\S+)$')
+lines = [l.rstrip("\n") for l in open(prom) if l.strip()]
+assert lines, "empty prometheus output"
+for l in lines:
+    assert line_re.match(l), f"bad prometheus line: {l!r}"
+print(f"obs smoke OK: {len(events)} events "
+      f"({len(epochs)} concept epochs), {len(lines)} prometheus lines")
+PY
+  exit 0
+fi
 
 cmake --preset "$preset"
 if [ "$preset" = "tsan" ]; then
   # TSan doubles build time and the race surface is the pool + obs layer;
   # build and run only those suites (the test preset filters to match).
-  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs
+  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events
 else
   cmake --build --preset "$preset" -j "$jobs"
 fi

@@ -6,7 +6,14 @@
 
 namespace agua::common {
 
-TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)), alignment_(header_.size(), Align::kLeft) {}
+
+void TablePrinter::right_align_from(std::size_t first_column) {
+  for (std::size_t i = first_column; i < alignment_.size(); ++i) {
+    alignment_[i] = Align::kRight;
+  }
+}
 
 void TablePrinter::add_row(std::vector<std::string> row) {
   row.resize(header_.size());
@@ -24,8 +31,11 @@ std::string TablePrinter::render() const {
   auto emit = [&](std::ostringstream& os, const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i > 0) os << "  ";
+      const std::size_t pad = widths[i] - std::min(widths[i], row[i].size());
+      if (alignment_[i] == Align::kRight) os << std::string(pad, ' ');
       os << row[i];
-      for (std::size_t pad = row[i].size(); pad < widths[i]; ++pad) os << ' ';
+      // No trailing whitespace after the last column.
+      if (alignment_[i] == Align::kLeft && i + 1 < row.size()) os << std::string(pad, ' ');
     }
     os << '\n';
   };

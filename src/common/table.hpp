@@ -9,17 +9,27 @@
 namespace agua::common {
 
 /// Accumulates rows of strings and renders them with aligned columns.
+/// Column widths are computed from the longest cell (header included), so
+/// arbitrarily long first-column names keep every later column aligned.
 class TablePrinter {
  public:
+  enum class Align { kLeft, kRight };
+
   explicit TablePrinter(std::vector<std::string> header);
+
+  /// Right-align every column from `first_column` on (numeric columns read
+  /// best right-aligned; the leading name column stays left-aligned).
+  void right_align_from(std::size_t first_column);
 
   void add_row(std::vector<std::string> row);
 
-  /// Render with a header underline and two-space column gaps.
+  /// Render with a header underline and two-space column gaps. The last
+  /// column is never padded on the right (no trailing whitespace).
   std::string render() const;
 
  private:
   std::vector<std::string> header_;
+  std::vector<Align> alignment_;
   std::vector<std::vector<std::string>> rows_;
 };
 

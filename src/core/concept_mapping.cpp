@@ -120,6 +120,18 @@ double ConceptMapping::train(const std::vector<std::vector<double>>& embeddings,
       ++batches;
     }
     last_epoch_loss = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    if (config_.observer) {
+      // Telemetry only — reads the master state the epoch just produced.
+      // Guarded so an observer-free run does no extra work at all.
+      TrainEpochStats stats;
+      stats.epoch = epoch;
+      stats.epochs = config_.epochs;
+      stats.loss = last_epoch_loss;
+      stats.grad_norm = params_l2_norm(master_params, /*grads=*/true);
+      stats.weight_norm = params_l2_norm(master_params, /*grads=*/false);
+      stats.learning_rate = config_.learning_rate;
+      config_.observer(stats);
+    }
   }
   return last_epoch_loss;
 }

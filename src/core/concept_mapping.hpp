@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/train_observer.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor.hpp"
 
@@ -27,6 +28,9 @@ class ConceptMapping {
     std::size_t batch_size = 100;
     double learning_rate = 0.005;
     double momentum = 0.25;
+    /// Per-epoch telemetry callback; empty (the default) adds zero work and
+    /// keeps training bitwise identical to an observer-free build.
+    TrainObserver observer;
   };
 
   ConceptMapping(Config config, common::Rng& rng);

@@ -7,10 +7,25 @@
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "obs/events.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 
 namespace agua::core {
 namespace {
+
+// Serving health: each drift report folds its total-variation distance
+// between the two deployments' concept proportions into a short rolling
+// window; a sustained score above 0.25 (a quarter of the tag mass moved)
+// raises an `agua.health.drift` event — the continuous signal behind the
+// §5.2.2 retraining trigger.
+obs::HealthMonitor& drift_monitor() {
+  obs::MonitorOptions options;
+  options.window = 8;
+  options.min_samples = 1;
+  options.max_healthy = 0.25;
+  return obs::health_monitor("agua.health.drift", options);
+}
 
 std::vector<std::size_t> tag_from_stats(const std::vector<double>& intensity,
                                         const std::vector<double>& mean,
@@ -123,6 +138,19 @@ DriftReport detect_concept_drift(AguaModel& model,
     }
   }
   std::reverse(report.decreased.begin(), report.decreased.end());
+
+  // Drift score: total variation distance between the two proportion
+  // distributions, 0 (identical) to 1 (disjoint tag mass).
+  double score = 0.0;
+  for (double d : report.delta) score += std::abs(d);
+  score *= 0.5;
+  drift_monitor().observe(score);
+  obs::event_log().append(
+      "drift.report", {{"score", score},
+                       {"traces_a", static_cast<double>(dataset_a.size())},
+                       {"traces_b", static_cast<double>(dataset_b.size())},
+                       {"increased", static_cast<double>(report.increased.size())},
+                       {"decreased", static_cast<double>(report.decreased.size())}});
   return report;
 }
 

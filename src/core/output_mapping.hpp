@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/train_observer.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor.hpp"
 
@@ -29,6 +30,9 @@ class OutputMapping {
     double learning_rate = 0.075;
     double elastic_alpha = 0.95;
     double elastic_coef = 1e-5;
+    /// Per-epoch telemetry callback; empty (the default) adds zero work and
+    /// keeps training bitwise identical to an observer-free build.
+    TrainObserver observer;
   };
 
   OutputMapping(Config config, common::Rng& rng);

@@ -3,10 +3,33 @@
 #include <cassert>
 
 #include "common/thread_pool.hpp"
+#include "obs/events.hpp"
 #include "obs/parallel.hpp"
 #include "obs/trace.hpp"
 
 namespace agua::core {
+namespace {
+
+/// Compose a user observer with flight-recorder emission. Returns an empty
+/// observer (zero training overhead) when neither is active.
+TrainObserver make_epoch_observer(const TrainObserver& user, const char* event_kind) {
+  const bool record = obs::event_log().enabled();
+  if (!user && !record) return {};
+  return [user, record, event_kind](const TrainEpochStats& stats) {
+    if (user) user(stats);
+    if (record) {
+      obs::event_log().append(
+          event_kind, {{"epoch", static_cast<double>(stats.epoch)},
+                       {"epochs", static_cast<double>(stats.epochs)},
+                       {"loss", stats.loss},
+                       {"grad_norm", stats.grad_norm},
+                       {"weight_norm", stats.weight_norm},
+                       {"lr", stats.learning_rate}});
+    }
+  };
+}
+
+}  // namespace
 
 AguaConfig paper_agua_config() {
   AguaConfig config;
@@ -22,6 +45,9 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
   assert(!train.empty());
   obs::TraceSpan pipeline_span("agua.pipeline.train");
   obs::MetricsRegistry::instance().counter("agua.pipeline.train.samples").add(train.size());
+  obs::event_log().append("pipeline.train.begin",
+                          {{"samples", static_cast<double>(train.size())},
+                           {"concepts", static_cast<double>(concept_set.size())}});
   AguaArtifacts artifacts;
 
   // Stage ②: input description generation.
@@ -94,6 +120,7 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
     cm_config.batch_size = config.concept_batch_size;
     cm_config.learning_rate = config.concept_learning_rate;
     cm_config.momentum = config.concept_momentum;
+    cm_config.observer = make_epoch_observer(config.concept_observer, "train.concept.epoch");
     common::Rng cm_rng = rng.fork(0xC09C);
     ConceptMapping mapping(cm_config, cm_rng);
     artifacts.concept_train_loss =
@@ -117,6 +144,7 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
     om_config.learning_rate = config.output_learning_rate;
     om_config.elastic_alpha = config.elastic_alpha;
     om_config.elastic_coef = config.elastic_coef;
+    om_config.observer = make_epoch_observer(config.output_observer, "train.output.epoch");
     common::Rng om_rng = rng.fork(0x0A7B);
     OutputMapping mapping(om_config, om_rng);
     artifacts.output_train_loss =
@@ -126,6 +154,9 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
 
   artifacts.model = std::make_unique<AguaModel>(concept_set, std::move(concept_mapping),
                                                 std::move(output_mapping));
+  obs::event_log().append("pipeline.train.end",
+                          {{"concept_loss", artifacts.concept_train_loss},
+                           {"output_loss", artifacts.output_train_loss}});
   return artifacts;
 }
 

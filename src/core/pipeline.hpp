@@ -14,6 +14,7 @@
 #include "core/dataset.hpp"
 #include "core/labeler.hpp"
 #include "core/surrogate.hpp"
+#include "core/train_observer.hpp"
 #include "text/describer.hpp"
 #include "text/embedder.hpp"
 
@@ -50,6 +51,13 @@ struct AguaConfig {
   double output_learning_rate = 0.075;
   double elastic_alpha = 0.95;
   double elastic_coef = 1e-5;
+  /// Per-epoch telemetry callbacks for the two training stages (empty = no
+  /// extra work). Independent of the flight recorder: when
+  /// `obs::event_log()` is enabled, train_agua *additionally* emits
+  /// `train.concept.epoch` / `train.output.epoch` events after any user
+  /// observer runs. Neither path perturbs training (DESIGN.md §7).
+  TrainObserver concept_observer;
+  TrainObserver output_observer;
 };
 
 /// The paper's exact §4 training parameters (k = 3, 200 concept epochs,

@@ -4,6 +4,7 @@
 
 #include "common/serialize.hpp"
 #include "common/stats.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 
 namespace agua::core {
@@ -15,6 +16,20 @@ obs::Counter& forward_counter() {
   static obs::Counter& counter =
       obs::MetricsRegistry::instance().counter("agua.surrogate.forward");
   return counter;
+}
+
+// Serving health: every fidelity evaluation folds its per-sample
+// match/mismatch outcomes into a rolling window; the monitor raises an
+// `agua.health.fidelity` event if the rolling match rate drops below the
+// paper's ≥ 0.9 operating range (alert threshold 0.85 leaves headroom for
+// window noise). The raw forward path (predict_class) stays monitor-free —
+// it has no ground truth and must stay within the < 2% overhead budget.
+obs::HealthMonitor& fidelity_monitor() {
+  obs::MonitorOptions options;
+  options.window = 256;
+  options.min_samples = 64;
+  options.min_healthy = 0.85;
+  return obs::health_monitor("agua.health.fidelity", options);
 }
 
 }  // namespace
@@ -52,9 +67,12 @@ std::size_t AguaModel::predict_class(const std::vector<double>& embedding) {
 double fidelity(AguaModel& model, const Dataset& dataset) {
   if (dataset.empty()) return 0.0;
   obs::ScopedTimer timer("agua.surrogate.fidelity");
+  obs::HealthMonitor& monitor = fidelity_monitor();
   std::size_t matches = 0;
   for (const Sample& sample : dataset.samples) {
-    if (model.predict_class(sample.embedding) == sample.output_class) ++matches;
+    const bool match = model.predict_class(sample.embedding) == sample.output_class;
+    if (match) ++matches;
+    monitor.observe(match ? 1.0 : 0.0);
   }
   return static_cast<double>(matches) / static_cast<double>(dataset.size());
 }

@@ -1,0 +1,46 @@
+// Per-epoch training telemetry hook shared by ConceptMapping (eq. 4) and
+// OutputMapping (eq. 6). The observer is a plain callback on the training
+// Config structs, default-empty: when unset, the training loops do zero
+// extra work (no norm computation, no RNG impact), so the §7 bitwise
+// determinism contract is untouched. When set — e.g. by train_agua when the
+// flight recorder is on — it fires once per epoch, after the epoch's last
+// optimizer step, with loss/gradient/weight statistics.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace agua::core {
+
+/// One epoch's training statistics, as observed on the master parameters.
+struct TrainEpochStats {
+  std::size_t epoch = 0;   ///< 0-based epoch index
+  std::size_t epochs = 0;  ///< configured total, for progress displays
+  double loss = 0.0;       ///< epoch mean loss (what train() returns at the end)
+  /// L2 norm of the summed gradient of the epoch's final optimizer step
+  /// (read after step(): the batch gradient that produced the last update).
+  double grad_norm = 0.0;
+  double weight_norm = 0.0;    ///< L2 norm over all parameter values
+  double learning_rate = 0.0;  ///< configured lr (constant schedule today)
+};
+
+/// Epoch callback. Must not mutate the model or draw randomness; it runs on
+/// the training thread between epochs.
+using TrainObserver = std::function<void(const TrainEpochStats&)>;
+
+/// Flat L2 norm over a parameter set's values (`grads == false`) or
+/// accumulated gradients (`grads == true`).
+inline double params_l2_norm(const std::vector<nn::Parameter*>& params, bool grads) {
+  double sum_sq = 0.0;
+  for (const nn::Parameter* param : params) {
+    const nn::Matrix& m = grads ? param->grad : param->value;
+    for (double v : m.data()) sum_sq += v * v;
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace agua::core

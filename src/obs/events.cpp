@@ -1,0 +1,239 @@
+#include "obs/events.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace agua::obs {
+namespace {
+
+/// Sequential scanner for the fixed key order event_to_json() emits. Keyed
+/// on exact literals so a field named like a header key cannot confuse it.
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  bool lit(std::string_view l) {
+    if (s.substr(pos, l.size()) != l) return false;
+    pos += l.size();
+    return true;
+  }
+
+  bool number(double& out) {
+    const char* begin = s.data() + pos;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos += static_cast<std::size_t>(end - begin);
+    return pos <= s.size();
+  }
+
+  /// A quoted, escaped JSON string (opening quote not yet consumed).
+  bool quoted(std::string& out) {
+    if (!lit("\"")) return false;
+    std::string raw;
+    while (pos < s.size()) {
+      const char c = s[pos];
+      if (c == '\\' && pos + 1 < s.size()) {
+        raw += c;
+        raw += s[pos + 1];
+        pos += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos;
+        out = detail::json_unescape(raw);
+        return true;
+      }
+      raw += c;
+      ++pos;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void EventLog::append(std::string_view kind, EventFields fields) {
+  if (!enabled()) return;
+  // Stamp outside the lock: now_ns/thread/span are all thread-local or
+  // atomic, and keeping the critical section to the slot write bounds the
+  // contention from concurrent pool workers.
+  const std::int64_t ts = now_ns();
+  const std::uint64_t thread = thread_ordinal();
+  const std::uint64_t span = current_span_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Event& slot = ring_[head_];
+  slot.seq = ++total_;
+  slot.ts_ns = ts;
+  slot.thread = thread;
+  slot.span_id = span;
+  slot.kind.assign(kind.data(), kind.size());
+  slot.fields.resize(fields.size());
+  std::size_t i = 0;
+  for (const auto& [key, value] : fields) {
+    slot.fields[i].first.assign(key.data(), key.size());
+    slot.fields[i].second = value;
+    ++i;
+  }
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(size_);
+  // Oldest slot is head_ when the ring has wrapped, 0 otherwise.
+  const std::size_t first = size_ == capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+std::uint64_t EventLog::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - size_;
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+std::string EventLog::to_jsonl() const {
+  std::ostringstream os;
+  for (const Event& event : snapshot()) os << event_to_json(event) << '\n';
+  return os.str();
+}
+
+bool EventLog::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string payload = to_jsonl();
+  const bool ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+EventLog& event_log() {
+  static EventLog log;
+  return log;
+}
+
+std::string event_to_json(const Event& event) {
+  std::ostringstream os;
+  os << "{\"seq\":" << event.seq << ",\"ts_ns\":" << event.ts_ns
+     << ",\"thread\":" << event.thread << ",\"span\":" << event.span_id
+     << ",\"kind\":\"" << detail::json_escape(event.kind) << "\",\"fields\":{";
+  bool first = true;
+  for (const auto& [key, value] : event.fields) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << detail::json_escape(key) << "\":" << detail::json_number(value);
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool parse_event_json(std::string_view line, Event& out) {
+  Cursor c{line};
+  double number = 0.0;
+  out = Event{};
+  if (!c.lit("{\"seq\":") || !c.number(number)) return false;
+  out.seq = static_cast<std::uint64_t>(number);
+  if (!c.lit(",\"ts_ns\":") || !c.number(number)) return false;
+  out.ts_ns = static_cast<std::int64_t>(number);
+  if (!c.lit(",\"thread\":") || !c.number(number)) return false;
+  out.thread = static_cast<std::uint64_t>(number);
+  if (!c.lit(",\"span\":") || !c.number(number)) return false;
+  out.span_id = static_cast<std::uint64_t>(number);
+  if (!c.lit(",\"kind\":") || !c.quoted(out.kind)) return false;
+  if (!c.lit(",\"fields\":{")) return false;
+  while (!c.lit("}")) {
+    if (!out.fields.empty() && !c.lit(",")) return false;
+    std::string key;
+    if (!c.quoted(key) || !c.lit(":") || !c.number(number)) return false;
+    out.fields.emplace_back(std::move(key), number);
+  }
+  return c.lit("}") && c.pos == line.size();
+}
+
+std::vector<Event> parse_events_jsonl(std::string_view text, bool* ok) {
+  std::vector<Event> out;
+  if (ok) *ok = true;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    Event event;
+    if (!parse_event_json(line, event)) {
+      if (ok) *ok = false;
+      break;
+    }
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
+namespace {
+
+std::mutex g_dump_mutex;
+std::string g_dump_path;                      // guarded by g_dump_mutex
+std::terminate_handler g_prev_terminate = nullptr;
+
+void terminate_with_dump() {
+  // Best-effort: the process is going down; write what the ring holds so the
+  // failure leaves a forensic trail, then chain to the previous handler.
+  flush_flight_record();
+  if (g_prev_terminate) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void set_flight_record_path(std::string path) {
+  std::lock_guard<std::mutex> lock(g_dump_mutex);
+  g_dump_path = std::move(path);
+  static const bool installed = [] {
+    g_prev_terminate = std::set_terminate(terminate_with_dump);
+    return true;
+  }();
+  (void)installed;
+}
+
+bool flush_flight_record() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_dump_mutex);
+    path = g_dump_path;
+  }
+  if (path.empty()) return false;
+  return event_log().write_jsonl(path);
+}
+
+}  // namespace agua::obs

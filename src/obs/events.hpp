@@ -1,0 +1,117 @@
+// Flight recorder: a process-wide bounded ring buffer of structured events
+// (timestamp, thread, open span, kind, numeric key/value payload) that the
+// runtime appends into at interesting moments — per-epoch training stats,
+// pipeline stage boundaries, health-monitor threshold crossings. The ring is
+// preallocated and mutex-guarded (appends are a slot overwrite; slot strings
+// keep their capacity after the first lap, so steady-state appends do not
+// allocate), bounded so a long run keeps the most recent N events, and
+// dumpable as JSON lines — including from a std::terminate hook, so an
+// aborted run leaves a forensic trail (`agua_cli --flight-record PATH`).
+//
+// Recording is off by default; `EventLog::set_enabled(true)` (or the CLI
+// flag) turns it on. A disabled append is one relaxed atomic load + branch,
+// so emit points can stay unconditionally wired into the hot-ish paths
+// (epoch boundaries, monitor observations — never per-sample inner loops).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace agua::obs {
+
+/// One structured event. Payload values are numeric (doubles) by design:
+/// every emitter so far reports measurements, and a closed value type keeps
+/// the JSONL schema stable and the ring slots reusable without allocation.
+struct Event {
+  std::uint64_t seq = 0;      ///< 1-based append index (survives wraparound)
+  std::int64_t ts_ns = 0;     ///< now_ns() at append time
+  std::uint64_t thread = 0;   ///< per-thread ordinal (same as span records)
+  std::uint64_t span_id = 0;  ///< innermost open span when appended (0 = none)
+  std::string kind;           ///< dotted event name, e.g. "train.concept.epoch"
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+/// Key/value payload for append(): `{{"epoch", 3.0}, {"loss", 0.12}}`.
+using EventFields = std::initializer_list<std::pair<std::string_view, double>>;
+
+/// Bounded ring buffer of events. Thread-safe; appends from pool workers are
+/// fine (one mutex acquisition each — event emission sits at stage/epoch
+/// granularity, not per sample).
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+
+  /// Master switch; a disabled append is a relaxed load + branch.
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Append one event, stamping timestamp, thread ordinal, and the innermost
+  /// open trace span of the calling thread. Overwrites the oldest event once
+  /// the ring is full. No-op when disabled.
+  void append(std::string_view kind, EventFields fields = {});
+
+  /// Events currently retained, oldest first.
+  std::vector<Event> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  /// Total appends since construction/clear, including overwritten ones.
+  std::uint64_t total_appended() const;
+  /// Events lost to wraparound (total_appended() - size()).
+  std::uint64_t dropped() const;
+
+  /// Drop all retained events and reset the sequence counter.
+  void clear();
+
+  /// One JSON object per retained event, oldest first (see event_to_json).
+  std::string to_jsonl() const;
+  /// Write to_jsonl() to `path`. Returns false on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::vector<Event> ring_;  // preallocated to capacity_
+  std::size_t head_ = 0;     // next write slot
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// The process-wide flight recorder every emit point appends into.
+EventLog& event_log();
+
+/// `{"seq":N,"ts_ns":N,"thread":N,"span":N,"kind":"...","fields":{...}}`.
+std::string event_to_json(const Event& event);
+
+/// Parse one event_to_json() line back into an Event. Returns false on any
+/// schema mismatch. This is the round-trip contract the JSONL sink is tested
+/// against (test_events.cpp) and what offline tooling may rely on.
+bool parse_event_json(std::string_view line, Event& out);
+
+/// Parse a whole JSONL dump; stops and returns what it has on a bad line
+/// (`ok`, when given, reports whether every line parsed).
+std::vector<Event> parse_events_jsonl(std::string_view text, bool* ok = nullptr);
+
+/// Configure dump-on-abort: installs a std::terminate handler (once) that
+/// writes the current ring to `path` before the process dies, and remembers
+/// `path` for flush_flight_record(). An empty path disables dumping but
+/// leaves the handler installed.
+void set_flight_record_path(std::string path);
+
+/// Write the ring to the configured path now (normal end-of-run flush).
+/// Returns false if no path is set or the write fails.
+bool flush_flight_record();
+
+}  // namespace agua::obs

@@ -5,40 +5,27 @@
 
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "obs/json.hpp"
 
 namespace agua::obs {
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  // Shortest round-trippable representation; avoids locale surprises.
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+using detail::json_escape;
+using detail::json_number;
 
 std::string ms(double seconds) { return common::format_double(seconds * 1e3, 3); }
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') out.insert(0, 1, '_');
+  return out;
+}
 
 }  // namespace
 
@@ -46,6 +33,7 @@ std::string format_table(const std::vector<MetricSnapshot>& metrics) {
   common::TablePrinter table(
       {"metric", "kind", "count", "value", "mean ms", "p50 ms", "p90 ms", "p99 ms",
        "total ms"});
+  table.right_align_from(2);  // numeric columns; metric/kind stay left-aligned
   for (const MetricSnapshot& metric : metrics) {
     switch (metric.kind) {
       case MetricSnapshot::Kind::kCounter:
@@ -108,12 +96,59 @@ std::string export_json() {
   return export_json(MetricsRegistry::instance().snapshot(), collect_spans());
 }
 
-bool write_json_file(const std::string& path) {
+std::string export_prometheus(const std::vector<MetricSnapshot>& metrics) {
+  std::ostringstream os;
+  for (const MetricSnapshot& metric : metrics) {
+    const std::string name = prometheus_name(metric.name);
+    switch (metric.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << "# TYPE " << name << " counter\n"
+           << name << " " << metric.counter_value << "\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n"
+           << name << " " << json_number(metric.gauge_value) << "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
+        os << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+          cumulative += h.bucket_counts[i];
+          const std::string le =
+              i < h.bounds.size() ? json_number(h.bounds[i]) : std::string("+Inf");
+          os << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+        }
+        os << name << "_sum " << json_number(h.sum) << "\n"
+           << name << "_count " << h.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string export_prometheus() {
+  return export_prometheus(MetricsRegistry::instance().snapshot());
+}
+
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& payload) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
-  const std::string payload = export_json();
   const bool ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
   return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+bool write_json_file(const std::string& path) {
+  return write_text_file(path, export_json());
+}
+
+bool write_prometheus_file(const std::string& path) {
+  return write_text_file(path, export_prometheus());
 }
 
 }  // namespace agua::obs

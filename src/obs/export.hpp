@@ -1,6 +1,7 @@
 // Exporters over the metrics registry: a human-readable table (for terminals
-// and bench output) and machine-readable JSON lines (one object per metric,
-// plus optional span events) for offline analysis.
+// and bench output), machine-readable JSON lines (one object per metric,
+// plus optional span events) for offline analysis, and Prometheus text
+// exposition for scrape-based monitoring.
 #pragma once
 
 #include <string>
@@ -13,7 +14,8 @@ namespace agua::obs {
 
 /// Fixed-width table of every registered metric: counters/gauges show their
 /// value, histograms show count, mean, p50/p90/p99 and total (milliseconds
-/// for the latency histograms, which record seconds).
+/// for the latency histograms, which record seconds). Columns stay aligned
+/// for any metric-name length; numeric columns are right-aligned.
 std::string format_table(const std::vector<MetricSnapshot>& metrics);
 
 /// Convenience over the live registry.
@@ -28,7 +30,19 @@ std::string export_json(const std::vector<MetricSnapshot>& metrics,
 /// Convenience over the live registry (includes collected spans).
 std::string export_json();
 
+/// Prometheus text exposition (format version 0.0.4): metric names are the
+/// registry names with non-[a-zA-Z0-9_:] characters mapped to '_', each
+/// preceded by a `# TYPE` line. Histograms emit cumulative `_bucket{le=...}`
+/// series plus `_sum` and `_count` (values in seconds, like the registry).
+std::string export_prometheus(const std::vector<MetricSnapshot>& metrics);
+
+/// Convenience over the live registry.
+std::string export_prometheus();
+
 /// Write export_json() to `path`. Returns false on I/O failure.
 bool write_json_file(const std::string& path);
+
+/// Write export_prometheus() to `path`. Returns false on I/O failure.
+bool write_prometheus_file(const std::string& path);
 
 }  // namespace agua::obs

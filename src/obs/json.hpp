@@ -1,0 +1,65 @@
+// Tiny JSON helpers shared by the obs exporters (export.cpp, events.cpp).
+// Not a JSON library: just enough escaping/number formatting for the
+// JSONL schemas this layer emits.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace agua::obs::detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          out += static_cast<char>(std::strtol(s.substr(i + 1, 4).c_str(), nullptr, 16));
+          i += 4;
+        }
+        break;
+      default: out += s[i];  // \" and \\ (and anything else, verbatim)
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  // Shortest round-trippable representation; avoids locale surprises.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace agua::obs::detail

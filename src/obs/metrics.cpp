@@ -212,4 +212,11 @@ void MetricsRegistry::reset() {
   for (auto& [name, metric] : histograms_) metric.reset();
 }
 
+void MetricsRegistry::reset_for_testing() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
 }  // namespace agua::obs

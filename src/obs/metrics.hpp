@@ -120,6 +120,13 @@ class MetricsRegistry {
   /// Zero all values but keep registrations (references stay valid).
   void reset();
 
+  /// Test-only: drop every registration so each test starts from a truly
+  /// empty registry (no registration-order or prior-test residue in
+  /// snapshots). Outstanding metric references DANGLE after this — never
+  /// call it in production code or in a process that caches references
+  /// across the reset (the library's hot paths do).
+  void reset_for_testing();
+
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 

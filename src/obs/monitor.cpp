@@ -1,0 +1,120 @@
+#include "obs/monitor.hpp"
+
+#include <deque>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace agua::obs {
+
+HealthMonitor::HealthMonitor(std::string name, MonitorOptions options)
+    : name_(std::move(name)), options_([&] {
+        MonitorOptions o = options;
+        if (o.window == 0) o.window = 1;
+        if (o.min_samples == 0) o.min_samples = 1;
+        return o;
+      }()) {
+  window_.resize(options_.window, 0.0);
+}
+
+void HealthMonitor::observe(double value) {
+  if (!enabled()) return;
+  double mean = 0.0;
+  bool transitioned = false;
+  bool now_healthy = true;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (filled_ == window_.size()) {
+      window_sum_ -= window_[head_];
+    } else {
+      ++filled_;
+    }
+    window_[head_] = value;
+    window_sum_ += value;
+    head_ = (head_ + 1) % window_.size();
+    ++total_;
+    total = total_;
+    mean = window_sum_ / static_cast<double>(filled_);
+    if (total_ >= options_.min_samples) {
+      now_healthy = mean >= options_.min_healthy && mean <= options_.max_healthy;
+      if (now_healthy != healthy_) {
+        healthy_ = now_healthy;
+        transitioned = true;
+        if (!now_healthy) ++alerts_;
+      }
+    }
+  }
+  // Publish outside the monitor lock: gauge writes are atomic, and the event
+  // log / registry take their own locks.
+  MetricsRegistry::instance().gauge(name_).set(mean);
+  if (transitioned) {
+    if (!now_healthy) MetricsRegistry::instance().counter(name_ + ".alerts").add(1);
+    event_log().append(name_, {{"value", value},
+                               {"mean", mean},
+                               {"healthy", now_healthy ? 1.0 : 0.0},
+                               {"samples", static_cast<double>(total)}});
+  }
+}
+
+double HealthMonitor::rolling_mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return filled_ > 0 ? window_sum_ / static_cast<double>(filled_) : 0.0;
+}
+
+std::uint64_t HealthMonitor::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+bool HealthMonitor::healthy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return healthy_;
+}
+
+std::uint64_t HealthMonitor::alerts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return alerts_;
+}
+
+void HealthMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  head_ = 0;
+  filled_ = 0;
+  window_sum_ = 0.0;
+  total_ = 0;
+  alerts_ = 0;
+  healthy_ = true;
+}
+
+namespace {
+
+struct MonitorStore {
+  std::mutex mutex;
+  // deque keeps monitor addresses stable across growth (mirrors the registry).
+  std::deque<HealthMonitor> monitors;
+};
+
+MonitorStore& store() {
+  static MonitorStore s;
+  return s;
+}
+
+}  // namespace
+
+HealthMonitor& health_monitor(std::string_view name, MonitorOptions options) {
+  MonitorStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (HealthMonitor& monitor : s.monitors) {
+    if (monitor.name() == name) return monitor;
+  }
+  return s.monitors.emplace_back(std::string(name), options);
+}
+
+void reset_monitors() {
+  MonitorStore& s = store();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (HealthMonitor& monitor : s.monitors) monitor.reset();
+}
+
+}  // namespace agua::obs

@@ -1,0 +1,87 @@
+// Serving health monitors: rolling windows over a stream of observations
+// (per-sample fidelity matches, drift scores) that publish their rolling
+// mean as a gauge, count alert entries as a counter, and append a
+// flight-recorder event whenever the mean crosses out of — or back into —
+// its healthy band. This is the continuous counterpart to the point-in-time
+// metrics of metrics.hpp: a fidelity regression or a drift spike becomes a
+// timestamped `agua.health.*` event instead of a number someone has to poll.
+//
+// Naming: monitors live under `agua.health.<signal>` (DESIGN.md §6). The
+// monitor's name doubles as its gauge name and its event kind;
+// `<name>.alerts` is the alert-entry counter.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agua::obs {
+
+struct MonitorOptions {
+  /// Rolling-window capacity (observations retained for the mean).
+  std::size_t window = 64;
+  /// Observations required before the monitor starts judging health —
+  /// avoids alert flapping while the window is cold.
+  std::size_t min_samples = 8;
+  /// Healthy band for the rolling mean: [min_healthy, max_healthy].
+  double min_healthy = -std::numeric_limits<double>::infinity();
+  double max_healthy = std::numeric_limits<double>::infinity();
+};
+
+/// One rolling-window threshold monitor. Thread-safe; observe() takes a
+/// mutex, so feed it at per-sample granularity on evaluation paths (fidelity
+/// scans, drift reports), not inside per-element math kernels.
+class HealthMonitor {
+ public:
+  HealthMonitor(std::string name, MonitorOptions options);
+
+  /// Fold one observation in. Updates the rolling mean gauge; on a health
+  /// transition appends an event of kind `name` (fields: value, mean,
+  /// healthy, samples) and, when entering the unhealthy state, bumps the
+  /// `<name>.alerts` counter. No-op while obs::enabled() is false.
+  void observe(double value);
+
+  const std::string& name() const { return name_; }
+  const MonitorOptions& options() const { return options_; }
+  double rolling_mean() const;
+  /// Total observations folded in (not capped by the window).
+  std::uint64_t samples() const;
+  /// True until min_samples observations have accrued AND the rolling mean
+  /// has left the healthy band (a cold monitor reports healthy).
+  bool healthy() const;
+  /// Number of healthy→unhealthy transitions so far.
+  std::uint64_t alerts() const;
+
+  /// Drop all window state (tests / between independent runs).
+  void reset();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+ private:
+  const std::string name_;
+  const MonitorOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<double> window_;  // ring, preallocated to options_.window
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  double window_sum_ = 0.0;
+  std::uint64_t total_ = 0;
+  std::uint64_t alerts_ = 0;
+  bool healthy_ = true;
+};
+
+/// Process-wide monitor registry, mirroring MetricsRegistry: the first call
+/// for a name creates the monitor with `options`; later calls return the
+/// same instance (their `options` argument is ignored). References stay
+/// valid for the process lifetime.
+HealthMonitor& health_monitor(std::string_view name, MonitorOptions options = {});
+
+/// Reset every registered monitor's window/alert state (keeps registrations,
+/// so cached references stay valid). For tests and between independent runs.
+void reset_monitors();
+
+}  // namespace agua::obs

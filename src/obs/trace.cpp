@@ -54,6 +54,8 @@ void clear_spans() {
   span_buffer().clear();
 }
 
+std::uint64_t thread_ordinal() { return thread_state().ordinal; }
+
 std::uint64_t current_span_id() {
   if (!trace_enabled()) return 0;
   const ThreadSpanState& state = thread_state();

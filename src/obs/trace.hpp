@@ -55,6 +55,10 @@ std::string format_span_tree(const std::vector<SpanRecord>& spans);
 /// worker can adopt it via SpanParentScope.
 std::uint64_t current_span_id();
 
+/// Small per-thread ordinal (first caller gets 1) — the same id SpanRecords
+/// carry, reused by the event log so events and spans correlate by thread.
+std::uint64_t thread_ordinal();
+
 /// RAII adoption of a foreign parent span: spans opened on this thread while
 /// the scope is alive nest under `parent_id` (typically captured on the
 /// submitting thread with current_span_id()). This is how pool workers

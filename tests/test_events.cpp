@@ -1,0 +1,339 @@
+// Flight recorder (obs/events.hpp) and serving health monitors
+// (obs/monitor.hpp): ring wraparound, the JSONL round-trip contract,
+// threshold-crossing monitor events, and concurrent appends from pool
+// workers. The fixtures are named EventLogTest / HealthMonitorTest so the
+// tsan preset's test filter picks them up (CMakePresets.json).
+#include "obs/events.hpp"
+#include "obs/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::obs;
+
+/// The process-wide event log and monitor registry leak state between tests;
+/// start each one clean and recording.
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    set_trace_enabled(false);
+    event_log().clear();
+    event_log().set_enabled(true);
+  }
+  void TearDown() override { event_log().set_enabled(false); }
+};
+
+TEST_F(EventLogTest, AppendStampsSequenceAndPayload) {
+  EventLog log(8);
+  log.set_enabled(true);
+  log.append("unit.first", {{"a", 1.5}, {"b", -2.0}});
+  log.append("unit.second");
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].kind, "unit.first");
+  ASSERT_EQ(events[0].fields.size(), 2u);
+  EXPECT_EQ(events[0].fields[0].first, "a");
+  EXPECT_DOUBLE_EQ(events[0].fields[0].second, 1.5);
+  EXPECT_EQ(events[0].fields[1].first, "b");
+  EXPECT_DOUBLE_EQ(events[0].fields[1].second, -2.0);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_TRUE(events[1].fields.empty());
+  EXPECT_GE(events[1].ts_ns, events[0].ts_ns);
+  EXPECT_EQ(log.total_appended(), 2u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST_F(EventLogTest, DisabledAppendIsANoOp) {
+  EventLog log(8);
+  log.append("unit.ignored");
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_appended(), 0u);
+}
+
+TEST_F(EventLogTest, WraparoundKeepsTheNewestEvents) {
+  EventLog log(4);
+  log.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    log.append("unit.wrap", {{"i", static_cast<double>(i)}});
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_appended(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the last four appends survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 7u + i);
+    EXPECT_DOUBLE_EQ(events[i].fields[0].second, 6.0 + static_cast<double>(i));
+  }
+}
+
+TEST_F(EventLogTest, ClearResetsTheSequence) {
+  EventLog log(4);
+  log.set_enabled(true);
+  log.append("unit.before");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  log.append("unit.after");
+  EXPECT_EQ(log.snapshot().front().seq, 1u);
+}
+
+TEST_F(EventLogTest, EventJsonRoundTrips) {
+  Event event;
+  event.seq = 42;
+  event.ts_ns = 1234567890123;
+  event.thread = 3;
+  event.span_id = 7;
+  event.kind = "quote\" slash\\ line\nend";
+  event.fields = {{"plain", 0.125}, {"key\twith\"escapes", -3.5e-7}};
+  Event parsed;
+  ASSERT_TRUE(parse_event_json(event_to_json(event), parsed));
+  EXPECT_EQ(parsed.seq, event.seq);
+  EXPECT_EQ(parsed.ts_ns, event.ts_ns);
+  EXPECT_EQ(parsed.thread, event.thread);
+  EXPECT_EQ(parsed.span_id, event.span_id);
+  EXPECT_EQ(parsed.kind, event.kind);
+  ASSERT_EQ(parsed.fields.size(), event.fields.size());
+  for (std::size_t i = 0; i < event.fields.size(); ++i) {
+    EXPECT_EQ(parsed.fields[i].first, event.fields[i].first);
+    EXPECT_DOUBLE_EQ(parsed.fields[i].second, event.fields[i].second);
+  }
+}
+
+TEST_F(EventLogTest, ParseRejectsMalformedLines) {
+  Event out;
+  EXPECT_FALSE(parse_event_json("", out));
+  EXPECT_FALSE(parse_event_json("{}", out));
+  EXPECT_FALSE(parse_event_json("{\"seq\":1}", out));
+  EXPECT_FALSE(parse_event_json(
+      "{\"seq\":1,\"ts_ns\":2,\"thread\":0,\"span\":0,\"kind\":\"k\",\"fields\":{}", out));
+  EXPECT_FALSE(parse_event_json(
+      "{\"seq\":1,\"ts_ns\":2,\"thread\":0,\"span\":0,\"kind\":\"k\",\"fields\":{}}x",
+      out));
+  EXPECT_FALSE(parse_event_json(
+      "{\"seq\":1,\"ts_ns\":2,\"thread\":0,\"span\":0,\"kind\":\"k\",\"fields\":{\"a\":}}",
+      out));
+}
+
+TEST_F(EventLogTest, JsonlDumpRoundTripsThroughTheParser) {
+  EventLog log(16);
+  log.set_enabled(true);
+  log.append("unit.jsonl.a", {{"x", 1.0}});
+  log.append("unit.jsonl.b", {{"x", 2.0}, {"y", 0.5}});
+  log.append("unit.jsonl.c");
+  bool ok = false;
+  const std::vector<Event> parsed = parse_events_jsonl(log.to_jsonl(), &ok);
+  EXPECT_TRUE(ok);
+  const std::vector<Event> expected = log.snapshot();
+  ASSERT_EQ(parsed.size(), expected.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].seq, expected[i].seq);
+    EXPECT_EQ(parsed[i].kind, expected[i].kind);
+    EXPECT_EQ(parsed[i].fields, expected[i].fields);
+  }
+}
+
+TEST_F(EventLogTest, ParseJsonlReportsBadLines) {
+  bool ok = true;
+  const std::vector<Event> parsed =
+      parse_events_jsonl("{\"seq\":broken\n", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST_F(EventLogTest, WriteJsonlRoundTripsThroughAFile) {
+  EventLog log(8);
+  log.set_enabled(true);
+  log.append("unit.file", {{"value", 9.75}});
+  const std::string path = ::testing::TempDir() + "agua_test_events.jsonl";
+  ASSERT_TRUE(log.write_jsonl(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  bool ok = false;
+  const std::vector<Event> parsed = parse_events_jsonl(buffer.str(), &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].kind, "unit.file");
+  ASSERT_EQ(parsed[0].fields.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed[0].fields[0].second, 9.75);
+}
+
+TEST_F(EventLogTest, AppendStampsTheInnermostOpenSpan) {
+  set_trace_enabled(true);
+  clear_spans();
+  {
+    TraceSpan span("unit.events.span");
+    event_log().append("unit.inside");
+  }
+  event_log().append("unit.outside");
+  const std::vector<Event> events = event_log().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const std::vector<SpanRecord> spans = collect_spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(events[0].span_id, spans[0].id);
+  EXPECT_EQ(events[0].thread, spans[0].thread_id);
+  EXPECT_EQ(events[1].span_id, 0u);
+}
+
+TEST_F(EventLogTest, ConcurrentAppendsFromPoolWorkersAreLossless) {
+  constexpr std::size_t kAppends = 1000;
+  EventLog log(256);
+  log.set_enabled(true);
+  common::ThreadPool pool(4);
+  pool.parallel_for(kAppends, [&](std::size_t index, std::size_t) {
+    log.append("unit.mt", {{"i", static_cast<double>(index)}});
+  });
+  EXPECT_EQ(log.total_appended(), kAppends);
+  EXPECT_EQ(log.size(), 256u);
+  EXPECT_EQ(log.dropped(), kAppends - 256);
+  // Sequence numbers are assigned under the ring lock, so the retained tail
+  // is exactly the last 256 appends, oldest first.
+  const std::vector<Event> events = log.snapshot();
+  ASSERT_EQ(events.size(), 256u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, kAppends - 256 + 1 + i);
+  }
+}
+
+class HealthMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    set_trace_enabled(false);
+    MetricsRegistry::instance().reset();
+    reset_monitors();
+    event_log().clear();
+    event_log().set_enabled(true);
+  }
+  void TearDown() override { event_log().set_enabled(false); }
+};
+
+MonitorOptions lower_bound_options() {
+  MonitorOptions options;
+  options.window = 4;
+  options.min_samples = 3;
+  options.min_healthy = 0.5;
+  return options;
+}
+
+TEST_F(HealthMonitorTest, ColdMonitorReportsHealthy) {
+  HealthMonitor monitor("unit.health.cold", lower_bound_options());
+  monitor.observe(0.0);
+  monitor.observe(0.0);  // still below min_samples
+  EXPECT_TRUE(monitor.healthy());
+  EXPECT_EQ(monitor.alerts(), 0u);
+  EXPECT_EQ(monitor.samples(), 2u);
+}
+
+TEST_F(HealthMonitorTest, ThresholdCrossingEmitsEventsBothWays) {
+  HealthMonitor monitor("unit.health.cross", lower_bound_options());
+  for (int i = 0; i < 3; ++i) monitor.observe(0.0);
+  EXPECT_FALSE(monitor.healthy());
+  EXPECT_EQ(monitor.alerts(), 1u);
+  // Recover: window [0,0,0,1] has mean 0.25, then [0,0,1,1] reaches 0.5.
+  monitor.observe(1.0);
+  EXPECT_FALSE(monitor.healthy());
+  monitor.observe(1.0);
+  EXPECT_TRUE(monitor.healthy());
+  EXPECT_EQ(monitor.alerts(), 1u);  // re-entering the band is not an alert
+
+  std::vector<Event> crossings;
+  for (const Event& event : event_log().snapshot()) {
+    if (event.kind == "unit.health.cross") crossings.push_back(event);
+  }
+  ASSERT_EQ(crossings.size(), 2u);
+  auto field = [](const Event& event, const std::string& key) {
+    for (const auto& [k, v] : event.fields) {
+      if (k == key) return v;
+    }
+    ADD_FAILURE() << "missing field " << key;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(field(crossings[0], "healthy"), 0.0);
+  EXPECT_DOUBLE_EQ(field(crossings[0], "mean"), 0.0);
+  EXPECT_DOUBLE_EQ(field(crossings[1], "healthy"), 1.0);
+  EXPECT_DOUBLE_EQ(field(crossings[1], "mean"), 0.5);
+  EXPECT_DOUBLE_EQ(field(crossings[1], "samples"), 5.0);
+}
+
+TEST_F(HealthMonitorTest, AlertsCountAndGaugePublish) {
+  HealthMonitor monitor("unit.health.metrics", lower_bound_options());
+  for (int i = 0; i < 3; ++i) monitor.observe(0.0);
+  EXPECT_EQ(
+      MetricsRegistry::instance().counter("unit.health.metrics.alerts").value(), 1u);
+  monitor.observe(1.0);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::instance().gauge("unit.health.metrics").value(),
+                   monitor.rolling_mean());
+  EXPECT_DOUBLE_EQ(monitor.rolling_mean(), 0.25);
+}
+
+TEST_F(HealthMonitorTest, RollingWindowEvictsOldestObservations) {
+  MonitorOptions options;
+  options.window = 4;
+  options.min_samples = 1;
+  HealthMonitor monitor("unit.health.window", options);
+  for (int v = 1; v <= 6; ++v) monitor.observe(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(monitor.rolling_mean(), (3.0 + 4.0 + 5.0 + 6.0) / 4.0);
+  EXPECT_EQ(monitor.samples(), 6u);
+}
+
+TEST_F(HealthMonitorTest, UpperBoundBandAlertsOnHighMeans) {
+  MonitorOptions options;
+  options.window = 2;
+  options.min_samples = 1;
+  options.max_healthy = 0.25;  // mirrors agua.health.drift
+  HealthMonitor monitor("unit.health.upper", options);
+  monitor.observe(0.1);
+  EXPECT_TRUE(monitor.healthy());
+  monitor.observe(0.9);  // mean 0.5 > 0.25
+  EXPECT_FALSE(monitor.healthy());
+  EXPECT_EQ(monitor.alerts(), 1u);
+}
+
+TEST_F(HealthMonitorTest, DisabledObsMakesObserveANoOp) {
+  HealthMonitor monitor("unit.health.disabled", lower_bound_options());
+  set_enabled(false);
+  for (int i = 0; i < 8; ++i) monitor.observe(0.0);
+  set_enabled(true);
+  EXPECT_EQ(monitor.samples(), 0u);
+  EXPECT_TRUE(monitor.healthy());
+}
+
+TEST_F(HealthMonitorTest, RegistryReturnsTheSameInstancePerName) {
+  HealthMonitor& first = health_monitor("unit.health.registry", lower_bound_options());
+  HealthMonitor& again = health_monitor("unit.health.registry");
+  EXPECT_EQ(&first, &again);
+  EXPECT_DOUBLE_EQ(again.options().min_healthy, 0.5);  // creation options stick
+  first.observe(0.7);
+  reset_monitors();
+  EXPECT_EQ(first.samples(), 0u);  // reset keeps the registration, drops state
+}
+
+TEST_F(HealthMonitorTest, ConcurrentObservationsKeepTheSampleCount) {
+  MonitorOptions options;
+  options.window = 64;
+  options.min_samples = 1;
+  options.min_healthy = 0.0;
+  HealthMonitor monitor("unit.health.mt", options);
+  common::ThreadPool pool(4);
+  pool.parallel_for(400, [&](std::size_t, std::size_t) { monitor.observe(1.0); });
+  EXPECT_EQ(monitor.samples(), 400u);
+  EXPECT_DOUBLE_EQ(monitor.rolling_mean(), 1.0);
+  EXPECT_TRUE(monitor.healthy());
+}
+
+}  // namespace

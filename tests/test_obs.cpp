@@ -14,12 +14,14 @@ using namespace agua::obs;
 
 /// Each test starts from a clean registry/span buffer; the registry is a
 /// process singleton so state would otherwise leak between tests.
+/// reset_for_testing() drops the registrations themselves, so names
+/// registered by one test don't show up in another's export output.
 class ObsTest : public ::testing::Test {
  protected:
   void SetUp() override {
     set_enabled(true);
     set_trace_enabled(false);
-    MetricsRegistry::instance().reset();
+    MetricsRegistry::instance().reset_for_testing();
     clear_spans();
   }
 };
@@ -258,6 +260,60 @@ TEST_F(ObsTest, ResetClearsValuesButKeepsRegistrations) {
   MetricsRegistry::instance().reset();
   EXPECT_EQ(hits.value(), 0u);
   EXPECT_EQ(&MetricsRegistry::instance().counter("test.reset"), &hits);
+}
+
+TEST_F(ObsTest, ResetForTestingDropsRegistrations) {
+  MetricsRegistry::instance().counter("test.drop.count").add(5);
+  MetricsRegistry::instance().gauge("test.drop.gauge").set(1.0);
+  MetricsRegistry::instance().histogram("test.drop.hist").record(1.0);
+  EXPECT_FALSE(MetricsRegistry::instance().snapshot().empty());
+  MetricsRegistry::instance().reset_for_testing();
+  EXPECT_TRUE(MetricsRegistry::instance().snapshot().empty());
+  // Re-registering after the wipe starts from scratch.
+  EXPECT_EQ(MetricsRegistry::instance().counter("test.drop.count").value(), 0u);
+}
+
+TEST_F(ObsTest, PrometheusExportFormatsAllKinds) {
+  MetricsRegistry::instance().counter("test.prom.count").add(7);
+  MetricsRegistry::instance().gauge("test.prom.gauge").set(-1.25);
+  Histogram& hist =
+      MetricsRegistry::instance().histogram("test.prom.hist", {1.0, 2.0});
+  hist.record(0.5);
+  hist.record(1.5);
+  hist.record(50.0);  // overflow bucket
+
+  const std::string text = export_prometheus();
+  // Dots are not legal in Prometheus names; they become underscores.
+  EXPECT_NE(text.find("# TYPE test_prom_count counter\ntest_prom_count 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge\ntest_prom_gauge -1.25\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram\n"), std::string::npos);
+  // Bucket counts are cumulative and end with the +Inf bucket == _count.
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_sum 52\n"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 3\n"), std::string::npos);
+}
+
+TEST_F(ObsTest, FormatTableAlignsNumericColumnsWithLongNames) {
+  MetricsRegistry::instance()
+      .counter("agua.health.fidelity.alerts.extremely.long.metric.name")
+      .add(3);
+  MetricsRegistry::instance().histogram("short").record(1e-3);
+  const std::string table = format_table();
+  std::istringstream lines(table);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    // No trailing whitespace, and — because the last column is right-aligned —
+    // every line (header, rule, rows) ends at the same width.
+    EXPECT_NE(line.back(), ' ') << "trailing whitespace in: '" << line << "'";
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "misaligned line: '" << line << "'";
+  }
 }
 
 }  // namespace
