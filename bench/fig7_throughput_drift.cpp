@@ -2,14 +2,52 @@
 // client throughput distributions of the two trace eras. Paper: the
 // distribution changed considerably, but the CDF alone does not reveal the
 // nature of the shift (that's Fig. 5's job).
+//
+//   fig7_throughput_drift [--serve-telemetry PORT] [--linger SECONDS]
+//
+// --serve-telemetry exposes the run's metrics/health/events live (the same
+// plane as `agua_cli --serve-telemetry`); --linger keeps it up after the
+// tables print so the final registry can be scraped.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "abr/trace.hpp"
 #include "bench/bench_util.hpp"
 #include "common/stats.hpp"
+#include "obs/events.hpp"
+#include "obs/telemetry_server.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace agua;
+
+  bool serve = false;
+  std::uint16_t port = 0;
+  double linger = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve-telemetry") == 0 && i + 1 < argc) {
+      serve = true;
+      port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      linger = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr, "usage: %s [--serve-telemetry PORT] [--linger SECONDS]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  obs::TelemetryServer telemetry({.port = port});
+  if (serve) {
+    obs::event_log().set_enabled(true);
+    if (!telemetry.start()) {
+      std::fprintf(stderr, "failed to start telemetry server: %s\n",
+                   telemetry.last_error().c_str());
+      return 1;
+    }
+    std::printf("telemetry server listening on %s\n", telemetry.url().c_str());
+    std::fflush(stdout);
+  }
+
   bench::print_header("Figure 7", "Throughput distribution drift (2021 vs 2024)");
 
   common::Rng rng(601);
@@ -42,5 +80,11 @@ int main() {
       "\nShape check: 2024 has a higher mean but a fatter low-throughput tail\n"
       "(more deep fades) — the distribution visibly changed, but the CDF does\n"
       "not say *why*; the concept view (Fig. 5 bench) does.\n");
+
+  if (serve && linger > 0.0) {
+    std::printf("telemetry lingers for up to %.0f s\n", linger);
+    std::fflush(stdout);
+    telemetry.wait_for_quit(linger);
+  }
   return 0;
 }

@@ -20,11 +20,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_json.hpp"
@@ -35,8 +37,10 @@
 #include "core/labeler.hpp"
 #include "ddos/controller.hpp"
 #include "ddos/flows.hpp"
+#include "net/http.hpp"
 #include "obs/events.hpp"
 #include "obs/export.hpp"
+#include "obs/telemetry_server.hpp"
 #include "obs/trace.hpp"
 #include "text/embedder.hpp"
 #include "trustee/decision_tree.hpp"
@@ -265,6 +269,66 @@ void report_event_overhead() {
   obs::event_log().set_enabled(false);
 }
 
+/// The telemetry plane's own cost: what one /metrics body costs to render,
+/// what a full loopback scrape costs end to end, and what a scraper hammering
+/// the server at ~100 Hz does to the surrogate forward path (the "does
+/// observing the system perturb it" number; Prometheus scrapes every 15 s,
+/// so 100 Hz is a ~1500x abuse factor).
+struct TelemetryScrapeStats {
+  double render_ns = 0.0;       ///< ns per export_prometheus() over the live registry
+  double scrape_ns = 0.0;       ///< ns per end-to-end loopback GET /metrics
+  double overhead_pct = 0.0;    ///< forward-path slowdown under a 100 Hz scraper
+};
+
+TelemetryScrapeStats measure_telemetry_scrape() {
+  TelemetryScrapeStats stats;
+  stats.render_ns =
+      best_ns_per_op(200, 5, [] { benchmark::DoNotOptimize(obs::export_prometheus()); });
+
+  obs::TelemetryServer server;  // ephemeral loopback port
+  if (!server.start()) {
+    std::fprintf(stderr, "telemetry bench: server failed to start: %s\n",
+                 server.last_error().c_str());
+    return stats;
+  }
+  const std::uint16_t port = server.port();
+  stats.scrape_ns = best_ns_per_op(50, 5, [port] {
+    net::HttpClientResponse response;
+    net::http_get("127.0.0.1", port, "/metrics", response);
+    benchmark::DoNotOptimize(response.body.data());
+  });
+
+  // Forward-path overhead while a background thread scrapes continuously at
+  // ~100 Hz. The toggle starts/stops the scraper so the measurement
+  // interleaves scraped and quiet windows, like the obs/event overheads.
+  std::atomic<bool> scraping{false};
+  std::atomic<bool> shutdown{false};
+  std::thread scraper([&] {
+    while (!shutdown.load(std::memory_order_acquire)) {
+      if (scraping.load(std::memory_order_acquire)) {
+        net::HttpClientResponse response;
+        net::http_get("127.0.0.1", port, "/metrics", response);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  const ForwardOverhead overhead = measure_forward_overhead(
+      [&](bool on) { scraping.store(on, std::memory_order_release); });
+  shutdown.store(true, std::memory_order_release);
+  scraper.join();
+  stats.overhead_pct = overhead.pct;
+  return stats;
+}
+
+void report_telemetry_scrape(const TelemetryScrapeStats& stats) {
+  std::printf(
+      "telemetry scrape: /metrics render %.0f ns, loopback scrape %.0f ns "
+      "end-to-end, forward-path overhead under 100 Hz scraping %+.2f%% "
+      "(%s, budget < 2%%)\n",
+      stats.render_ns, stats.scrape_ns, stats.overhead_pct,
+      stats.overhead_pct < 2.0 ? "PASS" : "WARN");
+}
+
 /// Per-section ns/op with best-of timing loops — the machine-readable
 /// counterpart to the google-benchmark suite above, written as one
 /// `agua.bench.v1` document (bench/bench_json.hpp).
@@ -349,6 +413,12 @@ bool write_json_report(const std::string& path, std::size_t threads) {
       [](bool on) { obs::event_log().set_enabled(on); });
   obs::event_log().set_enabled(false);
   doc.set_meta("events_overhead_pct", event_overhead.pct);
+
+  // telemetry_scrape section: the cost of the live telemetry plane.
+  const TelemetryScrapeStats scrape = measure_telemetry_scrape();
+  doc.add("telemetry_metrics_render", scrape.render_ns, "ns/op");
+  doc.add("telemetry_scrape_e2e", scrape.scrape_ns, "ns/op");
+  doc.set_meta("telemetry_scrape_overhead_pct", scrape.overhead_pct);
 
   return doc.write(path);
 }
@@ -456,6 +526,7 @@ int main(int argc, char** argv) {
   std::printf("\nmetrics registry after benchmarks:\n%s", obs::format_table().c_str());
   report_instrumentation_overhead();
   report_event_overhead();
+  report_telemetry_scrape(measure_telemetry_scrape());
   report_parallel_speedup(threads);
   if (!json_path.empty()) {
     if (write_json_report(json_path, threads)) {

@@ -5,6 +5,7 @@
 //   agua_cli <abr|cc|ddos> [--seed N] [--open] [--save PATH] [--paper-config]
 //            [--trace] [--metrics-out PATH] [--metrics-format json|prometheus]
 //            [--flight-record PATH] [--threads N] [--tiny]
+//            [--serve-telemetry PORT] [--serve-linger SECONDS]
 //
 //   --open            use the open-source embedding stack (default: closed)
 //   --paper-config    train with the paper's exact §4 hyperparameters
@@ -21,6 +22,17 @@
 //                     Results are bitwise identical for any N (DESIGN.md §7).
 //   --tiny            shrink the datasets/epochs to smoke-test scale (seconds,
 //                     not minutes) — for CI plumbing checks, not evaluation
+//   --serve-telemetry PORT
+//                     serve the live telemetry plane on 127.0.0.1:PORT for the
+//                     duration of the run (0 = ephemeral port, printed at
+//                     startup): /metrics /metrics.json /healthz /tracez
+//                     /eventsz /buildz. Arms the flight-recorder ring so
+//                     /eventsz is live even without --flight-record.
+//   --serve-linger SECONDS
+//                     with --serve-telemetry: keep serving for up to SECONDS
+//                     after the run finishes, so the final state can be
+//                     scraped; `curl -X POST .../quitquitquit` ends the
+//                     linger early
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +47,7 @@
 #include "core/report.hpp"
 #include "obs/events.hpp"
 #include "obs/export.hpp"
+#include "obs/telemetry_server.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -53,6 +66,9 @@ struct CliOptions {
   std::string metrics_out;
   std::string metrics_format = "json";
   std::string flight_record;
+  bool serve_telemetry = false;
+  std::uint16_t serve_port = 0;     // 0 = ephemeral
+  double serve_linger = 0.0;        // seconds to keep serving after the run
 };
 
 bool parse(int argc, char** argv, CliOptions& options) {
@@ -87,6 +103,12 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.flight_record = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       options.threads = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve-telemetry") == 0 && i + 1 < argc) {
+      options.serve_telemetry = true;
+      options.serve_port =
+          static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve-linger") == 0 && i + 1 < argc) {
+      options.serve_linger = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return false;
@@ -168,19 +190,37 @@ int main(int argc, char** argv) {
                  "usage: %s <abr|cc|ddos> [--seed N] [--open] [--save PATH]"
                  " [--paper-config] [--trace] [--metrics-out PATH]"
                  " [--metrics-format json|prometheus] [--flight-record PATH]"
-                 " [--threads N] [--tiny]\n",
+                 " [--threads N] [--tiny] [--serve-telemetry PORT]"
+                 " [--serve-linger SECONDS]\n",
                  argv[0]);
     return 2;
   }
   obs::set_trace_enabled(options.trace);
-  if (!options.flight_record.empty()) {
-    // Enable event capture and install the dump-on-terminate hook up front,
-    // so even a crash mid-training leaves the ring on disk.
+  if (!options.flight_record.empty() || options.serve_telemetry) {
+    // Enable event capture up front — for --flight-record so even a crash
+    // mid-training leaves the ring on disk, for --serve-telemetry so
+    // /eventsz has something to show while the run is live.
     obs::event_log().set_enabled(true);
-    obs::set_flight_record_path(options.flight_record);
     obs::event_log().append("cli.run.begin",
                             {{"seed", static_cast<double>(options.seed)},
                              {"tiny", options.tiny ? 1.0 : 0.0}});
+  }
+  if (!options.flight_record.empty()) {
+    // Install the dump-on-terminate hook before any real work starts.
+    obs::set_flight_record_path(options.flight_record);
+  }
+  obs::TelemetryServer telemetry({.port = options.serve_port});
+  if (options.serve_telemetry) {
+    if (!telemetry.start()) {
+      std::fprintf(stderr, "failed to start telemetry server: %s\n",
+                   telemetry.last_error().c_str());
+      return 1;
+    }
+    std::printf(
+        "telemetry server listening on %s "
+        "(/metrics /metrics.json /healthz /tracez /eventsz /buildz)\n",
+        telemetry.url().c_str());
+    std::fflush(stdout);  // scripts watch for this line before curling
   }
   common::set_default_thread_count(options.threads);
   std::printf("building the %s application bundle (seed %llu, %zu worker threads)...\n",
@@ -198,6 +238,13 @@ int main(int argc, char** argv) {
     apps::DdosBundle bundle = apps::make_ddos_bundle(options.seed);
     run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
         bundle.describe_fn());
+  }
+  if (options.serve_telemetry && options.serve_linger > 0.0) {
+    std::printf("run finished; telemetry lingers for up to %.0f s "
+                "(curl -X POST %s/quitquitquit to end early)\n",
+                options.serve_linger, telemetry.url().c_str());
+    std::fflush(stdout);
+    telemetry.wait_for_quit(options.serve_linger);
   }
   return 0;
 }

@@ -2,12 +2,16 @@
 # Tier-1 verify in one command: configure + build the default preset, then
 # run the test suite. Pass `asan` to do the same under the sanitizer preset,
 # `tsan` to build just the concurrency-sensitive tests (thread pool + obs +
-# flight recorder) and run them under ThreadSanitizer, or `obs` to smoke-test
-# the observability surface end to end: run agua_cli at tiny scale with
-# --flight-record and Prometheus metrics output, then validate that both
-# files parse and the flight record carries per-epoch training telemetry.
+# flight recorder + telemetry plane) and run them under ThreadSanitizer, or
+# `obs` to smoke-test the observability surface end to end: run agua_cli at
+# tiny scale with --flight-record and Prometheus metrics output, then validate
+# that both files parse and the flight record carries per-epoch training
+# telemetry. `serve` smoke-tests the live telemetry plane: start
+# `agua_cli --serve-telemetry` on an ephemeral port, scrape /metrics /healthz
+# /eventsz over HTTP, validate the bodies, then shut it down via
+# POST /quitquitquit and assert a clean exit.
 #
-#   scripts/check.sh [default|asan|tsan|obs] [-j N]
+#   scripts/check.sh [default|asan|tsan|obs|serve] [-j N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,8 +23,9 @@ while [ $# -gt 0 ]; do
   case "$1" in
     default|asan|tsan) preset="$1" ;;
     obs) mode="obs" ;;
+    serve) mode="serve" ;;
     -j) jobs="$2"; shift ;;
-    *) echo "usage: $0 [default|asan|tsan|obs] [-j N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [default|asan|tsan|obs|serve] [-j N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -47,7 +52,10 @@ for required in ("cli.run.begin", "pipeline.train.begin",
 epochs = [e for e in events if e["kind"] == "train.concept.epoch"]
 assert all({"epoch", "loss", "grad_norm", "weight_norm", "lr"}
            <= set(e["fields"]) for e in epochs), "epoch event fields incomplete"
-line_re = re.compile(r'^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* \w+'
+# TYPE carries exactly one kind word; HELP carries free text (the exporter
+# puts the original dotted metric name there).
+line_re = re.compile(r'^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+'
+                     r'|# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+'
                      r'|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?\S+)$')
 lines = [l.rstrip("\n") for l in open(prom) if l.strip()]
 assert lines, "empty prometheus output"
@@ -59,11 +67,78 @@ PY
   exit 0
 fi
 
+if [ "$mode" = "serve" ]; then
+  # Live-telemetry smoke: a tiny training run serving the telemetry plane on
+  # an ephemeral port, scraped over real HTTP while it lingers, then shut
+  # down via the quit endpoint. Asserts a clean (rc=0) exit.
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target agua_cli
+  out="$(mktemp -d)"
+  cleanup() {
+    [ -n "${cli_pid:-}" ] && kill "$cli_pid" 2>/dev/null || true
+    rm -rf "$out"
+  }
+  trap cleanup EXIT
+  ./build/examples/agua_cli abr --tiny --threads 2 \
+    --serve-telemetry 0 --serve-linger 60 > "$out/cli.log" 2>&1 &
+  cli_pid=$!
+  # The CLI prints the listen line before training starts; poll for it.
+  url=""
+  for _ in $(seq 1 100); do
+    url="$(sed -n 's#^telemetry server listening on \(http://[0-9.:]*\).*#\1#p' \
+           "$out/cli.log" | head -n1)"
+    [ -n "$url" ] && break
+    kill -0 "$cli_pid" 2>/dev/null || { cat "$out/cli.log"; echo "agua_cli died before serving" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$url" ] || { cat "$out/cli.log"; echo "no telemetry listen line" >&2; exit 1; }
+  echo "scraping $url"
+  # Scrape while the run is live (training takes longer than the curls).
+  curl -fsS "$url/metrics"  > "$out/metrics.prom"
+  curl -sS "$url/healthz"   > "$out/healthz.json"  # no -f: a 503 body is valid JSON too
+  curl -fsS "$url/eventsz"  > "$out/events.jsonl"
+  curl -fsS "$url/buildz"   > "$out/buildz.json"
+  python3 - "$out/metrics.prom" "$out/healthz.json" "$out/events.jsonl" "$out/buildz.json" <<'PY'
+import json, re, sys
+prom, healthz, events, buildz = sys.argv[1:5]
+line_re = re.compile(r'^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* \w+'
+                     r'|# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+'
+                     r'|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?\S+)$')
+lines = [l.rstrip("\n") for l in open(prom) if l.strip()]
+assert lines, "empty /metrics"
+for l in lines:
+    assert line_re.match(l), f"bad prometheus line: {l!r}"
+assert any(l.startswith("agua_telemetry_requests") for l in lines), \
+    "server did not count its own scrapes"
+health = json.load(open(healthz))
+assert health["status"] in ("ok", "unhealthy") and "monitors" in health, health
+evts = [json.loads(l) for l in open(events) if l.strip()]
+assert any(e["kind"] == "cli.run.begin" for e in evts), \
+    f"missing cli.run.begin in /eventsz: {sorted({e['kind'] for e in evts})}"
+build = json.load(open(buildz))
+assert build["threads"] >= 1 and "version" in build, build
+print(f"serve smoke OK: {len(lines)} prometheus lines, "
+      f"{len(evts)} events, status={health['status']}")
+PY
+  # Ask the process to finish early and require a clean exit.
+  if ! curl -fsS -X POST "$url/quitquitquit" > /dev/null; then
+    # The run may have finished and exited before the linger started only if
+    # linger were 0; with --serve-linger 60 the endpoint must be reachable
+    # unless the process already completed its full run + linger.
+    kill -0 "$cli_pid" 2>/dev/null && { echo "quit endpoint unreachable" >&2; exit 1; }
+  fi
+  wait "$cli_pid"; rc=$?
+  cli_pid=""
+  [ "$rc" -eq 0 ] || { cat "$out/cli.log"; echo "agua_cli exited rc=$rc" >&2; exit 1; }
+  echo "serve smoke: clean shutdown (rc=0)"
+  exit 0
+fi
+
 cmake --preset "$preset"
 if [ "$preset" = "tsan" ]; then
   # TSan doubles build time and the race surface is the pool + obs layer;
   # build and run only those suites (the test preset filters to match).
-  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events
+  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry
 else
   cmake --build --preset "$preset" -j "$jobs"
 fi

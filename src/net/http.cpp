@@ -1,0 +1,395 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace agua::net {
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_io_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+/// Write the whole buffer, tolerating short writes and EINTR.
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read until the header terminator (CRLF CRLF) or `max_bytes`. Request
+/// bodies are not supported, so the head is the whole request.
+enum class ReadHead { kOk, kTooLarge, kError };
+
+ReadHead read_head(int fd, std::size_t max_bytes, std::string& out) {
+  char buf[2048];
+  while (out.find("\r\n\r\n") == std::string::npos) {
+    if (out.size() >= max_bytes) return ReadHead::kTooLarge;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return ReadHead::kError;  // timeout, reset, or premature close
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return ReadHead::kOk;
+}
+
+/// Parse the request head (request line + headers). Returns false on any
+/// syntax violation — the caller answers 400.
+bool parse_request(std::string_view head, HttpRequest& out) {
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) return false;
+  const std::string_view request_line = head.substr(0, line_end);
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return false;
+  out.method = std::string(request_line.substr(0, sp1));
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.version = std::string(request_line.substr(sp2 + 1));
+  if (out.method.empty() || target.empty() || target.front() != '/') return false;
+  if (out.version.rfind("HTTP/", 0) != 0) return false;
+
+  const std::size_t qmark = target.find('?');
+  out.path = url_decode(target.substr(0, qmark));
+  out.query = qmark == std::string_view::npos
+                  ? std::string()
+                  : std::string(target.substr(qmark + 1));
+
+  std::size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    const std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) break;
+    if (end == pos) break;  // blank line: end of headers
+    const std::string_view line = head.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    out.headers.emplace_back(lower(line.substr(0, colon)), std::string(value));
+  }
+  return true;
+}
+
+std::string render_response(const HttpResponse& response, std::string_view allow = {}) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(status_reason(response.status)) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (!allow.empty()) out += "Allow: " + std::string(allow) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::query_param(std::string_view key, std::string fallback) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string_view pair = std::string_view(query).substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = pair.find('=');
+    const std::string_view k = pair.substr(0, eq);
+    if (url_decode(k) != key) continue;
+    if (eq == std::string_view::npos) return fallback;
+    const std::string value = url_decode(pair.substr(eq + 1));
+    return value.empty() ? fallback : value;
+  }
+  return fallback;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && hex_digit(s[i + 1]) >= 0 &&
+               hex_digit(s[i + 2]) >= 0) {
+      out += static_cast<char>(hex_digit(s[i + 1]) * 16 + hex_digit(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+HttpServer::HttpServer(Options options) : options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string method, std::string path, Handler handler) {
+  handlers_.emplace_back(std::make_pair(std::move(method), std::move(path)),
+                         std::move(handler));
+}
+
+bool HttpServer::start() {
+  if (running()) {
+    last_error_ = "start() called twice";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    last_error_ = errno_string("socket");
+    return false;
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "bad bind address: " + options_.bind_address;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, options_.backlog) < 0) {
+    last_error_ = errno_string("bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::pipe2(wake_fds_, O_CLOEXEC) < 0) {
+    last_error_ = errno_string("pipe2");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Self-pipe wakeup: the accept loop polls both the listen socket and the
+  // pipe, so one byte here breaks it out of a blocking wait immediately.
+  const char byte = 'q';
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  for (int* fd : {&listen_fd_, &wake_fds_[0], &wake_fds_[1]}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;  // raced with a client reset; keep serving
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  set_io_timeout(fd, options_.io_timeout_ms);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  std::string head;
+  const ReadHead read = read_head(fd, options_.max_request_bytes, head);
+  if (read == ReadHead::kError) return;  // nothing parseable arrived; just close
+
+  HttpResponse response;
+  std::string allow;
+  if (read == ReadHead::kTooLarge) {
+    response = HttpResponse::text(431, "request too large\n");
+  } else {
+    HttpRequest request;
+    if (!parse_request(head, request)) {
+      response = HttpResponse::text(400, "malformed request\n");
+    } else {
+      bool path_known = false;
+      const Handler* handler = nullptr;
+      for (const auto& [key, h] : handlers_) {
+        if (key.second != request.path) continue;
+        path_known = true;
+        if (!allow.empty()) allow += ", ";
+        allow += key.first;
+        if (key.first == request.method) handler = &h;
+      }
+      if (handler != nullptr) {
+        allow.clear();
+        try {
+          response = (*handler)(request);
+        } catch (const std::exception& e) {
+          response = HttpResponse::text(500, std::string("handler error: ") + e.what() + "\n");
+        } catch (...) {
+          response = HttpResponse::text(500, "handler error\n");
+        }
+      } else if (path_known) {
+        response = HttpResponse::text(405, "method not allowed\n");
+      } else {
+        response = HttpResponse::text(404, "not found\n");
+      }
+    }
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  write_all(fd, render_response(response, allow));
+  // Let the client read everything before the RST a close-with-unread-data
+  // could trigger: half-close, then drain until EOF/timeout.
+  ::shutdown(fd, SHUT_WR);
+  char drain[256];
+  while (::recv(fd, drain, sizeof drain, 0) > 0) {
+  }
+}
+
+bool http_request(const std::string& method, const std::string& host,
+                  std::uint16_t port, const std::string& target,
+                  HttpClientResponse& out, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  set_io_timeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = method + " " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd, request)) {
+    ::close(fd);
+    return false;
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  const std::size_t line_end = raw.find("\r\n");
+  const std::string status_line = raw.substr(0, line_end);
+  if (status_line.rfind("HTTP/", 0) != 0) return false;
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) return false;
+  out.status = std::atoi(status_line.c_str() + sp + 1);
+
+  out.content_type.clear();
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    std::size_t end = raw.find("\r\n", pos);
+    if (end == std::string::npos || end > head_end) end = head_end;
+    const std::string line = raw.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (lower(line.substr(0, colon)) == "content-type") {
+      std::size_t v = colon + 1;
+      while (v < line.size() && (line[v] == ' ' || line[v] == '\t')) ++v;
+      out.content_type = line.substr(v);
+    }
+  }
+  out.body = raw.substr(head_end + 4);
+  return true;
+}
+
+bool http_get(const std::string& host, std::uint16_t port, const std::string& target,
+              HttpClientResponse& out, int timeout_ms) {
+  return http_request("GET", host, port, target, out, timeout_ms);
+}
+
+}  // namespace agua::net

@@ -1,0 +1,148 @@
+// Minimal dependency-free HTTP/1.1 plumbing over POSIX sockets — just enough
+// protocol for the telemetry plane (obs/telemetry_server.hpp): an embedded
+// server that binds a loopback port, parses request line + headers, and
+// dispatches to registered handlers; and a tiny blocking client used by the
+// tests and the scrape-latency benchmarks.
+//
+// Deliberate non-goals: TLS, keep-alive, chunked encoding, request bodies,
+// virtual hosts. Every connection carries exactly one request and is closed
+// after the response (`Connection: close`), which keeps the server a single
+// blocking accept loop on one dedicated thread — no connection table, no
+// per-connection threads, and a naturally bounded memory footprint (one
+// request buffer, capped at Options::max_request_bytes).
+//
+// Layering: net sits directly above common (like obs) and is
+// observability-free; the instrumented telemetry handlers live one layer up
+// in src/obs. Handlers run on the server thread, so anything they touch must
+// be thread-safe against the rest of the process — the obs layer's
+// snapshot API (obs/snapshot.hpp) exists exactly for that.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace agua::net {
+
+/// One parsed request. Header names are lower-cased at parse time; the path
+/// is percent-decoded, the query string is kept raw (decode per key via
+/// query_param).
+struct HttpRequest {
+  std::string method;   ///< upper-case, e.g. "GET"
+  std::string path;     ///< decoded path without the query, e.g. "/metrics"
+  std::string query;    ///< raw query string after '?' (may be empty)
+  std::string version;  ///< e.g. "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  ///< lower-cased names
+
+  /// First header with the given lower-case name, or nullptr.
+  const std::string* header(std::string_view lower_name) const;
+  /// Percent-decoded value of `key` in the query string, or `fallback` when
+  /// absent/empty.
+  std::string query_param(std::string_view key, std::string fallback = "") const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse text(int status, std::string body);
+  static HttpResponse json(int status, std::string body);
+};
+
+/// Standard reason phrase for the handful of status codes this layer emits
+/// ("OK", "Not Found", ...); "Unknown" for anything else.
+std::string_view status_reason(int status);
+
+/// Percent-decode a URL component (%XX and '+' → space). Invalid escapes are
+/// kept verbatim.
+std::string url_decode(std::string_view s);
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";  ///< loopback by default, on purpose
+  std::uint16_t port = 0;                  ///< 0 = kernel-assigned ephemeral port
+  int backlog = 16;                        ///< listen(2) queue bound
+  std::size_t max_request_bytes = 16 * 1024;  ///< head limit; larger → 431
+  int io_timeout_ms = 5000;  ///< per-connection read/write timeout
+};
+
+/// Blocking HTTP server: one accept loop on a dedicated thread, one request
+/// per connection, handlers dispatched by exact (method, path) match.
+/// Registration must finish before start(); after that the handler table is
+/// immutable, so dispatch needs no lock. stop() (also run by the destructor)
+/// wakes the accept loop via a self-pipe and joins the thread — no request
+/// is ever abandoned mid-response.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  using Options = HttpServerOptions;
+
+  explicit HttpServer(Options options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register `handler` for exact (method, path). Must be called before
+  /// start(). A path registered under a different method yields 405 (with an
+  /// Allow header); an unknown path yields 404.
+  void handle(std::string method, std::string path, Handler handler);
+
+  /// Bind + listen + spawn the accept thread. Returns false (and sets
+  /// last_error()) on any socket failure. Calling start() twice is an error.
+  bool start();
+
+  /// Graceful shutdown: finish the in-flight request, stop accepting, join.
+  /// Idempotent; safe to call from any thread except a handler.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (resolves port 0 after start()).
+  std::uint16_t port() const { return port_; }
+  const std::string& last_error() const { return last_error_; }
+  /// Requests answered so far (any status), for tests and self-reporting.
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  HttpResponse dispatch(const HttpRequest& request) const;
+
+  Options options_;
+  std::vector<std::pair<std::pair<std::string, std::string>, Handler>> handlers_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
+  std::uint16_t port_ = 0;
+  std::string last_error_;
+};
+
+/// Minimal blocking client response (for tests / benchmarks).
+struct HttpClientResponse {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// One blocking request to host:port. `target` is the raw request target
+/// (path + optional query, e.g. "/eventsz?n=5"). Returns false on connect /
+/// I/O / parse failure. Only used against our own server, so the parser is
+/// as minimal as the server's.
+bool http_request(const std::string& method, const std::string& host,
+                  std::uint16_t port, const std::string& target,
+                  HttpClientResponse& out, int timeout_ms = 5000);
+
+/// Convenience GET.
+bool http_get(const std::string& host, std::uint16_t port, const std::string& target,
+              HttpClientResponse& out, int timeout_ms = 5000);
+
+}  // namespace agua::net

@@ -1,11 +1,13 @@
 #include "obs/export.hpp"
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 #include "obs/json.hpp"
+#include "obs/snapshot.hpp"
 
 namespace agua::obs {
 namespace {
@@ -25,6 +27,41 @@ std::string prometheus_name(const std::string& name) {
   }
   if (!out.empty() && out.front() >= '0' && out.front() <= '9') out.insert(0, 1, '_');
   return out;
+}
+
+/// Escaping for `# HELP` text (exposition format 0.0.4): backslash and
+/// newline only.
+std::string prometheus_help_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Escaping for label *values*: backslash, double quote, newline.
+std::string prometheus_label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+const char* prometheus_kind(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter: return "counter";
+    case MetricSnapshot::Kind::kGauge: return "gauge";
+    case MetricSnapshot::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
 }
 
 }  // namespace
@@ -93,31 +130,41 @@ std::string export_json(const std::vector<MetricSnapshot>& metrics,
 }
 
 std::string export_json() {
-  return export_json(MetricsRegistry::instance().snapshot(), collect_spans());
+  const Snapshot snap =
+      capture_snapshot({.include_events = false, .include_monitors = false});
+  return export_json(snap.metrics, snap.spans);
 }
 
 std::string export_prometheus(const std::vector<MetricSnapshot>& metrics) {
   std::ostringstream os;
+  // Two registry names may sanitize to the same Prometheus name
+  // ("agua.a.b" / "agua.a:b"); a scraper rejects repeated HELP/TYPE blocks,
+  // so only the first claimant of a sanitized name is exported.
+  std::set<std::string> emitted;
   for (const MetricSnapshot& metric : metrics) {
     const std::string name = prometheus_name(metric.name);
+    if (!emitted.insert(name).second) continue;
+    // HELP before TYPE (the order promtool and the exposition spec expect);
+    // the help text carries the original dotted registry name, escaped.
+    os << "# HELP " << name << " Agua metric " << prometheus_help_escape(metric.name)
+       << "\n";
+    os << "# TYPE " << name << " " << prometheus_kind(metric.kind) << "\n";
     switch (metric.kind) {
       case MetricSnapshot::Kind::kCounter:
-        os << "# TYPE " << name << " counter\n"
-           << name << " " << metric.counter_value << "\n";
+        os << name << " " << metric.counter_value << "\n";
         break;
       case MetricSnapshot::Kind::kGauge:
-        os << "# TYPE " << name << " gauge\n"
-           << name << " " << json_number(metric.gauge_value) << "\n";
+        os << name << " " << json_number(metric.gauge_value) << "\n";
         break;
       case MetricSnapshot::Kind::kHistogram: {
         const HistogramSnapshot& h = metric.histogram;
-        os << "# TYPE " << name << " histogram\n";
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
           cumulative += h.bucket_counts[i];
           const std::string le =
               i < h.bounds.size() ? json_number(h.bounds[i]) : std::string("+Inf");
-          os << name << "_bucket{le=\"" << le << "\"} " << cumulative << "\n";
+          os << name << "_bucket{le=\"" << prometheus_label_escape(le) << "\"} "
+             << cumulative << "\n";
         }
         os << name << "_sum " << json_number(h.sum) << "\n"
            << name << "_count " << h.count << "\n";
@@ -129,7 +176,10 @@ std::string export_prometheus(const std::vector<MetricSnapshot>& metrics) {
 }
 
 std::string export_prometheus() {
-  return export_prometheus(MetricsRegistry::instance().snapshot());
+  return export_prometheus(capture_snapshot({.include_spans = false,
+                                             .include_events = false,
+                                             .include_monitors = false})
+                               .metrics);
 }
 
 namespace {

@@ -32,8 +32,13 @@ std::string export_json();
 
 /// Prometheus text exposition (format version 0.0.4): metric names are the
 /// registry names with non-[a-zA-Z0-9_:] characters mapped to '_', each
-/// preceded by a `# TYPE` line. Histograms emit cumulative `_bucket{le=...}`
-/// series plus `_sum` and `_count` (values in seconds, like the registry).
+/// preceded by `# HELP` (carrying the original dotted name, escaped) and
+/// `# TYPE` lines. Histograms emit cumulative `_bucket{le=...}` series plus
+/// `_sum` and `_count` (values in seconds, like the registry); `_count`
+/// always equals the `+Inf` bucket (Histogram snapshots derive the count
+/// from the buckets, so concurrent records can't tear a scrape). Label
+/// values are escaped per the exposition spec; when two registry names
+/// sanitize to the same Prometheus name only the first is exported.
 std::string export_prometheus(const std::vector<MetricSnapshot>& metrics);
 
 /// Convenience over the live registry.

@@ -92,11 +92,13 @@ void Histogram::record(double value) {
   if (!enabled()) return;
   const std::size_t index =
       std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
-  buckets_[index].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // Ordering matters for scrape consistency: sum/min/max first, the bucket
+  // increment last, so a snapshot that counts a sample (via its bucket) has
+  // already seen its sum/min/max contributions in the common case.
   atomic_fetch_add_double(sum_, value);
   atomic_fetch_min(min_, value);
   atomic_fetch_max(max_, value);
+  buckets_[index].fetch_add(1, std::memory_order_release);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -104,23 +106,38 @@ HistogramSnapshot Histogram::snapshot() const {
   snap.bounds = bounds_;
   snap.bucket_counts.reserve(buckets_.size());
   for (const auto& bucket : buckets_) {
-    snap.bucket_counts.push_back(bucket.load(std::memory_order_relaxed));
+    // Acquire pairs with record()'s release increment: counting a sample here
+    // means its sum/min/max contributions are visible below.
+    snap.bucket_counts.push_back(bucket.load(std::memory_order_acquire));
   }
-  snap.count = count_.load(std::memory_order_relaxed);
+  // Derive count from the buckets just read instead of loading count_: a
+  // record() racing with this snapshot could otherwise land between the
+  // bucket reads and the count read, making `_count` disagree with the
+  // cumulative `+Inf` bucket in every exporter (the torn-read Prometheus
+  // scrapers reject). The buckets themselves are each read once, so the
+  // invariant count == Σ bucket_counts holds in the copy by construction.
+  snap.count = 0;
+  for (const std::uint64_t c : snap.bucket_counts) snap.count += c;
   snap.sum = sum_.load(std::memory_order_relaxed);
   if (snap.count == 0) {
     snap.min = 0.0;
     snap.max = 0.0;
+    snap.sum = 0.0;
   } else {
     snap.min = min_.load(std::memory_order_relaxed);
     snap.max = max_.load(std::memory_order_relaxed);
+    // Defensive: reset() racing a record() could still leave an inverted
+    // pair; report an empty range rather than ±inf.
+    if (snap.min > snap.max) {
+      snap.min = 0.0;
+      snap.max = 0.0;
+    }
   }
   return snap;
 }
 
 void Histogram::reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);

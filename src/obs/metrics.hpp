@@ -85,7 +85,8 @@ class Histogram {
  private:
   std::vector<double> bounds_;
   std::deque<std::atomic<std::uint64_t>> buckets_;  // deque: atomics aren't movable
-  std::atomic<std::uint64_t> count_{0};
+  // No separate count: snapshot() derives it from the buckets so a snapshot
+  // can never show count != Σ buckets, no matter what records race with it.
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};

@@ -77,6 +77,21 @@ std::uint64_t HealthMonitor::alerts() const {
   return alerts_;
 }
 
+HealthMonitorSnapshot HealthMonitor::snapshot() const {
+  HealthMonitorSnapshot snap;
+  snap.name = name_;
+  snap.window = options_.window;
+  snap.min_samples = options_.min_samples;
+  snap.min_healthy = options_.min_healthy;
+  snap.max_healthy = options_.max_healthy;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.healthy = healthy_;
+  snap.rolling_mean = filled_ > 0 ? window_sum_ / static_cast<double>(filled_) : 0.0;
+  snap.samples = total_;
+  snap.alerts = alerts_;
+  return snap;
+}
+
 void HealthMonitor::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   head_ = 0;
@@ -115,6 +130,23 @@ void reset_monitors() {
   MonitorStore& s = store();
   std::lock_guard<std::mutex> lock(s.mutex);
   for (HealthMonitor& monitor : s.monitors) monitor.reset();
+}
+
+std::vector<HealthMonitorSnapshot> snapshot_monitors() {
+  MonitorStore& s = store();
+  // Count under the registry lock, snapshot outside it: monitors are never
+  // removed and the deque keeps addresses stable, so indexing past the lock
+  // is safe, and observe() calls only ever contend with one monitor's own
+  // lock at a time.
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    count = s.monitors.size();
+  }
+  std::vector<HealthMonitorSnapshot> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(s.monitors[i].snapshot());
+  return out;
 }
 
 }  // namespace agua::obs

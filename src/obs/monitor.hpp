@@ -31,6 +31,22 @@ struct MonitorOptions {
   double max_healthy = std::numeric_limits<double>::infinity();
 };
 
+/// Consistent point-in-time copy of one monitor (all fields read under one
+/// lock acquisition — unlike calling healthy()/rolling_mean()/... back to
+/// back, which can interleave with observe() and tear). This is what the
+/// telemetry plane's /healthz serves.
+struct HealthMonitorSnapshot {
+  std::string name;
+  bool healthy = true;
+  double rolling_mean = 0.0;
+  std::uint64_t samples = 0;  ///< total observations (not capped by window)
+  std::uint64_t alerts = 0;   ///< healthy→unhealthy transitions
+  std::size_t window = 0;
+  std::size_t min_samples = 0;
+  double min_healthy = -std::numeric_limits<double>::infinity();
+  double max_healthy = std::numeric_limits<double>::infinity();
+};
+
 /// One rolling-window threshold monitor. Thread-safe; observe() takes a
 /// mutex, so feed it at per-sample granularity on evaluation paths (fidelity
 /// scans, drift reports), not inside per-element math kernels.
@@ -54,6 +70,9 @@ class HealthMonitor {
   bool healthy() const;
   /// Number of healthy→unhealthy transitions so far.
   std::uint64_t alerts() const;
+
+  /// All observable state in one lock acquisition (scrape-safe).
+  HealthMonitorSnapshot snapshot() const;
 
   /// Drop all window state (tests / between independent runs).
   void reset();
@@ -83,5 +102,10 @@ HealthMonitor& health_monitor(std::string_view name, MonitorOptions options = {}
 /// Reset every registered monitor's window/alert state (keeps registrations,
 /// so cached references stay valid). For tests and between independent runs.
 void reset_monitors();
+
+/// Point-in-time copy of every registered monitor, in registration order.
+/// Each monitor is snapshotted under its own lock; the registry lock is not
+/// held while doing so (monitors never deregister, so the walk is safe).
+std::vector<HealthMonitorSnapshot> snapshot_monitors();
 
 }  // namespace agua::obs

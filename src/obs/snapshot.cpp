@@ -1,0 +1,28 @@
+#include "obs/snapshot.hpp"
+
+namespace agua::obs {
+
+bool Snapshot::all_healthy() const {
+  for (const HealthMonitorSnapshot& monitor : monitors) {
+    if (!monitor.healthy) return false;
+  }
+  return true;
+}
+
+Snapshot capture_snapshot(const SnapshotOptions& options) {
+  Snapshot snap;
+  snap.captured_ns = now_ns();
+  snap.metrics = MetricsRegistry::instance().snapshot();
+  if (options.include_spans) snap.spans = collect_spans();
+  if (options.include_events) {
+    snap.events = event_log().snapshot();
+    if (options.event_tail > 0 && snap.events.size() > options.event_tail) {
+      snap.events.erase(snap.events.begin(),
+                        snap.events.end() - static_cast<std::ptrdiff_t>(options.event_tail));
+    }
+  }
+  if (options.include_monitors) snap.monitors = snapshot_monitors();
+  return snap;
+}
+
+}  // namespace agua::obs

@@ -1,0 +1,49 @@
+// Scrape-safe, point-in-time copies of the whole observability surface:
+// metrics registry, completed trace spans, the flight-recorder ring, and
+// every health monitor. The telemetry plane (telemetry_server.hpp) and the
+// file exporters route through this so serialization never runs under any
+// obs lock — a scrape can never stall a worker thread mid-train, and a
+// burst of training activity can never tear a scrape.
+//
+// Consistency model: each component is copied under its own lock (or via
+// its atomic-consistent snapshot), one after another. A single Snapshot is
+// therefore internally consistent per component, and "close" across
+// components — the same model a Prometheus scrape of any live process gets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/trace.hpp"
+
+namespace agua::obs {
+
+struct SnapshotOptions {
+  bool include_spans = true;
+  bool include_events = true;
+  bool include_monitors = true;
+  /// Keep only the newest N events (0 = all retained events).
+  std::size_t event_tail = 0;
+};
+
+/// Everything the process knows about itself, at (nearly) one instant.
+struct Snapshot {
+  std::int64_t captured_ns = 0;  ///< now_ns() when the capture began
+  std::vector<MetricSnapshot> metrics;
+  std::vector<SpanRecord> spans;
+  std::vector<Event> events;
+  std::vector<HealthMonitorSnapshot> monitors;
+
+  /// True when every captured monitor is healthy (an empty capture is
+  /// healthy — nothing has raised a hand).
+  bool all_healthy() const;
+};
+
+/// Copy out the requested components. No lock is held across components or
+/// during any later serialization of the returned value.
+Snapshot capture_snapshot(const SnapshotOptions& options = {});
+
+}  // namespace agua::obs

@@ -1,0 +1,232 @@
+#include "obs/telemetry_server.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "obs/events.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
+
+// Injected by src/obs/CMakeLists.txt; harmless fallback elsewhere.
+#ifndef AGUA_BUILD_TYPE
+#define AGUA_BUILD_TYPE "unknown"
+#endif
+
+namespace agua::obs {
+namespace {
+
+using detail::json_escape;
+using detail::json_number;
+
+/// JSON has no inf/nan literals; monitors use ±inf for unbounded bands.
+std::string json_number_or_null(double v) {
+  return std::isfinite(v) ? json_number(v) : std::string("null");
+}
+
+std::string compiler_version() {
+#if defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string monitors_json(const std::vector<HealthMonitorSnapshot>& monitors,
+                          bool healthy) {
+  std::ostringstream os;
+  os << "{\"status\":\"" << (healthy ? "ok" : "unhealthy") << "\",\"monitors\":[";
+  for (std::size_t i = 0; i < monitors.size(); ++i) {
+    const HealthMonitorSnapshot& m = monitors[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << json_escape(m.name) << "\",\"healthy\":"
+       << (m.healthy ? "true" : "false")
+       << ",\"rolling_mean\":" << json_number(m.rolling_mean)
+       << ",\"samples\":" << m.samples << ",\"alerts\":" << m.alerts
+       << ",\"window\":" << m.window << ",\"min_samples\":" << m.min_samples
+       << ",\"min_healthy\":" << json_number_or_null(m.min_healthy)
+       << ",\"max_healthy\":" << json_number_or_null(m.max_healthy) << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string spans_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << json_escape(span.name) << "\",\"id\":" << span.id
+       << ",\"parent_id\":" << span.parent_id << ",\"thread\":" << span.thread_id
+       << ",\"depth\":" << span.depth << ",\"begin_ns\":" << span.begin_ns
+       << ",\"end_ns\":" << span.end_ns
+       << ",\"duration_s\":" << json_number(span.duration_seconds()) << "}";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+constexpr const char* kIndex =
+    "agua telemetry plane\n"
+    "  GET  /metrics       Prometheus text exposition\n"
+    "  GET  /metrics.json  metrics + spans, JSON lines\n"
+    "  GET  /healthz       health monitors (200 ok / 503 unhealthy)\n"
+    "  GET  /tracez        completed span trees (?format=json)\n"
+    "  GET  /eventsz       flight-recorder tail as JSONL (?n=K)\n"
+    "  GET  /buildz        build + runtime info\n"
+    "  POST /quitquitquit  ask the process to finish\n";
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(TelemetryOptions options)
+    : options_(std::move(options)),
+      server_(net::HttpServer::Options{.bind_address = options_.bind_address,
+                                       .port = options_.port}) {
+  register_endpoints();
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool TelemetryServer::start() {
+  start_ns_ = now_ns();
+  return server_.start();
+}
+
+void TelemetryServer::stop() {
+  server_.stop();
+  // Unblock anyone lingering in wait_for_quit: with the server gone no quit
+  // request can ever arrive, so waiting on would be a hang.
+  {
+    std::lock_guard<std::mutex> lock(quit_mutex_);
+    quit_requested_ = true;
+  }
+  quit_cv_.notify_all();
+}
+
+std::string TelemetryServer::url() const {
+  return "http://" + options_.bind_address + ":" + std::to_string(port());
+}
+
+bool TelemetryServer::wait_for_quit(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(quit_mutex_);
+  if (timeout_seconds < 0) {
+    quit_cv_.wait(lock, [this] { return quit_requested_; });
+    return true;
+  }
+  return quit_cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                           [this] { return quit_requested_; });
+}
+
+void TelemetryServer::register_endpoints() {
+  // Self-instrumentation wrapper: one shared request counter plus a
+  // per-endpoint latency histogram, resolved by name per request (scrape
+  // endpoints are cold paths; a registry lookup is noise here, and late
+  // lookup keeps the server safe across MetricsRegistry::reset_for_testing).
+  const auto instrumented = [](const char* endpoint, net::HttpServer::Handler fn) {
+    return [endpoint, fn = std::move(fn)](const net::HttpRequest& request) {
+      MetricsRegistry::instance().counter("agua.telemetry.requests").add(1);
+      ScopedTimer timer(std::string("agua.telemetry.") + endpoint);
+      return fn(request);
+    };
+  };
+
+  server_.handle("GET", "/", instrumented("index", [](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, kIndex);
+  }));
+
+  server_.handle("GET", "/metrics", instrumented("metrics", [](const net::HttpRequest&) {
+    const Snapshot snap = capture_snapshot({.include_spans = false,
+                                            .include_events = false,
+                                            .include_monitors = false});
+    net::HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = export_prometheus(snap.metrics);
+    return response;
+  }));
+
+  server_.handle("GET", "/metrics.json",
+                 instrumented("metrics_json", [](const net::HttpRequest&) {
+                   const Snapshot snap = capture_snapshot(
+                       {.include_events = false, .include_monitors = false});
+                   net::HttpResponse response;
+                   response.content_type = "application/x-ndjson";
+                   response.body = export_json(snap.metrics, snap.spans);
+                   return response;
+                 }));
+
+  server_.handle("GET", "/healthz", instrumented("healthz", [](const net::HttpRequest&) {
+    const std::vector<HealthMonitorSnapshot> monitors = snapshot_monitors();
+    bool healthy = true;
+    for (const HealthMonitorSnapshot& m : monitors) healthy &= m.healthy;
+    return net::HttpResponse::json(healthy ? 200 : 503,
+                                   monitors_json(monitors, healthy));
+  }));
+
+  server_.handle("GET", "/tracez", instrumented("tracez", [](const net::HttpRequest& request) {
+    const Snapshot snap =
+        capture_snapshot({.include_events = false, .include_monitors = false});
+    if (request.query_param("format") == "json") {
+      return net::HttpResponse::json(200, spans_json(snap.spans));
+    }
+    std::string body;
+    if (!trace_enabled() && snap.spans.empty()) {
+      body = "span capture is off (enable with --trace / obs::set_trace_enabled)\n";
+    } else if (snap.spans.empty()) {
+      body = "no completed spans yet\n";
+    } else {
+      body = format_span_tree(snap.spans);
+    }
+    return net::HttpResponse::text(200, std::move(body));
+  }));
+
+  server_.handle(
+      "GET", "/eventsz",
+      instrumented("eventsz", [this](const net::HttpRequest& request) {
+        std::size_t tail = options_.default_event_tail;
+        const std::string n = request.query_param("n");
+        if (!n.empty()) tail = static_cast<std::size_t>(std::strtoull(n.c_str(), nullptr, 10));
+        const Snapshot snap = capture_snapshot(
+            {.include_spans = false, .include_monitors = false, .event_tail = tail});
+        std::ostringstream os;
+        for (const Event& event : snap.events) os << event_to_json(event) << '\n';
+        net::HttpResponse response;
+        response.content_type = "application/x-ndjson";
+        response.body = os.str();
+        return response;
+      }));
+
+  server_.handle("GET", "/buildz", instrumented("buildz", [this](const net::HttpRequest&) {
+    const EventLog& log = event_log();
+    std::ostringstream os;
+    os << "{\"version\":\"" << json_escape(options_.version) << "\",\"build_type\":\""
+       << json_escape(AGUA_BUILD_TYPE) << "\",\"compiler\":\""
+       << json_escape(compiler_version()) << "\",\"threads\":"
+       << common::default_thread_count() << ",\"obs_enabled\":"
+       << (enabled() ? "true" : "false") << ",\"trace_enabled\":"
+       << (trace_enabled() ? "true" : "false") << ",\"events_enabled\":"
+       << (log.enabled() ? "true" : "false") << ",\"events_retained\":" << log.size()
+       << ",\"events_dropped\":" << log.dropped() << ",\"uptime_s\":"
+       << json_number(static_cast<double>(now_ns() - start_ns_) * 1e-9)
+       << ",\"requests\":" << server_.requests_served() << "}\n";
+    return net::HttpResponse::json(200, os.str());
+  }));
+
+  server_.handle("POST", "/quitquitquit",
+                 instrumented("quit", [this](const net::HttpRequest&) {
+                   {
+                     std::lock_guard<std::mutex> lock(quit_mutex_);
+                     quit_requested_ = true;
+                   }
+                   quit_cv_.notify_all();
+                   return net::HttpResponse::text(200, "bye\n");
+                 }));
+}
+
+}  // namespace agua::obs

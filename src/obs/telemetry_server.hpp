@@ -1,0 +1,76 @@
+// The live telemetry plane: an embedded HTTP server (net/http.hpp) that makes
+// every signal the obs layer collects — metrics, span trees, flight-recorder
+// events, health monitors — inspectable on a *running* process instead of
+// post-mortem via files. One GET away:
+//
+//   /metrics       Prometheus text exposition (scrape target)
+//   /metrics.json  JSON lines: metrics + completed spans
+//   /healthz       aggregated HealthMonitor status; 200 healthy / 503 not
+//   /tracez        most recent completed span trees (text; ?format=json)
+//   /eventsz       tail of the flight-recorder ring as JSONL (?n=K)
+//   /buildz        version, build type, compiler, thread-pool size, obs state
+//   /              plain-text index of the above
+//   POST /quitquitquit   ask the hosting process to finish (wait_for_quit)
+//
+// Every handler reads through obs::capture_snapshot(), so a scrape is a
+// point-in-time copy taken under the component locks and serialized with no
+// lock held — scrapes during `--threads N` training are race-free and can't
+// stall workers. The server instruments itself (`agua.telemetry.requests`,
+// per-endpoint `agua.telemetry.<endpoint>` latency histograms): the observer
+// is observable through its own /metrics.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "net/http.hpp"
+
+namespace agua::obs {
+
+struct TelemetryOptions {
+  std::string bind_address = "127.0.0.1";  ///< loopback only by default
+  std::uint16_t port = 0;                  ///< 0 = ephemeral (see port())
+  /// /eventsz tail size when no ?n= is given.
+  std::size_t default_event_tail = 256;
+  /// Shown by /buildz; override to stamp a release id.
+  std::string version = "agua-dev";
+};
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryOptions options = {});
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Bind + serve on a dedicated thread. False (with last_error()) on socket
+  /// failure — e.g. the port is taken.
+  bool start();
+  void stop();
+
+  bool running() const { return server_.running(); }
+  std::uint16_t port() const { return server_.port(); }
+  /// "http://<bind>:<port>", valid after start().
+  std::string url() const;
+  const std::string& last_error() const { return server_.last_error(); }
+
+  /// Block until a POST /quitquitquit arrives or `timeout_seconds` elapses
+  /// (negative = wait forever). Returns true when quit was requested — the
+  /// idiom behind `agua_cli --serve-linger`.
+  bool wait_for_quit(double timeout_seconds);
+
+ private:
+  void register_endpoints();
+
+  TelemetryOptions options_;
+  net::HttpServer server_;
+  std::int64_t start_ns_ = 0;
+  std::mutex quit_mutex_;
+  std::condition_variable quit_cv_;
+  bool quit_requested_ = false;  // guarded by quit_mutex_
+};
+
+}  // namespace agua::obs
