@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_json.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "concepts/concept_set.hpp"
@@ -329,6 +330,56 @@ void report_telemetry_scrape(const TelemetryScrapeStats& stats) {
       stats.overhead_pct < 2.0 ? "PASS" : "WARN");
 }
 
+template <typename Fn>
+double best_of_ms(int repeats, Fn&& fn);  // defined below
+
+/// The fault-injection registry's cost model (DESIGN.md §8): a disarmed
+/// check must be one relaxed atomic load + branch (sub-ns — cheap enough to
+/// stay compiled into serving and training permanently), an armed-but-miss
+/// check a mutex + map lookup, and arming an unrelated fault must cost the
+/// training loop < 1% (its per-epoch poison points take the slow path but
+/// never fire).
+struct FaultSiteStats {
+  double disarmed_ns = 0.0;
+  double armed_miss_ns = 0.0;
+  double train_overhead_pct = 0.0;
+};
+
+FaultSiteStats measure_fault_sites() {
+  FaultSiteStats stats;
+  common::fault::clear();
+  stats.disarmed_ns = best_ns_per_op(200000, 7, [] {
+    benchmark::DoNotOptimize(common::fault::fail_point("bench.fault.site"));
+  });
+  common::fault::configure("bench.fault.other=error");
+  stats.armed_miss_ns = best_ns_per_op(100000, 7, [] {
+    benchmark::DoNotOptimize(common::fault::fail_point("bench.fault.site"));
+  });
+  common::fault::clear();
+
+  // Interleave armed/disarmed training runs (same rationale as
+  // measure_forward_overhead: don't let machine drift masquerade as cost).
+  double armed_ms = 1e300;
+  double disarmed_ms = 1e300;
+  for (int r = 0; r < 3; ++r) {
+    common::fault::configure("bench.fault.other=error");
+    armed_ms = std::min(armed_ms, best_of_ms(1, [] { run_concept_training(2); }));
+    common::fault::clear();
+    disarmed_ms = std::min(disarmed_ms, best_of_ms(1, [] { run_concept_training(2); }));
+  }
+  stats.train_overhead_pct =
+      disarmed_ms > 0.0 ? 100.0 * (armed_ms - disarmed_ms) / disarmed_ms : 0.0;
+  return stats;
+}
+
+void report_fault_sites(const FaultSiteStats& stats) {
+  std::printf(
+      "fault sites: disarmed check %.2f ns, armed-miss check %.0f ns, "
+      "training overhead armed-but-miss %+.2f%% (%s, budget < 1%%)\n",
+      stats.disarmed_ns, stats.armed_miss_ns, stats.train_overhead_pct,
+      stats.train_overhead_pct < 1.0 ? "PASS" : "WARN");
+}
+
 /// Per-section ns/op with best-of timing loops — the machine-readable
 /// counterpart to the google-benchmark suite above, written as one
 /// `agua.bench.v1` document (bench/bench_json.hpp).
@@ -419,6 +470,12 @@ bool write_json_report(const std::string& path, std::size_t threads) {
   doc.add("telemetry_metrics_render", scrape.render_ns, "ns/op");
   doc.add("telemetry_scrape_e2e", scrape.scrape_ns, "ns/op");
   doc.set_meta("telemetry_scrape_overhead_pct", scrape.overhead_pct);
+
+  // fault_sites section: the injection registry's cost model.
+  const FaultSiteStats faults = measure_fault_sites();
+  doc.add("fault_check_disarmed", faults.disarmed_ns, "ns/op");
+  doc.add("fault_check_armed_miss", faults.armed_miss_ns, "ns/op");
+  doc.set_meta("fault_overhead_pct", faults.train_overhead_pct);
 
   return doc.write(path);
 }
@@ -527,6 +584,7 @@ int main(int argc, char** argv) {
   report_instrumentation_overhead();
   report_event_overhead();
   report_telemetry_scrape(measure_telemetry_scrape());
+  report_fault_sites(measure_fault_sites());
   report_parallel_speedup(threads);
   if (!json_path.empty()) {
     if (write_json_report(json_path, threads)) {

@@ -6,6 +6,8 @@
 //            [--trace] [--metrics-out PATH] [--metrics-format json|prometheus]
 //            [--flight-record PATH] [--threads N] [--tiny]
 //            [--serve-telemetry PORT] [--serve-linger SECONDS]
+//            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+//            [--faults SPEC]
 //
 //   --open            use the open-source embedding stack (default: closed)
 //   --paper-config    train with the paper's exact §4 hyperparameters
@@ -33,12 +35,26 @@
 //                     after the run finishes, so the final state can be
 //                     scraped; `curl -X POST .../quitquitquit` ends the
 //                     linger early
+//   --checkpoint-dir DIR
+//                     write crash-safe training checkpoints (concept.ckpt /
+//                     output.ckpt) into DIR at epoch boundaries; a run killed
+//                     mid-training can be rerun with --resume and finishes
+//                     with a bitwise-identical model (DESIGN.md §8)
+//   --checkpoint-every N
+//                     epochs between checkpoint snapshots (default 5)
+//   --resume          with --checkpoint-dir: restore the latest snapshots and
+//                     continue training instead of starting over
+//   --faults SPEC     arm deterministic fault injection, e.g.
+//                     'model_io.save.write=short:0.5@once,net.accept=error@nth:2'
+//                     (also read from the AGUA_FAULTS env var; see
+//                     common/fault.hpp for the grammar)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "apps/abr_bundle.hpp"
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "apps/cc_bundle.hpp"
 #include "apps/ddos_bundle.hpp"
@@ -47,6 +63,7 @@
 #include "core/report.hpp"
 #include "obs/events.hpp"
 #include "obs/export.hpp"
+#include "obs/fault_telemetry.hpp"
 #include "obs/telemetry_server.hpp"
 #include "obs/trace.hpp"
 
@@ -69,6 +86,10 @@ struct CliOptions {
   bool serve_telemetry = false;
   std::uint16_t serve_port = 0;     // 0 = ephemeral
   double serve_linger = 0.0;        // seconds to keep serving after the run
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 5;
+  bool resume = false;
+  std::string faults;               // --faults spec, armed before training
 };
 
 bool parse(int argc, char** argv, CliOptions& options) {
@@ -109,6 +130,14 @@ bool parse(int argc, char** argv, CliOptions& options) {
           static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--serve-linger") == 0 && i + 1 < argc) {
       options.serve_linger = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      options.checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc) {
+      options.checkpoint_every = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      options.faults = argv[++i];
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return false;
@@ -132,6 +161,9 @@ void run(const CliOptions& options, core::Dataset& train, core::Dataset& test,
   config.embedder = options.open_embeddings ? text::open_source_embedder_config()
                                             : text::closed_source_embedder_config();
   if (options.tiny) make_tiny(train, test, config);
+  config.checkpoint_dir = options.checkpoint_dir;
+  config.checkpoint_every = options.checkpoint_every;
+  config.resume = options.resume;
   common::Rng rng(options.seed ^ 0xA90A);
   std::printf("training Agua (%s embeddings, %s recipe%s)...\n",
               options.open_embeddings ? "open" : "closed",
@@ -191,9 +223,23 @@ int main(int argc, char** argv) {
                  " [--paper-config] [--trace] [--metrics-out PATH]"
                  " [--metrics-format json|prometheus] [--flight-record PATH]"
                  " [--threads N] [--tiny] [--serve-telemetry PORT]"
-                 " [--serve-linger SECONDS]\n",
+                 " [--serve-linger SECONDS] [--checkpoint-dir DIR]"
+                 " [--checkpoint-every N] [--resume] [--faults SPEC]\n",
                  argv[0]);
     return 2;
+  }
+  // Fault plumbing first: the injected-fault → obs bridge must be live before
+  // any site can fire, and draws must be seeded before training starts so a
+  // given (--seed, --faults) pair replays identically.
+  obs::install_fault_telemetry();
+  common::fault::set_seed(options.seed);
+  common::fault::configure_from_env();
+  if (!options.faults.empty()) {
+    std::string fault_error;
+    if (!common::fault::configure(options.faults, &fault_error)) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", fault_error.c_str());
+      return 2;
+    }
   }
   obs::set_trace_enabled(options.trace);
   if (!options.flight_record.empty() || options.serve_telemetry) {
@@ -226,18 +272,27 @@ int main(int argc, char** argv) {
   std::printf("building the %s application bundle (seed %llu, %zu worker threads)...\n",
               options.app.c_str(), static_cast<unsigned long long>(options.seed),
               common::default_thread_count());
-  if (options.app == "abr") {
-    apps::AbrBundle bundle = apps::make_abr_bundle(options.seed);
-    run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
-        bundle.describe_fn());
-  } else if (options.app == "cc") {
-    apps::CcBundle bundle = apps::make_cc_bundle(options.seed);
-    run(options, bundle.train, bundle.test, bundle.describer->concept_set(),
-        bundle.describe_fn());
-  } else {
-    apps::DdosBundle bundle = apps::make_ddos_bundle(options.seed);
-    run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
-        bundle.describe_fn());
+  try {
+    if (options.app == "abr") {
+      apps::AbrBundle bundle = apps::make_abr_bundle(options.seed);
+      run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
+          bundle.describe_fn());
+    } else if (options.app == "cc") {
+      apps::CcBundle bundle = apps::make_cc_bundle(options.seed);
+      run(options, bundle.train, bundle.test, bundle.describer->concept_set(),
+          bundle.describe_fn());
+    } else {
+      apps::DdosBundle bundle = apps::make_ddos_bundle(options.seed);
+      run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
+          bundle.describe_fn());
+    }
+  } catch (const std::exception& e) {
+    // Injected faults (FaultInjected) and diverged training
+    // (TrainDivergedError) land here: report, keep the flight record, exit
+    // nonzero instead of std::terminate — a chaos run should leave evidence.
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    if (!options.flight_record.empty()) obs::flush_flight_record();
+    return 1;
   }
   if (options.serve_telemetry && options.serve_linger > 0.0) {
     std::printf("run finished; telemetry lingers for up to %.0f s "

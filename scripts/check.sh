@@ -9,9 +9,13 @@
 # telemetry. `serve` smoke-tests the live telemetry plane: start
 # `agua_cli --serve-telemetry` on an ephemeral port, scrape /metrics /healthz
 # /eventsz over HTTP, validate the bodies, then shut it down via
-# POST /quitquitquit and assert a clean exit.
+# POST /quitquitquit and assert a clean exit. `faults` is the chaos smoke:
+# kill -9 a training run mid-flight, resume it from its crash-safe
+# checkpoints, and require the final model to be byte-for-byte identical to
+# an uninterrupted run; then arm fault injection (--faults) and assert both
+# the skip-and-recover path and the bounded-failure path behave.
 #
-#   scripts/check.sh [default|asan|tsan|obs|serve] [-j N]
+#   scripts/check.sh [default|asan|tsan|obs|serve|faults] [-j N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,8 +28,9 @@ while [ $# -gt 0 ]; do
     default|asan|tsan) preset="$1" ;;
     obs) mode="obs" ;;
     serve) mode="serve" ;;
+    faults) mode="faults" ;;
     -j) jobs="$2"; shift ;;
-    *) echo "usage: $0 [default|asan|tsan|obs|serve] [-j N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [default|asan|tsan|obs|serve|faults] [-j N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -111,7 +116,7 @@ for l in lines:
 assert any(l.startswith("agua_telemetry_requests") for l in lines), \
     "server did not count its own scrapes"
 health = json.load(open(healthz))
-assert health["status"] in ("ok", "unhealthy") and "monitors" in health, health
+assert health["status"] in ("ok", "degraded", "unhealthy") and "monitors" in health, health
 evts = [json.loads(l) for l in open(events) if l.strip()]
 assert any(e["kind"] == "cli.run.begin" for e in evts), \
     f"missing cli.run.begin in /eventsz: {sorted({e['kind'] for e in evts})}"
@@ -134,11 +139,83 @@ PY
   exit 0
 fi
 
+if [ "$mode" = "faults" ]; then
+  # Chaos smoke, three acts (DESIGN.md §8).
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target agua_cli
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+
+  # Act 1 — crash-safe checkpointing: an uninterrupted reference run, then a
+  # run SIGKILLed mid-training and resumed, must produce identical bytes.
+  ./build/examples/agua_cli abr --tiny --threads 2 --save "$out/ref.bin" \
+    > "$out/ref.log" 2>&1
+  mkdir -p "$out/ckpt"
+  ./build/examples/agua_cli abr --tiny --threads 2 --save "$out/chaos.bin" \
+    --checkpoint-dir "$out/ckpt" --checkpoint-every 1 \
+    > "$out/chaos.log" 2>&1 &
+  chaos_pid=$!
+  # Wait for the first epoch-boundary checkpoint, then kill without mercy.
+  for _ in $(seq 1 300); do
+    [ -f "$out/ckpt/concept.ckpt" ] && break
+    kill -0 "$chaos_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -9 "$chaos_pid" 2>/dev/null; then
+    wait "$chaos_pid" 2>/dev/null || true
+    echo "chaos: killed training run mid-flight (pid $chaos_pid)"
+  else
+    echo "chaos: run finished before the kill landed; resume still exercised"
+  fi
+  [ -f "$out/ckpt/concept.ckpt" ] || { echo "no checkpoint was written" >&2; exit 1; }
+  ./build/examples/agua_cli abr --tiny --threads 2 --save "$out/chaos.bin" \
+    --checkpoint-dir "$out/ckpt" --checkpoint-every 1 --resume \
+    > "$out/resume.log" 2>&1
+  cmp "$out/ref.bin" "$out/chaos.bin" \
+    || { echo "resumed model differs from uninterrupted run" >&2; exit 1; }
+  echo "chaos: resumed model is bitwise-identical to the uninterrupted run"
+
+  # Act 2 — fault injection: a transient NaN is skipped and recovered from
+  # (clean exit, telemetry shows the recovery); a persistent NaN is a
+  # bounded, typed failure (rc=1, not a crash).
+  ./build/examples/agua_cli abr --tiny --threads 2 \
+    --faults 'train.concept.loss=nan@nth:2' \
+    --flight-record "$out/faults.jsonl" > "$out/faults.log" 2>&1 \
+    || { cat "$out/faults.log"; echo "transient fault run failed" >&2; exit 1; }
+  python3 - "$out/faults.jsonl" <<'PY'
+import json, sys
+events = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+kinds = {e["kind"] for e in events}
+for required in ("fault.injected", "train.nonfinite", "train.recover"):
+    assert required in kinds, f"missing {required}: {sorted(kinds)}"
+print("faults smoke OK: injected, skipped, recovered "
+      f"({sum(1 for e in events if e['kind'] == 'fault.injected')} fault(s) fired)")
+PY
+  rc=0
+  ./build/examples/agua_cli abr --tiny --threads 2 \
+    --faults 'train.concept.loss=nan' > "$out/diverge.log" 2>&1 || rc=$?
+  [ "$rc" -eq 1 ] || { cat "$out/diverge.log"; echo "persistent fault: want rc=1, got rc=$rc" >&2; exit 1; }
+  grep -q "run failed:" "$out/diverge.log" \
+    || { cat "$out/diverge.log"; echo "no graceful failure message" >&2; exit 1; }
+  echo "faults smoke: persistent fault degraded gracefully (rc=1)"
+
+  # Act 3 — the fault suites under both sanitizers.
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs" --target test_fault test_model_io
+  ctest --test-dir build-asan -j "$jobs" -R '^Fault|^ModelIoFuzz' --output-on-failure
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs" --target test_fault
+  ctest --test-dir build-tsan -j "$jobs" -R '^Fault' --output-on-failure
+  echo "faults mode OK"
+  exit 0
+fi
+
 cmake --preset "$preset"
 if [ "$preset" = "tsan" ]; then
-  # TSan doubles build time and the race surface is the pool + obs layer;
-  # build and run only those suites (the test preset filters to match).
-  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry
+  # TSan doubles build time and the race surface is the pool + obs layer +
+  # fault registry; build and run only those suites (the test preset filters
+  # to match).
+  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry test_fault
 else
   cmake --build --preset "$preset" -j "$jobs"
 fi

@@ -1,0 +1,95 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault.hpp"
+
+namespace agua::common {
+namespace {
+
+std::string site_name(std::string_view prefix, const char* leaf) {
+  std::string s(prefix);
+  s += '.';
+  s += leaf;
+  return s;
+}
+
+bool write_fully(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void fsync_parent_dir(const std::string& path) {
+  // Best effort: rename durability needs the directory entry flushed too.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::string_view fault_site) {
+  const bool faults = !fault_site.empty();
+  if (faults && fault::fail_point(site_name(fault_site, "open"))) return false;
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  // One should_fire per hit: the write site honours both `error` (the write
+  // syscall failed outright) and `short:FRAC` (a torn partial write).
+  std::size_t to_write = bytes.size();
+  bool write_error = false;
+  if (faults && fault::armed()) {
+    if (const auto fired = fault::should_fire(site_name(fault_site, "write"))) {
+      if (fired->mode == fault::Mode::kErrorReturn) {
+        write_error = true;
+      } else if (fired->mode == fault::Mode::kShortWrite) {
+        to_write = static_cast<std::size_t>(static_cast<double>(to_write) * fired->arg);
+      }
+    }
+  }
+  bool ok = !write_error && write_fully(fd, bytes.data(), to_write) &&
+            to_write == bytes.size();
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+
+  if (ok && faults && fault::fail_point(site_name(fault_site, "rename"))) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return std::move(buf).str();
+}
+
+}  // namespace agua::common

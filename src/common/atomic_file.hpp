@@ -1,0 +1,28 @@
+// Crash-safe whole-file writes (DESIGN.md §8).
+//
+// atomic_write_file writes `path + ".tmp"`, fsyncs it, atomically renames it
+// over `path`, and fsyncs the containing directory. A crash (or kill -9) at
+// any instant leaves either the previous complete file or the new complete
+// file at `path` — never a torn mixture. Stray `.tmp` files from a crash are
+// harmless and overwritten by the next save.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace agua::common {
+
+/// Write `bytes` to `path` crash-safely. Returns false (leaving any existing
+/// `path` untouched and removing the tmp file) on any failure.
+///
+/// When `fault_site` is non-empty, three fault-injection sites are exposed
+/// (see common/fault.hpp): `<site>.open` (error-return), `<site>.write`
+/// (short-write → torn tmp, detected and cleaned up), `<site>.rename`.
+bool atomic_write_file(const std::string& path, std::string_view bytes,
+                       std::string_view fault_site = {});
+
+/// Read an entire file into memory; std::nullopt if it cannot be opened/read.
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace agua::common

@@ -1,0 +1,354 @@
+#include "common/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace agua::common::fault {
+namespace {
+
+/// splitmix64 — the same mixer Rng uses for seeding; good enough to turn
+/// (seed, site, hit) into an independent uniform draw.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+struct ArmedSpec {
+  FaultSpec spec;
+  bool exhausted = false;  ///< kOnce fired / kNth passed its hit
+};
+
+struct SiteState {
+  std::vector<ArmedSpec> specs;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteState, std::less<>> sites;
+  std::uint64_t seed = 0;
+  std::uint64_t total_fires = 0;
+  FireObserver observer;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: alive for process exit paths
+  return *r;
+}
+
+std::atomic<bool> g_armed{false};
+
+bool parse_double(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string buf(s);
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string buf(s);
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+std::string_view mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kErrorReturn: return "error";
+    case Mode::kThrow: return "throw";
+    case Mode::kNanPoison: return "nan";
+    case Mode::kDelayMs: return "delay";
+    case Mode::kShortWrite: return "short";
+  }
+  return "unknown";
+}
+
+std::optional<FaultSpec> parse_fault_spec(std::string_view entry, std::string* error) {
+  FaultSpec spec;
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    set_error(error, "fault spec missing 'site=': " + std::string(entry));
+    return std::nullopt;
+  }
+  spec.site = std::string(entry.substr(0, eq));
+  std::string_view rest = entry.substr(eq + 1);
+
+  std::string_view trigger;
+  const std::size_t at = rest.find('@');
+  if (at != std::string_view::npos) {
+    trigger = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+  }
+
+  std::string_view arg;
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string_view::npos) {
+    arg = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+  }
+
+  if (rest == "error") {
+    spec.mode = Mode::kErrorReturn;
+  } else if (rest == "throw") {
+    spec.mode = Mode::kThrow;
+  } else if (rest == "nan") {
+    spec.mode = Mode::kNanPoison;
+  } else if (rest == "delay") {
+    spec.mode = Mode::kDelayMs;
+    if (!parse_double(arg, &spec.arg) || spec.arg < 0.0) {
+      set_error(error, "delay mode needs delay:MS with MS >= 0: " + std::string(entry));
+      return std::nullopt;
+    }
+    arg = {};
+  } else if (rest == "short") {
+    spec.mode = Mode::kShortWrite;
+    if (!parse_double(arg, &spec.arg) || spec.arg < 0.0 || spec.arg >= 1.0) {
+      set_error(error,
+                "short mode needs short:FRAC with 0 <= FRAC < 1: " + std::string(entry));
+      return std::nullopt;
+    }
+    arg = {};
+  } else {
+    set_error(error, "unknown fault mode '" + std::string(rest) +
+                         "' (error|throw|nan|delay:MS|short:FRAC)");
+    return std::nullopt;
+  }
+  if (!arg.empty()) {
+    set_error(error, "mode '" + std::string(rest) + "' takes no argument: " +
+                         std::string(entry));
+    return std::nullopt;
+  }
+
+  if (trigger.empty() || trigger == "always") {
+    spec.trigger = FaultSpec::Trigger::kAlways;
+  } else if (trigger == "once") {
+    spec.trigger = FaultSpec::Trigger::kOnce;
+  } else if (trigger.rfind("nth:", 0) == 0) {
+    spec.trigger = FaultSpec::Trigger::kNth;
+    if (!parse_u64(trigger.substr(4), &spec.nth) || spec.nth == 0) {
+      set_error(error, "nth trigger needs @nth:N with N >= 1: " + std::string(entry));
+      return std::nullopt;
+    }
+  } else if (trigger.rfind("p:", 0) == 0) {
+    spec.trigger = FaultSpec::Trigger::kProbability;
+    if (!parse_double(trigger.substr(2), &spec.probability) || spec.probability < 0.0 ||
+        spec.probability > 1.0) {
+      set_error(error, "p trigger needs @p:P with P in [0, 1]: " + std::string(entry));
+      return std::nullopt;
+    }
+  } else {
+    set_error(error, "unknown trigger '@" + std::string(trigger) +
+                         "' (always|once|nth:N|p:P)");
+    return std::nullopt;
+  }
+  return spec;
+}
+
+bool configure(std::string_view spec, std::string* error) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find_first_of(",;", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim surrounding whitespace.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\t')) {
+      entry.remove_prefix(1);
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\t')) {
+      entry.remove_suffix(1);
+    }
+    if (entry.empty()) {
+      if (pos > spec.size()) break;
+      continue;
+    }
+    if (entry.rfind("seed=", 0) == 0) {
+      std::uint64_t seed = 0;
+      if (!parse_u64(entry.substr(5), &seed)) {
+        set_error(error, "bad seed entry: " + std::string(entry));
+        return false;
+      }
+      set_seed(seed);
+      continue;
+    }
+    std::optional<FaultSpec> parsed = parse_fault_spec(entry, error);
+    if (!parsed) return false;
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.sites[parsed->site].specs.push_back({*parsed, false});
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool configure_from_env() {
+  const char* env = std::getenv("AGUA_FAULTS");
+  if (env == nullptr || *env == '\0') return true;
+  std::string error;
+  if (!configure(env, &error)) {
+    std::fprintf(stderr, "AGUA_FAULTS: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+void clear() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.sites.clear();
+  reg.total_fires = 0;
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void set_seed(std::uint64_t seed) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.seed = seed;
+}
+
+void set_fire_observer(FireObserver observer) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.observer = std::move(observer);
+}
+
+std::optional<Fired> should_fire(std::string_view site) {
+  Registry& reg = registry();
+  std::optional<Fired> fired;
+  FireObserver observer;  // copied out so the callback runs unlocked
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.sites.find(site);
+    if (it == reg.sites.end()) return std::nullopt;
+    SiteState& state = it->second;
+    if (state.specs.empty()) return std::nullopt;
+    const std::uint64_t hit = ++state.hits;
+    for (ArmedSpec& armed_spec : state.specs) {
+      if (armed_spec.exhausted) continue;
+      const FaultSpec& spec = armed_spec.spec;
+      bool fire = false;
+      switch (spec.trigger) {
+        case FaultSpec::Trigger::kAlways:
+          fire = true;
+          break;
+        case FaultSpec::Trigger::kOnce:
+          fire = true;
+          armed_spec.exhausted = true;
+          break;
+        case FaultSpec::Trigger::kNth:
+          fire = hit == spec.nth;
+          if (hit >= spec.nth) armed_spec.exhausted = true;
+          break;
+        case FaultSpec::Trigger::kProbability: {
+          // Deterministic per-(seed, site, hit) Bernoulli draw — independent
+          // of thread schedule and of draws at other sites.
+          const std::uint64_t raw =
+              splitmix64(reg.seed ^ fnv1a(spec.site) ^ (hit * 0x9E3779B97F4A7C15ULL));
+          const double u =
+              static_cast<double>(raw >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+          fire = u < spec.probability;
+          break;
+        }
+      }
+      if (fire) {
+        fired = Fired{spec.mode, spec.arg};
+        ++state.fires;
+        ++reg.total_fires;
+        observer = reg.observer;
+        break;  // first matching spec wins for this hit
+      }
+    }
+  }
+  if (fired && observer) observer(site, fired->mode);
+  return fired;
+}
+
+bool fail_point(std::string_view site) {
+  if (!armed()) return false;
+  const std::optional<Fired> fired = should_fire(site);
+  return fired && fired->mode == Mode::kErrorReturn;
+}
+
+void throw_point(std::string_view site) {
+  if (!armed()) return;
+  const std::optional<Fired> fired = should_fire(site);
+  if (fired && fired->mode == Mode::kThrow) throw FaultInjected(std::string(site));
+}
+
+double poison_point(std::string_view site, double value) {
+  if (!armed()) return value;
+  const std::optional<Fired> fired = should_fire(site);
+  if (fired && fired->mode == Mode::kNanPoison) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return value;
+}
+
+void delay_point(std::string_view site) {
+  if (!armed()) return;
+  const std::optional<Fired> fired = should_fire(site);
+  if (fired && fired->mode == Mode::kDelayMs) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fired->arg));
+  }
+}
+
+std::size_t short_write_point(std::string_view site, std::size_t len) {
+  if (!armed()) return len;
+  const std::optional<Fired> fired = should_fire(site);
+  if (fired && fired->mode == Mode::kShortWrite) {
+    return static_cast<std::size_t>(static_cast<double>(len) * fired->arg);
+  }
+  return len;
+}
+
+std::vector<SiteStats> stats() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<SiteStats> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [site, state] : reg.sites) {
+    out.push_back({site, state.hits, state.fires});
+  }
+  return out;
+}
+
+std::uint64_t total_fires() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.total_fires;
+}
+
+}  // namespace agua::common::fault

@@ -1,0 +1,157 @@
+// Deterministic fault injection for the whole stack (DESIGN.md §8).
+//
+// Production code declares *named injection sites* where a failure could
+// plausibly occur (a write syscall, an accept loop, a gradient reduction) and
+// asks the registry whether a fault fires *here, now*:
+//
+//   if (common::fault::fail_point("model_io.save.write")) return false;
+//   loss = common::fault::poison_point("train.concept.loss", loss);
+//
+// Faults are armed from a spec string (CLI `--faults SPEC` or the
+// `AGUA_FAULTS` env var), a comma/semicolon-separated list of
+//
+//   site=mode[:arg][@trigger]
+//
+//   modes     error          make the site report failure (error-return)
+//             throw          throw common::fault::FaultInjected at the site
+//             nan            replace the site's value with quiet NaN
+//             delay:MS       sleep MS milliseconds at the site
+//             short:FRAC     truncate the site's write to FRAC of its length
+//   triggers  @always        every hit (the default)
+//             @once          first hit only
+//             @nth:N         the Nth hit only (1-based)
+//             @p:P           each hit independently with probability P,
+//                            drawn from a seeded deterministic stream
+//
+// plus the pseudo-entry `seed=N` to seed the probability stream. Example:
+//
+//   AGUA_FAULTS='model_io.save.write=short:0.5@once,net.accept=error@nth:2'
+//
+// Cost model: when nothing is armed, every *_point helper is a single
+// relaxed atomic load and branch — cheap enough to leave compiled into the
+// serving and training paths permanently (measured in perf_microbench's
+// fault_sites section; budget < 1%). When armed, a check takes a mutex and a
+// map lookup; sites sit at syscall/step/request granularity, never in
+// per-element math kernels.
+//
+// Every fired fault bumps the registry's per-site counters and invokes the
+// observer hook, which the obs layer (obs/fault_telemetry.hpp) wires to an
+// `agua.fault.injected` counter and a `fault.injected` flight-recorder event.
+// This layer deliberately does not depend on obs (obs depends on common).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agua::common::fault {
+
+enum class Mode {
+  kErrorReturn,  ///< site reports failure (fail_point returns true)
+  kThrow,        ///< site throws FaultInjected
+  kNanPoison,    ///< site's double becomes quiet NaN
+  kDelayMs,      ///< site sleeps arg milliseconds
+  kShortWrite,   ///< site's write length is truncated to arg fraction
+};
+
+/// Thrown by throw_point when a kThrow fault fires.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at site: " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// One armed fault, parsed from `site=mode[:arg][@trigger]`.
+struct FaultSpec {
+  enum class Trigger { kAlways, kOnce, kNth, kProbability };
+
+  std::string site;
+  Mode mode = Mode::kErrorReturn;
+  double arg = 0.0;  ///< delay ms (kDelayMs) or write fraction (kShortWrite)
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t nth = 0;        ///< 1-based hit index for kNth
+  double probability = 0.0;     ///< per-hit fire probability for kProbability
+};
+
+/// Parse one spec entry. Returns std::nullopt and sets `error` on bad syntax.
+std::optional<FaultSpec> parse_fault_spec(std::string_view entry, std::string* error);
+
+/// Arm every fault in a spec list (see file comment for the grammar). Adds to
+/// whatever is already armed. Returns false and sets `error` (when given) on
+/// the first malformed entry; earlier entries in the list stay armed.
+bool configure(std::string_view spec, std::string* error = nullptr);
+
+/// configure() from the AGUA_FAULTS environment variable. Unset/empty env is
+/// a successful no-op. Errors are reported on stderr (and via the return).
+bool configure_from_env();
+
+/// Disarm everything and reset per-site statistics.
+void clear();
+
+/// True when at least one fault is armed — the relaxed-atomic fast path every
+/// *_point helper checks first.
+bool armed();
+
+/// Seed for the deterministic probability stream (default 0). The draw for
+/// hit H at site S depends only on (seed, S, H), so probabilistic faults
+/// reproduce exactly across runs and thread schedules.
+void set_seed(std::uint64_t seed);
+
+/// What fired at a site: the mode plus its argument.
+struct Fired {
+  Mode mode = Mode::kErrorReturn;
+  double arg = 0.0;
+};
+
+/// The slow-path check: records a hit on `site` and returns the fired fault,
+/// if any armed spec for this site triggers. Thread-safe. Prefer the typed
+/// helpers below, which combine the armed() fast path with mode semantics.
+std::optional<Fired> should_fire(std::string_view site);
+
+/// kErrorReturn helper: true when the site should simulate failure.
+bool fail_point(std::string_view site);
+
+/// kThrow helper: throws FaultInjected when the site fires.
+void throw_point(std::string_view site);
+
+/// kNanPoison helper: returns quiet NaN instead of `value` when fired.
+double poison_point(std::string_view site, double value);
+
+/// kDelayMs helper: sleeps the spec's delay when fired.
+void delay_point(std::string_view site);
+
+/// kShortWrite helper: the (possibly truncated) number of bytes the caller
+/// should actually write. Unfired: `len` unchanged; fired: floor(len * frac).
+std::size_t short_write_point(std::string_view site, std::size_t len);
+
+/// Per-site bookkeeping for tests, /healthz-style surfaces, and docs.
+struct SiteStats {
+  std::string site;
+  std::uint64_t hits = 0;   ///< should_fire calls that reached the slow path
+  std::uint64_t fires = 0;  ///< faults actually injected
+};
+
+/// Stats for every site that has armed specs or recorded hits.
+std::vector<SiteStats> stats();
+
+/// Total faults injected since the last clear().
+std::uint64_t total_fires();
+
+/// Observer invoked (outside the registry lock) for every fired fault. The
+/// obs layer installs one that emits metrics + events; tests may install
+/// their own. Pass nullptr to uninstall.
+using FireObserver = std::function<void(std::string_view site, Mode mode)>;
+void set_fire_observer(FireObserver observer);
+
+/// Human-readable mode token ("error", "throw", "nan", "delay", "short").
+std::string_view mode_name(Mode mode);
+
+}  // namespace agua::common::fault

@@ -23,6 +23,20 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
 }
 
+Rng::State Rng::state() const {
+  State out;
+  for (int i = 0; i < 4; ++i) out.s[i] = s_[i];
+  out.has_cached_normal = has_cached_normal_;
+  out.cached_normal = cached_normal_;
+  return out;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -50,6 +50,16 @@ class Rng {
   /// Derive an independent child generator; stable for a given (state, tag).
   Rng fork(std::uint64_t tag);
 
+  /// The full generator state, for checkpointing: restoring it resumes the
+  /// stream bit-for-bit (including a cached Box-Muller normal).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

@@ -1,5 +1,6 @@
 #include "common/serialize.hpp"
 
+#include <array>
 #include <bit>
 #include <cstring>
 #include <limits>
@@ -7,7 +8,7 @@
 namespace agua::common {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x41475541;  // "AGUA"
+constexpr std::uint32_t kMagic = kArchiveMagic;
 // Guard against hostile/corrupt length prefixes blowing up allocations.
 constexpr std::uint64_t kMaxContainer = 1ULL << 32;
 
@@ -87,6 +88,73 @@ std::uint32_t read_archive_header(BinaryReader& r) {
   const std::uint32_t version = r.read_u32();
   if (!r.ok() || magic != kMagic) return 0;
   return version;
+}
+
+void BinaryWriter::write_bytes(const char* data, std::size_t size) {
+  out_.write(data, static_cast<std::streamsize>(size));
+}
+
+std::string BinaryReader::read_bytes(std::size_t size) {
+  std::string s(size, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in_.gcount()) != size) in_.setstate(std::ios::failbit);
+  return s;
+}
+
+bool BinaryReader::at_eof() {
+  if (!in_) return in_.eof();
+  return in_.peek() == std::char_traits<char>::eof();
+}
+
+namespace {
+
+/// Table-driven reflected CRC-32 (polynomial 0xEDB88320), built once.
+const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc) {
+  const std::uint32_t* table = crc32_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void write_section(BinaryWriter& w, std::uint32_t section_id, const std::string& payload) {
+  w.write_u32(section_id);
+  w.write_u64(payload.size());
+  w.write_bytes(payload.data(), payload.size());
+  w.write_u32(crc32(payload.data(), payload.size()));
+}
+
+SectionStatus read_section(BinaryReader& r, std::uint32_t expected_id,
+                           std::string& payload) {
+  const std::uint32_t id = r.read_u32();
+  const std::uint64_t size = r.read_u64();
+  if (!r.ok()) return SectionStatus::kTruncated;
+  if (id != expected_id) return SectionStatus::kBadId;
+  if (size > kMaxSectionBytes) return SectionStatus::kTooLarge;
+  payload = r.read_bytes(static_cast<std::size_t>(size));
+  const std::uint32_t stored_crc = r.read_u32();
+  if (!r.ok()) return SectionStatus::kTruncated;
+  if (stored_crc != crc32(payload.data(), payload.size())) return SectionStatus::kBadCrc;
+  return SectionStatus::kOk;
 }
 
 }  // namespace agua::common

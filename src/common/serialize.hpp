@@ -21,8 +21,11 @@ class BinaryWriter {
   void write_double(double v);
   void write_string(const std::string& s);
   void write_doubles(const std::vector<double>& v);
+  /// Raw bytes, no length prefix (section framing writes its own).
+  void write_bytes(const char* data, std::size_t size);
 
   bool ok() const { return static_cast<bool>(out_); }
+  std::ostream& stream() { return out_; }
 
  private:
   std::ostream& out_;
@@ -39,17 +42,52 @@ class BinaryReader {
   double read_double();
   std::string read_string();
   std::vector<double> read_doubles();
+  /// Exactly `size` raw bytes; sets fail() on a short read.
+  std::string read_bytes(std::size_t size);
 
   bool ok() const { return static_cast<bool>(in_); }
+  std::istream& stream() { return in_; }
+  /// True when the stream has no more bytes (peeks; does not set fail()).
+  bool at_eof();
 
  private:
   std::istream& in_;
 };
+
+/// The archive magic ("AGUA"), exposed so typed loaders can distinguish
+/// not-an-archive from version skew from truncation.
+inline constexpr std::uint32_t kArchiveMagic = 0x41475541;
 
 /// Writes the archive header (magic + version).
 void write_archive_header(BinaryWriter& w, std::uint32_t version);
 
 /// Reads and validates the header; returns the version or 0 on mismatch.
 std::uint32_t read_archive_header(BinaryReader& r);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `size` bytes, continuing
+/// from `crc` (pass 0 to start). The checksum behind every archive section.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+/// CRC-framed archive sections (DESIGN.md §8):
+///
+///   [u32 section_id][u64 payload_size][payload bytes][u32 crc32(payload)]
+///
+/// Sections make corruption *localizable and typed*: a flipped bit fails the
+/// CRC of exactly one section, a truncated file fails with kTruncated, and a
+/// wrong section id means structural damage — all without ever reading
+/// attacker-controlled lengths into an allocation (payloads are capped).
+enum class SectionStatus {
+  kOk,
+  kTruncated,  ///< stream ended inside the frame
+  kBadId,      ///< frame present but not the expected section
+  kTooLarge,   ///< payload_size over the sanity cap (corrupt length)
+  kBadCrc,     ///< payload bytes fail their checksum
+};
+
+/// Largest payload read_section will allocate for (1 GiB).
+inline constexpr std::uint64_t kMaxSectionBytes = 1ULL << 30;
+
+void write_section(BinaryWriter& w, std::uint32_t section_id, const std::string& payload);
+SectionStatus read_section(BinaryReader& r, std::uint32_t expected_id, std::string& payload);
 
 }  // namespace agua::common

@@ -1,0 +1,97 @@
+#include "core/checkpoint.hpp"
+
+#include <sstream>
+
+#include "common/atomic_file.hpp"
+#include "common/fault.hpp"
+
+namespace agua::core {
+namespace {
+
+constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kSectionCheckpoint = 16;
+
+// Far above any stage in this codebase (a 2-layer MLP has 4 parameters);
+// bounds allocations when decoding a corrupt count that slipped past the CRC
+// (i.e. a hand-crafted file).
+constexpr std::uint64_t kMaxParams = 1024;
+
+void save_body(common::BinaryWriter& w, const TrainCheckpoint& ckpt) {
+  w.write_u32(ckpt.stage);
+  w.write_u64(ckpt.next_epoch);
+  w.write_u64(ckpt.total_epochs);
+  w.write_double(ckpt.last_epoch_loss);
+  w.write_double(ckpt.learning_rate);
+  w.write_u64(ckpt.nonfinite_total);
+  for (std::uint64_t s : ckpt.rng.s) w.write_u64(s);
+  w.write_u32(ckpt.rng.has_cached_normal ? 1 : 0);
+  w.write_double(ckpt.rng.cached_normal);
+  w.write_u64(ckpt.params.size());
+  for (const nn::Matrix& m : ckpt.params) m.save(w);
+  w.write_u64(ckpt.velocity.size());
+  for (const nn::Matrix& m : ckpt.velocity) m.save(w);
+}
+
+std::optional<TrainCheckpoint> load_body(common::BinaryReader& r) {
+  TrainCheckpoint ckpt;
+  ckpt.stage = r.read_u32();
+  ckpt.next_epoch = r.read_u64();
+  ckpt.total_epochs = r.read_u64();
+  ckpt.last_epoch_loss = r.read_double();
+  ckpt.learning_rate = r.read_double();
+  ckpt.nonfinite_total = r.read_u64();
+  for (std::uint64_t& s : ckpt.rng.s) s = r.read_u64();
+  ckpt.rng.has_cached_normal = r.read_u32() != 0;
+  ckpt.rng.cached_normal = r.read_double();
+  const std::uint64_t num_params = r.read_u64();
+  if (!r.ok() || num_params > kMaxParams) return std::nullopt;
+  ckpt.params.reserve(num_params);
+  for (std::uint64_t i = 0; i < num_params; ++i) ckpt.params.push_back(nn::Matrix::load(r));
+  const std::uint64_t num_velocity = r.read_u64();
+  if (!r.ok() || num_velocity > kMaxParams) return std::nullopt;
+  ckpt.velocity.reserve(num_velocity);
+  for (std::uint64_t i = 0; i < num_velocity; ++i)
+    ckpt.velocity.push_back(nn::Matrix::load(r));
+  if (!r.ok()) return std::nullopt;
+  if (ckpt.velocity.size() != ckpt.params.size()) return std::nullopt;
+  return ckpt;
+}
+
+}  // namespace
+
+void save_checkpoint(common::BinaryWriter& w, const TrainCheckpoint& ckpt) {
+  common::write_archive_header(w, kCheckpointVersion);
+  std::ostringstream body;
+  common::BinaryWriter bw(body);
+  save_body(bw, ckpt);
+  common::write_section(w, kSectionCheckpoint, std::move(body).str());
+}
+
+std::optional<TrainCheckpoint> load_checkpoint(common::BinaryReader& r) {
+  if (common::read_archive_header(r) != kCheckpointVersion) return std::nullopt;
+  std::string payload;
+  if (common::read_section(r, kSectionCheckpoint, payload) != common::SectionStatus::kOk)
+    return std::nullopt;
+  std::istringstream body(std::move(payload));
+  common::BinaryReader br(body);
+  return load_body(br);
+}
+
+bool save_checkpoint_file(const std::string& path, const TrainCheckpoint& ckpt) {
+  std::ostringstream buffer;
+  common::BinaryWriter w(buffer);
+  save_checkpoint(w, ckpt);
+  if (!w.ok()) return false;
+  return common::atomic_write_file(path, std::move(buffer).str(), "checkpoint.save");
+}
+
+std::optional<TrainCheckpoint> load_checkpoint_file(const std::string& path) {
+  if (common::fault::fail_point("checkpoint.load.open")) return std::nullopt;
+  auto bytes = common::read_file(path);
+  if (!bytes) return std::nullopt;
+  std::istringstream in(std::move(*bytes));
+  common::BinaryReader r(in);
+  return load_checkpoint(r);
+}
+
+}  // namespace agua::core

@@ -1,0 +1,51 @@
+// Mid-training checkpoints (DESIGN.md §8): a complete, resumable snapshot of
+// one training stage (δθ or Ω) taken at an epoch boundary — master weights,
+// SGD momentum buffers, the training Rng's full state, and the schedule
+// position. Restoring a checkpoint and running the remaining epochs produces
+// a final model bitwise identical to an uninterrupted run (the §7
+// determinism contract extends across kill -9).
+//
+// On disk a checkpoint is a CRC-framed archive (common/serialize section
+// framing) written crash-safely (common/atomic_file), so a crash during
+// checkpointing leaves the previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "nn/tensor.hpp"
+
+namespace agua::core {
+
+/// Pipeline stage numbers follow Fig. 2: ④ concept mapping, ⑤ output mapping.
+inline constexpr std::uint32_t kCheckpointStageConcept = 4;
+inline constexpr std::uint32_t kCheckpointStageOutput = 5;
+
+struct TrainCheckpoint {
+  std::uint32_t stage = 0;            ///< kCheckpointStageConcept / ...Output
+  std::uint64_t next_epoch = 0;       ///< first epoch not yet run
+  std::uint64_t total_epochs = 0;     ///< configured epochs when saved
+  double last_epoch_loss = 0.0;
+  double learning_rate = 0.0;         ///< current lr (may be backed off, §8)
+  std::uint64_t nonfinite_total = 0;  ///< guard counter, survives resume
+  common::Rng::State rng;             ///< training stream at the boundary
+  std::vector<nn::Matrix> params;     ///< master weights, parameters() order
+  std::vector<nn::Matrix> velocity;   ///< SGD momentum, same order
+};
+
+/// Stream forms (CRC-framed single-section archive).
+void save_checkpoint(common::BinaryWriter& w, const TrainCheckpoint& ckpt);
+std::optional<TrainCheckpoint> load_checkpoint(common::BinaryReader& r);
+
+/// Crash-safe file forms: tmp + fsync + atomic rename. Fault sites
+/// `checkpoint.save.{open,write,rename}` and `checkpoint.load.open`.
+/// load returns nullopt for a missing, torn, or corrupt file — a resume
+/// then simply starts the stage from scratch.
+bool save_checkpoint_file(const std::string& path, const TrainCheckpoint& ckpt);
+std::optional<TrainCheckpoint> load_checkpoint_file(const std::string& path);
+
+}  // namespace agua::core

@@ -3,8 +3,10 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/fault.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "core/train_guard.hpp"
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
 #include "obs/parallel.hpp"
@@ -34,6 +36,10 @@ double ConceptMapping::train(const std::vector<std::vector<double>>& embeddings,
   opt.momentum = config_.momentum;
   opt.gradient_clip = 5.0;
   nn::SgdOptimizer optimizer(net_->parameters(), opt);
+  // The live rate: backed off by the non-finite guard, restored on recovery,
+  // and carried through checkpoints.
+  double& lr = optimizer.options().learning_rate;
+  NonFiniteGuard guard("concept", config_.learning_rate);
 
   // Layers cache forward activations, so concurrent chunks cannot share the
   // master net: each worker runs its own replica, lazily re-synced to the
@@ -56,7 +62,24 @@ double ConceptMapping::train(const std::vector<std::vector<double>>& embeddings,
   std::vector<std::vector<nn::Matrix>> chunk_grads;  // [chunk][param]
 
   double last_epoch_loss = 0.0;
-  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  std::size_t start_epoch = 0;
+  if (config_.resume != nullptr && config_.resume->stage == kCheckpointStageConcept &&
+      config_.resume->params.size() == master_params.size()) {
+    // Restore the epoch-boundary snapshot: weights, momentum, rng stream,
+    // schedule position. A completed stage (next_epoch == epochs) skips the
+    // loop entirely and returns the recorded loss.
+    const TrainCheckpoint& ckpt = *config_.resume;
+    for (std::size_t p = 0; p < master_params.size(); ++p) {
+      master_params[p]->value = ckpt.params[p];
+    }
+    optimizer.set_velocity(ckpt.velocity);
+    rng.set_state(ckpt.rng);
+    lr = ckpt.learning_rate;
+    guard.set_total(ckpt.nonfinite_total);
+    last_epoch_loss = ckpt.last_epoch_loss;
+    start_epoch = static_cast<std::size_t>(ckpt.next_epoch);
+  }
+  for (std::size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     const auto order = rng.permutation(embeddings.size());
     double epoch_loss = 0.0;
     std::size_t batches = 0;
@@ -111,11 +134,21 @@ double ConceptMapping::train(const std::vector<std::vector<double>>& embeddings,
       // pool size (including 1).
       optimizer.zero_grad();
       for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
-        epoch_loss += chunk_losses[chunk];
         for (std::size_t p = 0; p < master_params.size(); ++p) {
           master_params[p]->grad.add(chunk_grads[chunk][p]);
         }
       }
+      // Fault sites live in this serial section, not inside workers, so
+      // nth-hit triggers are schedule-independent (DESIGN.md §8).
+      if (common::fault::armed()) {
+        chunk_losses[0] = common::fault::poison_point("train.concept.loss", chunk_losses[0]);
+        if (!master_params.empty() && !master_params[0]->grad.empty()) {
+          double& g0 = master_params[0]->grad.data()[0];
+          g0 = common::fault::poison_point("train.concept.grad", g0);
+        }
+      }
+      if (!guard.admit(chunk_losses, master_params, lr, epoch)) continue;  // skip step
+      for (double chunk_loss : chunk_losses) epoch_loss += chunk_loss;
       optimizer.step();
       ++batches;
     }
@@ -129,8 +162,23 @@ double ConceptMapping::train(const std::vector<std::vector<double>>& embeddings,
       stats.loss = last_epoch_loss;
       stats.grad_norm = params_l2_norm(master_params, /*grads=*/true);
       stats.weight_norm = params_l2_norm(master_params, /*grads=*/false);
-      stats.learning_rate = config_.learning_rate;
+      stats.learning_rate = lr;
       config_.observer(stats);
+    }
+    if (config_.checkpoint_every > 0 && config_.checkpoint_sink &&
+        ((epoch + 1) % config_.checkpoint_every == 0 || epoch + 1 == config_.epochs)) {
+      TrainCheckpoint ckpt;
+      ckpt.stage = kCheckpointStageConcept;
+      ckpt.next_epoch = epoch + 1;
+      ckpt.total_epochs = config_.epochs;
+      ckpt.last_epoch_loss = last_epoch_loss;
+      ckpt.learning_rate = lr;
+      ckpt.nonfinite_total = guard.total();
+      ckpt.rng = rng.state();
+      ckpt.params.reserve(master_params.size());
+      for (const nn::Parameter* p : master_params) ckpt.params.push_back(p->value);
+      ckpt.velocity = optimizer.velocity();
+      config_.checkpoint_sink(ckpt);
     }
   }
   return last_epoch_loss;

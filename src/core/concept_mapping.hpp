@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/checkpoint.hpp"
 #include "core/train_observer.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor.hpp"
@@ -31,6 +32,14 @@ class ConceptMapping {
     /// Per-epoch telemetry callback; empty (the default) adds zero work and
     /// keeps training bitwise identical to an observer-free build.
     TrainObserver observer;
+    /// Crash-safe checkpointing (DESIGN.md §8). With `checkpoint_every > 0`,
+    /// `checkpoint_sink` receives a resumable snapshot after every N-th epoch
+    /// and after the final one. `resume` (borrowed; must outlive train())
+    /// restores such a snapshot, and the remaining epochs produce weights
+    /// bitwise identical to an uninterrupted run.
+    std::function<void(const TrainCheckpoint&)> checkpoint_sink;
+    std::size_t checkpoint_every = 0;
+    const TrainCheckpoint* resume = nullptr;
   };
 
   ConceptMapping(Config config, common::Rng& rng);

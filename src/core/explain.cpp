@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/fault.hpp"
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
@@ -20,6 +21,7 @@ Explanation explain_one(AguaModel& model, const std::vector<double>& embedding,
   static obs::Histogram& latency =
       obs::MetricsRegistry::instance().histogram("agua.explain.single");
   obs::ScopedTimer timer(latency);
+  common::fault::throw_point("explain.single");
   Explanation exp;
   const std::size_t C = model.num_concepts();
   const std::size_t k = model.num_levels();
@@ -110,8 +112,15 @@ Explanation explain_for_class(AguaModel& model, const std::vector<double>& embed
 Explanation explain_batched(AguaModel& model,
                             const std::vector<std::vector<double>>& embeddings,
                             std::size_t output_class) {
-  Explanation aggregate;
-  if (embeddings.empty()) return aggregate;
+  return explain_batched_isolated(model, embeddings, output_class).aggregate;
+}
+
+BatchExplainResult explain_batched_isolated(
+    AguaModel& model, const std::vector<std::vector<double>>& embeddings,
+    std::size_t output_class) {
+  BatchExplainResult result;
+  result.attempted = embeddings.size();
+  if (embeddings.empty()) return result;
   obs::TraceSpan span("agua.explain.batch");
   obs::MetricsRegistry::instance().counter("agua.explain.batch.samples")
       .add(embeddings.size());
@@ -121,11 +130,28 @@ Explanation explain_batched(AguaModel& model,
   // depends only on the (identical) weights of the model clone that computed
   // it, and the aggregation below walks results in index order, so the
   // batched explanation is bitwise identical for any pool size.
+  //
+  // Isolation (§8): each slot validates its input and catches its own
+  // exceptions *inside* the worker — a poisoned embedding or a throwing
+  // explanation marks one slot failed instead of tearing down the pool.
   common::ThreadPool& pool = common::default_pool();
   std::vector<Explanation> per_input(embeddings.size());
+  std::vector<std::string> slot_error(embeddings.size());
+  std::vector<char> slot_ok(embeddings.size(), 0);
   auto explain_index = [&](AguaModel& m, std::size_t i) {
-    per_input[i] = factual ? explain_factual(m, embeddings[i])
-                           : explain_for_class(m, embeddings[i], output_class);
+    for (double v : embeddings[i]) {
+      if (!std::isfinite(v)) {
+        slot_error[i] = "non-finite embedding";
+        return;
+      }
+    }
+    try {
+      per_input[i] = factual ? explain_factual(m, embeddings[i])
+                             : explain_for_class(m, embeddings[i], output_class);
+      slot_ok[i] = 1;
+    } catch (const std::exception& e) {
+      slot_error[i] = e.what();
+    }
   };
   if (pool.thread_count() <= 1 || embeddings.size() < 2) {
     for (std::size_t i = 0; i < embeddings.size(); ++i) explain_index(model, i);
@@ -141,8 +167,15 @@ Explanation explain_batched(AguaModel& model,
                       });
   }
 
+  Explanation& aggregate = result.aggregate;
   bool first = true;
-  for (const Explanation& exp : per_input) {
+  for (std::size_t i = 0; i < per_input.size(); ++i) {
+    if (!slot_ok[i]) {
+      result.errors.push_back(SlotError{i, std::move(slot_error[i])});
+      continue;
+    }
+    ++result.succeeded;
+    const Explanation& exp = per_input[i];
     if (first) {
       aggregate = exp;
       first = false;
@@ -157,7 +190,12 @@ Explanation explain_batched(AguaModel& model,
       aggregate.raw_contributions[j] += exp.raw_contributions[j];
     }
   }
-  const double inv = 1.0 / static_cast<double>(embeddings.size());
+  if (!result.errors.empty()) {
+    obs::MetricsRegistry::instance().counter("agua.explain.slot_errors")
+        .add(result.errors.size());
+  }
+  if (result.succeeded == 0) return result;
+  const double inv = 1.0 / static_cast<double>(result.succeeded);
   aggregate.output_probability *= inv;
   for (double& w : aggregate.concept_weights) w *= inv;
   for (double& w : aggregate.signed_concept_contributions) w *= inv;
@@ -176,7 +214,7 @@ Explanation explain_batched(AguaModel& model,
     }
     aggregate.dominant_levels[c] = k > 1 ? (3 * best_level) / k : 2;
   }
-  return aggregate;
+  return result;
 }
 
 }  // namespace agua::core

@@ -55,4 +55,33 @@ Explanation explain_batched(AguaModel& model,
                             const std::vector<std::vector<double>>& embeddings,
                             std::size_t output_class = static_cast<std::size_t>(-1));
 
+/// One failed slot of a batched explanation.
+struct SlotError {
+  std::size_t index = 0;  ///< position in the input batch
+  std::string message;
+};
+
+/// Batched explanation with per-slot fault isolation (DESIGN.md §8): a
+/// poisoned embedding (NaN/Inf) or a throwing explanation affects only its
+/// own slot. `aggregate` averages the successful slots; `errors` lists the
+/// failures in index order.
+struct BatchExplainResult {
+  Explanation aggregate;
+  std::vector<SlotError> errors;
+  std::size_t attempted = 0;
+  std::size_t succeeded = 0;
+
+  /// True when at least one slot produced an explanation.
+  explicit operator bool() const { return succeeded > 0; }
+};
+
+/// Fault-isolated variant of explain_batched. Exceptions are caught inside
+/// the worker (they never cross the pool boundary), each failure bumps the
+/// `agua.explain.slot_errors` counter, and with no failing slot the
+/// aggregate is bitwise identical to explain_batched's. Fault site:
+/// `explain.single` (throw mode exercises the isolation path).
+BatchExplainResult explain_batched_isolated(
+    AguaModel& model, const std::vector<std::vector<double>>& embeddings,
+    std::size_t output_class = static_cast<std::size_t>(-1));
+
 }  // namespace agua::core

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/checkpoint.hpp"
 #include "core/train_observer.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor.hpp"
@@ -33,6 +34,10 @@ class OutputMapping {
     /// Per-epoch telemetry callback; empty (the default) adds zero work and
     /// keeps training bitwise identical to an observer-free build.
     TrainObserver observer;
+    /// Crash-safe checkpointing (DESIGN.md §8); see ConceptMapping::Config.
+    std::function<void(const TrainCheckpoint&)> checkpoint_sink;
+    std::size_t checkpoint_every = 0;
+    const TrainCheckpoint* resume = nullptr;
   };
 
   OutputMapping(Config config, common::Rng& rng);

@@ -1,8 +1,10 @@
 #include "core/pipeline.hpp"
 
 #include <cassert>
+#include <optional>
 
 #include "common/thread_pool.hpp"
+#include "core/checkpoint.hpp"
 #include "obs/events.hpp"
 #include "obs/parallel.hpp"
 #include "obs/trace.hpp"
@@ -27,6 +29,30 @@ TrainObserver make_epoch_observer(const TrainObserver& user, const char* event_k
                        {"lr", stats.learning_rate}});
     }
   };
+}
+
+/// Checkpoint sink writing crash-safe snapshots to `path`, with telemetry.
+std::function<void(const TrainCheckpoint&)> make_checkpoint_sink(std::string path) {
+  return [path = std::move(path)](const TrainCheckpoint& ckpt) {
+    if (!save_checkpoint_file(path, ckpt)) return;
+    obs::MetricsRegistry::instance().counter("agua.checkpoint.saves").add(1);
+    obs::event_log().append("checkpoint.save",
+                            {{"stage", static_cast<double>(ckpt.stage)},
+                             {"next_epoch", static_cast<double>(ckpt.next_epoch)},
+                             {"loss", ckpt.last_epoch_loss}});
+  };
+}
+
+/// Load a resume snapshot for `stage`; nullopt (fresh start) when the file
+/// is missing, torn, corrupt, or belongs to a different stage/schedule.
+std::optional<TrainCheckpoint> load_resume(const std::string& path, std::uint32_t stage,
+                                           std::size_t epochs) {
+  auto ckpt = load_checkpoint_file(path);
+  if (!ckpt || ckpt->stage != stage || ckpt->total_epochs != epochs) return std::nullopt;
+  obs::event_log().append("checkpoint.resume",
+                          {{"stage", static_cast<double>(ckpt->stage)},
+                           {"next_epoch", static_cast<double>(ckpt->next_epoch)}});
+  return ckpt;
 }
 
 }  // namespace
@@ -121,6 +147,16 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
     cm_config.learning_rate = config.concept_learning_rate;
     cm_config.momentum = config.concept_momentum;
     cm_config.observer = make_epoch_observer(config.concept_observer, "train.concept.epoch");
+    std::optional<TrainCheckpoint> resume_ckpt;
+    if (!config.checkpoint_dir.empty()) {
+      const std::string path = config.checkpoint_dir + "/concept.ckpt";
+      cm_config.checkpoint_every = config.checkpoint_every;
+      cm_config.checkpoint_sink = make_checkpoint_sink(path);
+      if (config.resume) {
+        resume_ckpt = load_resume(path, kCheckpointStageConcept, cm_config.epochs);
+        if (resume_ckpt) cm_config.resume = &*resume_ckpt;
+      }
+    }
     common::Rng cm_rng = rng.fork(0xC09C);
     ConceptMapping mapping(cm_config, cm_rng);
     artifacts.concept_train_loss =
@@ -145,6 +181,16 @@ AguaArtifacts train_agua(const Dataset& train, const concepts::ConceptSet& conce
     om_config.elastic_alpha = config.elastic_alpha;
     om_config.elastic_coef = config.elastic_coef;
     om_config.observer = make_epoch_observer(config.output_observer, "train.output.epoch");
+    std::optional<TrainCheckpoint> resume_ckpt;
+    if (!config.checkpoint_dir.empty()) {
+      const std::string path = config.checkpoint_dir + "/output.ckpt";
+      om_config.checkpoint_every = config.checkpoint_every;
+      om_config.checkpoint_sink = make_checkpoint_sink(path);
+      if (config.resume) {
+        resume_ckpt = load_resume(path, kCheckpointStageOutput, om_config.epochs);
+        if (resume_ckpt) om_config.resume = &*resume_ckpt;
+      }
+    }
     common::Rng om_rng = rng.fork(0x0A7B);
     OutputMapping mapping(om_config, om_rng);
     artifacts.output_train_loss =

@@ -58,6 +58,16 @@ struct AguaConfig {
   /// observer runs. Neither path perturbs training (DESIGN.md §7).
   TrainObserver concept_observer;
   TrainObserver output_observer;
+  /// Crash-safe mid-training checkpoints (DESIGN.md §8). When non-empty, the
+  /// directory (which must exist) receives `concept.ckpt` / `output.ckpt`
+  /// snapshots every `checkpoint_every` epochs, written atomically. With
+  /// `resume = true` a subsequent run restores them and continues; stages ②③
+  /// replay deterministically from the seed, stages ④⑤ restart from the
+  /// snapshots, and the final model is bitwise identical to an uninterrupted
+  /// run (a completed stage is skipped outright).
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 5;
+  bool resume = false;
 };
 
 /// The paper's exact §4 training parameters (k = 3, 200 concept epochs,

@@ -1,0 +1,61 @@
+#include "core/train_guard.hpp"
+
+#include <cmath>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace agua::core {
+
+TrainDivergedError::TrainDivergedError(const std::string& stage, std::size_t epoch,
+                                       std::size_t streak)
+    : std::runtime_error("training diverged: stage " + stage + " hit " +
+                         std::to_string(streak) + " consecutive non-finite batches at epoch " +
+                         std::to_string(epoch)) {}
+
+bool grads_finite(const std::vector<nn::Parameter*>& params) {
+  for (const nn::Parameter* param : params) {
+    for (double v : param->grad.data()) {
+      if (!std::isfinite(v)) return false;
+    }
+  }
+  return true;
+}
+
+bool NonFiniteGuard::admit(const std::vector<double>& chunk_losses,
+                           const std::vector<nn::Parameter*>& params, double& lr,
+                           std::size_t epoch) {
+  bool losses_finite = true;
+  for (double loss : chunk_losses) {
+    if (!std::isfinite(loss)) {
+      losses_finite = false;
+      break;
+    }
+  }
+  if (losses_finite && grads_finite(params)) {
+    if (consecutive_ > 0) {
+      // Recovered: the backed-off rate did its job, return to the schedule.
+      consecutive_ = 0;
+      lr = base_lr_;
+      obs::event_log().append("train.recover",
+                              {{std::string("stage.") + stage_, 1.0},
+                               {"epoch", static_cast<double>(epoch)},
+                               {"lr", lr}});
+    }
+    return true;
+  }
+
+  ++consecutive_;
+  ++total_;
+  obs::MetricsRegistry::instance().counter("agua.train.nonfinite").add(1);
+  if (consecutive_ >= max_consecutive_) throw TrainDivergedError(stage_, epoch, consecutive_);
+  lr *= 0.5;
+  obs::event_log().append("train.nonfinite",
+                          {{std::string("stage.") + stage_, 1.0},
+                           {"epoch", static_cast<double>(epoch)},
+                           {"consecutive", static_cast<double>(consecutive_)},
+                           {"lr", lr}});
+  return false;
+}
+
+}  // namespace agua::core

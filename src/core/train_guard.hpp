@@ -1,0 +1,62 @@
+// Non-finite training guard (DESIGN.md §8), shared by ConceptMapping::train
+// and OutputMapping::train.
+//
+// A poisoned input, an injected fault, or a genuinely diverging run shows up
+// as a NaN/Inf batch loss or gradient. Instead of silently corrupting the
+// weights (one NaN gradient NaNs every parameter forever), the guard skips
+// the optimizer step, halves the learning rate, and retries; after a bounded
+// number of consecutive bad batches it throws TrainDivergedError. The first
+// finite batch after a bad streak restores the base learning rate. When no
+// batch is ever non-finite the guard changes no floating-point operation, so
+// the §7 bitwise-determinism contract is untouched.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace agua::core {
+
+/// Thrown when `max_consecutive` batches in a row are non-finite — the run
+/// cannot make progress and the caller should surface the failure.
+class TrainDivergedError : public std::runtime_error {
+ public:
+  TrainDivergedError(const std::string& stage, std::size_t epoch, std::size_t streak);
+};
+
+class NonFiniteGuard {
+ public:
+  /// `stage` tags telemetry ("concept" / "output"); `base_lr` is what a
+  /// recovery restores; `lr` is mutated in place on backoff/recovery.
+  NonFiniteGuard(const char* stage, double base_lr, std::size_t max_consecutive = 8)
+      : stage_(stage), base_lr_(base_lr), max_consecutive_(max_consecutive) {}
+
+  /// Decide whether the just-reduced batch may be applied. True → step;
+  /// false → skip (the caller must not call optimizer.step() or count the
+  /// batch). Takes the per-chunk losses rather than their sum so an admitted
+  /// batch's loss accumulation keeps the exact chunk-order arithmetic of the
+  /// §7 contract. Emits `agua.train.nonfinite` counter bumps and
+  /// `train.nonfinite` / `train.recover` events; throws TrainDivergedError
+  /// after max_consecutive consecutive skips.
+  bool admit(const std::vector<double>& chunk_losses,
+             const std::vector<nn::Parameter*>& params, double& lr, std::size_t epoch);
+
+  std::uint64_t total() const { return total_; }
+  /// Restore the running count from a checkpoint (resume).
+  void set_total(std::uint64_t total) { total_ = total; }
+
+ private:
+  const char* stage_;
+  double base_lr_;
+  std::size_t max_consecutive_;
+  std::size_t consecutive_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// True when every accumulated gradient element is finite.
+bool grads_finite(const std::vector<nn::Parameter*>& params);
+
+}  // namespace agua::core

@@ -9,9 +9,15 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <future>
+#include <memory>
+
+#include "common/fault.hpp"
 
 namespace agua::net {
 namespace {
@@ -48,17 +54,32 @@ bool write_all(int fd, std::string_view data) {
   return true;
 }
 
-/// Read until the header terminator (CRLF CRLF) or `max_bytes`. Request
-/// bodies are not supported, so the head is the whole request.
-enum class ReadHead { kOk, kTooLarge, kError };
+/// Read until the header terminator (CRLF CRLF), `max_bytes`, or the
+/// absolute `deadline_ms` budget. Request bodies are not supported, so the
+/// head is the whole request. The deadline is enforced with poll() against a
+/// fixed endpoint — unlike SO_RCVTIMEO it does not reset per byte, which is
+/// what defeats slowloris-style trickle clients (kTimeout → 408).
+enum class ReadHead { kOk, kTooLarge, kTimeout, kError };
 
-ReadHead read_head(int fd, std::size_t max_bytes, std::string& out) {
+ReadHead read_head(int fd, std::size_t max_bytes, int deadline_ms, std::string& out) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
   char buf[2048];
   while (out.find("\r\n\r\n") == std::string::npos) {
     if (out.size() >= max_bytes) return ReadHead::kTooLarge;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+    if (remaining.count() <= 0) return ReadHead::kTimeout;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ReadHead::kError;
+    }
+    if (ready == 0) return ReadHead::kTimeout;
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return ReadHead::kError;  // timeout, reset, or premature close
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n <= 0) return ReadHead::kError;  // reset or premature close
     out.append(buf, static_cast<std::size_t>(n));
   }
   return ReadHead::kOk;
@@ -168,6 +189,7 @@ std::string_view status_reason(int status) {
     case 200: return "OK";
     case 400: return "Bad Request";
     case 404: return "Not Found";
+    case 408: return "Request Timeout";
     case 405: return "Method Not Allowed";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -260,6 +282,7 @@ void HttpServer::stop() {
 }
 
 void HttpServer::accept_loop() {
+  int backoff_ms = 0;
   while (running_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
     const int ready = ::poll(fds, 2, -1);
@@ -269,10 +292,70 @@ void HttpServer::accept_loop() {
     }
     if (fds[1].revents != 0) break;  // stop() woke us
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;  // raced with a client reset; keep serving
+    const bool injected = common::fault::fail_point("net.accept");
+    const int fd = injected ? -1 : ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      const int err = injected ? EMFILE : errno;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM) {
+        // Resource exhaustion: accepting again immediately would spin at
+        // 100% CPU and fail identically. Back off exponentially (capped),
+        // flag ourselves degraded, and retry — the connection stays in the
+        // listen queue meanwhile. The backoff sleep polls the wake pipe so
+        // stop() still interrupts it instantly.
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        degraded_.store(true, std::memory_order_relaxed);
+        backoff_ms = backoff_ms == 0 ? 10 : std::min(backoff_ms * 2, 1000);
+        pollfd wake{wake_fds_[0], POLLIN, 0};
+        if (::poll(&wake, 1, backoff_ms) > 0) break;
+      }
+      continue;  // ECONNABORTED & friends: raced with a client reset
+    }
+    backoff_ms = 0;
+    degraded_.store(false, std::memory_order_relaxed);
     serve_connection(fd);
     ::close(fd);
+  }
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats s;
+  s.requests = requests_served_.load(std::memory_order_relaxed);
+  s.request_timeouts = request_timeouts_.load(std::memory_order_relaxed);
+  s.handler_timeouts = handler_timeouts_.load(std::memory_order_relaxed);
+  s.accept_retries = accept_retries_.load(std::memory_order_relaxed);
+  s.write_errors = write_errors_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+HttpResponse HttpServer::run_handler(const Handler& handler, const HttpRequest& request) {
+  if (options_.handler_deadline_ms <= 0) {
+    try {
+      return handler(request);
+    } catch (const std::exception& e) {
+      return HttpResponse::text(500, std::string("handler error: ") + e.what() + "\n");
+    } catch (...) {
+      return HttpResponse::text(500, "handler error\n");
+    }
+  }
+  // Deadline mode: the handler runs on a helper thread holding copies of the
+  // handler and request, so a timed-out handler can finish (and be thrown
+  // away) after this connection has already been answered 503.
+  auto task = std::make_shared<std::packaged_task<HttpResponse()>>(
+      [handler, request] { return handler(request); });
+  std::future<HttpResponse> result = task->get_future();
+  std::thread([task] { (*task)(); }).detach();
+  if (result.wait_for(std::chrono::milliseconds(options_.handler_deadline_ms)) !=
+      std::future_status::ready) {
+    handler_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::text(503, "handler deadline exceeded\n");
+  }
+  try {
+    return result.get();
+  } catch (const std::exception& e) {
+    return HttpResponse::text(500, std::string("handler error: ") + e.what() + "\n");
+  } catch (...) {
+    return HttpResponse::text(500, "handler error\n");
   }
 }
 
@@ -282,12 +365,16 @@ void HttpServer::serve_connection(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
   std::string head;
-  const ReadHead read = read_head(fd, options_.max_request_bytes, head);
+  const ReadHead read =
+      read_head(fd, options_.max_request_bytes, options_.request_deadline_ms, head);
   if (read == ReadHead::kError) return;  // nothing parseable arrived; just close
 
   HttpResponse response;
   std::string allow;
-  if (read == ReadHead::kTooLarge) {
+  if (read == ReadHead::kTimeout) {
+    request_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    response = HttpResponse::text(408, "request timeout\n");
+  } else if (read == ReadHead::kTooLarge) {
     response = HttpResponse::text(431, "request too large\n");
   } else {
     HttpRequest request;
@@ -305,13 +392,7 @@ void HttpServer::serve_connection(int fd) {
       }
       if (handler != nullptr) {
         allow.clear();
-        try {
-          response = (*handler)(request);
-        } catch (const std::exception& e) {
-          response = HttpResponse::text(500, std::string("handler error: ") + e.what() + "\n");
-        } catch (...) {
-          response = HttpResponse::text(500, "handler error\n");
-        }
+        response = run_handler(*handler, request);
       } else if (path_known) {
         response = HttpResponse::text(405, "method not allowed\n");
       } else {
@@ -320,7 +401,9 @@ void HttpServer::serve_connection(int fd) {
     }
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
-  write_all(fd, render_response(response, allow));
+  const bool write_ok =
+      !common::fault::fail_point("net.write") && write_all(fd, render_response(response, allow));
+  if (!write_ok) write_errors_.fetch_add(1, std::memory_order_relaxed);
   // Let the client read everything before the RST a close-with-unread-data
   // could trigger: half-close, then drain until EOF/timeout.
   ::shutdown(fd, SHUT_WR);

@@ -68,7 +68,30 @@ struct HttpServerOptions {
   std::uint16_t port = 0;                  ///< 0 = kernel-assigned ephemeral port
   int backlog = 16;                        ///< listen(2) queue bound
   std::size_t max_request_bytes = 16 * 1024;  ///< head limit; larger → 431
-  int io_timeout_ms = 5000;  ///< per-connection read/write timeout
+  int io_timeout_ms = 5000;  ///< per-recv/send socket timeout
+  /// Absolute budget for receiving one request head. SO_RCVTIMEO alone resets
+  /// on every byte, so a client trickling one byte per interval (slowloris)
+  /// would pin the accept loop forever; this deadline is measured from
+  /// accept and answers 408 when it expires, however chatty the client.
+  int request_deadline_ms = 5000;
+  /// Per-request handler budget; 0 (default) runs handlers inline with no
+  /// deadline. When positive, the handler runs on a helper thread and an
+  /// overrun answers 503 — the stuck handler's eventual result is discarded
+  /// (its thread is left to finish in the background), so handlers must not
+  /// hold locks the server thread needs.
+  int handler_deadline_ms = 0;
+};
+
+/// Counter snapshot for self-reporting (/healthz) and tests. `degraded` is
+/// true while the accept loop is backing off from resource exhaustion
+/// (EMFILE & friends) — the server is alive but shedding load.
+struct HttpServerStats {
+  std::uint64_t requests = 0;          ///< responses written (any status)
+  std::uint64_t request_timeouts = 0;  ///< 408s (slow request heads)
+  std::uint64_t handler_timeouts = 0;  ///< 503s (handler deadline overruns)
+  std::uint64_t accept_retries = 0;    ///< backoff rounds in the accept loop
+  std::uint64_t write_errors = 0;      ///< responses that failed to send
+  bool degraded = false;
 };
 
 /// Blocking HTTP server: one accept loop on a dedicated thread, one request
@@ -109,17 +132,24 @@ class HttpServer {
   std::uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  /// Resilience counters + degraded flag; safe from any thread.
+  HttpServerStats stats() const;
 
  private:
   void accept_loop();
   void serve_connection(int fd);
-  HttpResponse dispatch(const HttpRequest& request) const;
+  HttpResponse run_handler(const Handler& handler, const HttpRequest& request);
 
   Options options_;
   std::vector<std::pair<std::pair<std::string, std::string>, Handler>> handlers_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> request_timeouts_{0};
+  std::atomic<std::uint64_t> handler_timeouts_{0};
+  std::atomic<std::uint64_t> accept_retries_{0};
+  std::atomic<std::uint64_t> write_errors_{0};
+  std::atomic<bool> degraded_{false};
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
   std::uint16_t port_ = 0;

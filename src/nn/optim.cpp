@@ -36,6 +36,15 @@ void SgdOptimizer::zero_grad() {
   for (Parameter* p : params_) p->zero_grad();
 }
 
+void SgdOptimizer::set_velocity(std::vector<Matrix> v) {
+  if (v.size() != params_.size()) return;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].rows() != params_[i]->value.rows() || v[i].cols() != params_[i]->value.cols())
+      return;
+  }
+  velocity_ = std::move(v);
+}
+
 AdamOptimizer::AdamOptimizer(std::vector<Parameter*> params, Options options)
     : params_(std::move(params)), options_(options) {
   m_.reserve(params_.size());

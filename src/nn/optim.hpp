@@ -31,6 +31,12 @@ class SgdOptimizer {
 
   Options& options() { return options_; }
 
+  /// Momentum buffers, one per parameter — exposed for training checkpoints
+  /// (resuming mid-run needs the optimizer state, not just the weights).
+  const std::vector<Matrix>& velocity() const { return velocity_; }
+  /// Restore momentum buffers; ignored unless `v` matches params in count.
+  void set_velocity(std::vector<Matrix> v);
+
  private:
   std::vector<Parameter*> params_;
   std::vector<Matrix> velocity_;

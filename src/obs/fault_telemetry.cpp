@@ -1,0 +1,32 @@
+#include "obs/fault_telemetry.hpp"
+
+#include <mutex>
+#include <string>
+
+#include "common/fault.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace agua::obs {
+
+void install_fault_telemetry() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    common::fault::set_fire_observer(
+        [](std::string_view site, common::fault::Mode mode) {
+          MetricsRegistry::instance().counter("agua.fault.injected").add(1);
+          MetricsRegistry::instance()
+              .counter(std::string("agua.fault.injected.") +
+                       std::string(common::fault::mode_name(mode)))
+              .add(1);
+          // The ring's payload values are numeric, but keys are free-form:
+          // carry the site as a marker key so the JSONL names the exact
+          // injection point.
+          const std::string site_key = "site." + std::string(site);
+          event_log().append("fault.injected",
+                             {{site_key, 1.0}, {"mode", static_cast<double>(mode)}});
+        });
+  });
+}
+
+}  // namespace agua::obs

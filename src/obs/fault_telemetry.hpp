@@ -1,0 +1,17 @@
+// Bridges the fault-injection registry (common/fault.hpp, which cannot
+// depend on obs) to the observability plane: installs a fire observer that
+// bumps `agua.fault.injected` / `agua.fault.injected.<mode>` counters and
+// appends a `fault.injected` flight-recorder event for every fired fault.
+//
+// Idempotent and cheap; call it from anywhere that arms faults (agua_cli
+// does, as do the fault tests). train_agua and TelemetryServer also call it
+// so production entry points are covered even when faults were armed by a
+// library embedder that never heard of this header.
+#pragma once
+
+namespace agua::obs {
+
+/// Install (once) the metrics/events observer on the fault registry.
+void install_fault_telemetry();
+
+}  // namespace agua::obs

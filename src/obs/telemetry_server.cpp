@@ -9,6 +9,7 @@
 #include "common/thread_pool.hpp"
 #include "obs/events.hpp"
 #include "obs/export.hpp"
+#include "obs/fault_telemetry.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/snapshot.hpp"
@@ -39,9 +40,14 @@ std::string compiler_version() {
 }
 
 std::string monitors_json(const std::vector<HealthMonitorSnapshot>& monitors,
-                          bool healthy) {
+                          const char* status, const net::HttpServerStats& server) {
   std::ostringstream os;
-  os << "{\"status\":\"" << (healthy ? "ok" : "unhealthy") << "\",\"monitors\":[";
+  os << "{\"status\":\"" << status << "\",\"server\":{\"requests\":" << server.requests
+     << ",\"request_timeouts\":" << server.request_timeouts
+     << ",\"handler_timeouts\":" << server.handler_timeouts
+     << ",\"accept_retries\":" << server.accept_retries
+     << ",\"write_errors\":" << server.write_errors
+     << ",\"degraded\":" << (server.degraded ? "true" : "false") << "},\"monitors\":[";
   for (std::size_t i = 0; i < monitors.size(); ++i) {
     const HealthMonitorSnapshot& m = monitors[i];
     if (i > 0) os << ',';
@@ -88,7 +94,12 @@ constexpr const char* kIndex =
 TelemetryServer::TelemetryServer(TelemetryOptions options)
     : options_(std::move(options)),
       server_(net::HttpServer::Options{.bind_address = options_.bind_address,
-                                       .port = options_.port}) {
+                                       .port = options_.port,
+                                       .request_deadline_ms = options_.request_deadline_ms,
+                                       .handler_deadline_ms = options_.handler_deadline_ms}) {
+  // Any fault fired anywhere in the process should be visible on /metrics
+  // and /eventsz; the bridge is idempotent and cheap when faults are off.
+  install_fault_telemetry();
   register_endpoints();
 }
 
@@ -161,12 +172,19 @@ void TelemetryServer::register_endpoints() {
                    return response;
                  }));
 
-  server_.handle("GET", "/healthz", instrumented("healthz", [](const net::HttpRequest&) {
+  server_.handle("GET", "/healthz", instrumented("healthz", [this](const net::HttpRequest&) {
     const std::vector<HealthMonitorSnapshot> monitors = snapshot_monitors();
     bool healthy = true;
     for (const HealthMonitorSnapshot& m : monitors) healthy &= m.healthy;
+    const net::HttpServerStats server_stats = server_.stats();
+    // Three-state status: unhealthy (a monitor tripped; 503 so a probe pulls
+    // us out of rotation) > degraded (serving, but shedding load — still
+    // 200: the process is alive and useful) > ok.
+    const char* status = !healthy ? "unhealthy"
+                         : server_stats.degraded ? "degraded"
+                                                 : "ok";
     return net::HttpResponse::json(healthy ? 200 : 503,
-                                   monitors_json(monitors, healthy));
+                                   monitors_json(monitors, status, server_stats));
   }));
 
   server_.handle("GET", "/tracez", instrumented("tracez", [](const net::HttpRequest& request) {

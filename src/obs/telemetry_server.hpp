@@ -36,6 +36,14 @@ struct TelemetryOptions {
   std::size_t default_event_tail = 256;
   /// Shown by /buildz; override to stamp a release id.
   std::string version = "agua-dev";
+  /// Absolute budget for receiving a request head (net/http request deadline;
+  /// slow/idle clients are answered 408). The telemetry plane serves one
+  /// connection at a time, so a stuck read would otherwise block every
+  /// scrape.
+  int request_deadline_ms = 2000;
+  /// Per-request handler budget (503 on overrun). Costs one short-lived
+  /// helper thread per request — fine for a cold scrape path. 0 disables.
+  int handler_deadline_ms = 2000;
 };
 
 class TelemetryServer {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <sstream>
+#include <string>
 
 namespace {
 
@@ -84,6 +86,122 @@ TEST(ModelIo, FileRoundTrip) {
 
 TEST(ModelIo, MissingFileReturnsNullopt) {
   EXPECT_FALSE(load_model_file("/nonexistent/agua/model.bin").has_value());
+}
+
+std::string serialize_model(AguaModel& model) {
+  std::ostringstream os;
+  common::BinaryWriter w(os);
+  save_model(w, model);
+  return os.str();
+}
+
+LoadModelResult load_from_bytes(const std::string& bytes) {
+  std::istringstream is(bytes);
+  common::BinaryReader r(is);
+  return load_model_ex(r);
+}
+
+TEST(ModelIo, TypedErrorForMissingFile) {
+  const LoadModelResult result = load_model_file_ex("/nonexistent/agua/model.bin");
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.error.code, LoadErrorCode::kIoError);
+}
+
+TEST(ModelIo, TypedErrorForBadMagic) {
+  AguaModel model = make_model(5);
+  std::string bytes = serialize_model(model);
+  bytes[0] ^= 0xFF;
+  const LoadModelResult result = load_from_bytes(bytes);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.error.code, LoadErrorCode::kBadMagic);
+}
+
+TEST(ModelIo, TypedErrorForBadVersion) {
+  AguaModel model = make_model(5);
+  std::string bytes = serialize_model(model);
+  bytes[4] ^= 0x40;  // version field follows the 4-byte magic
+  const LoadModelResult result = load_from_bytes(bytes);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.error.code, LoadErrorCode::kBadVersion);
+}
+
+// Regression: a valid archive followed by extra bytes used to load silently,
+// which hides concatenation/torn-write bugs in anything that stores archives.
+TEST(ModelIo, RejectsTrailingGarbage) {
+  AguaModel model = make_model(6);
+  std::string bytes = serialize_model(model);
+  bytes += "extra bytes after a perfectly valid archive";
+  const LoadModelResult result = load_from_bytes(bytes);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.error.code, LoadErrorCode::kTrailingGarbage);
+
+  // The untyped wrapper rejects it too.
+  std::istringstream is(bytes);
+  common::BinaryReader r(is);
+  EXPECT_FALSE(load_model(r).has_value());
+}
+
+TEST(ModelIo, TrailingSingleByteRejected) {
+  AguaModel model = make_model(6);
+  std::string bytes = serialize_model(model);
+  bytes.push_back('\0');
+  const LoadModelResult result = load_from_bytes(bytes);
+  EXPECT_FALSE(result);
+  EXPECT_EQ(result.error.code, LoadErrorCode::kTrailingGarbage);
+}
+
+// Fuzz-style corruption sweep: load_model must never crash and must return a
+// sensible typed error whatever prefix of the archive survives. Every
+// truncation length is tried — this covers every section boundary by
+// construction.
+TEST(ModelIoFuzz, TruncationAtEveryByteIsTyped) {
+  AguaModel model = make_model(7);
+  const std::string bytes = serialize_model(model);
+  ASSERT_GT(bytes.size(), 16u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const LoadModelResult result = load_from_bytes(bytes.substr(0, len));
+    ASSERT_FALSE(result) << "truncated to " << len << " bytes still loaded";
+    EXPECT_EQ(result.error.code, LoadErrorCode::kTruncated)
+        << "len=" << len << " -> " << load_error_name(result.error.code);
+  }
+  // Sanity: the full archive still loads.
+  EXPECT_TRUE(load_from_bytes(bytes));
+}
+
+TEST(ModelIoFuzz, BitFlipsNeverCrashAndAreTyped) {
+  AguaModel model = make_model(8);
+  const std::string bytes = serialize_model(model);
+  const auto check_flip = [&](std::size_t byte, int bit) {
+    std::string mutated = bytes;
+    mutated[byte] ^= static_cast<char>(1 << bit);
+    const LoadModelResult result = load_from_bytes(mutated);
+    ASSERT_FALSE(result) << "flip at byte " << byte << " bit " << bit
+                         << " loaded anyway";
+    const LoadErrorCode code = result.error.code;
+    if (byte < 4) {
+      EXPECT_EQ(code, LoadErrorCode::kBadMagic) << "byte=" << byte;
+    } else if (byte < 8) {
+      EXPECT_EQ(code, LoadErrorCode::kBadVersion) << "byte=" << byte;
+    } else {
+      // Anywhere else a flip must surface as corruption, not load quietly:
+      // payload flips hit the CRC, frame-header flips hit the id/size
+      // validation, size inflation can also read off the end.
+      EXPECT_TRUE(code == LoadErrorCode::kBadChecksum ||
+                  code == LoadErrorCode::kStructural ||
+                  code == LoadErrorCode::kTruncated ||
+                  code == LoadErrorCode::kTrailingGarbage)
+          << "byte=" << byte << " bit=" << bit << " -> "
+          << load_error_name(code);
+    }
+  };
+  // Dense sweep over the header + first frame, strided sweep over the rest.
+  const std::size_t dense = std::min<std::size_t>(bytes.size(), 256);
+  for (std::size_t byte = 0; byte < dense; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) check_flip(byte, bit);
+  }
+  for (std::size_t byte = dense; byte < bytes.size(); byte += 17) {
+    check_flip(byte, static_cast<int>(byte % 8));
+  }
 }
 
 }  // namespace

@@ -7,9 +7,15 @@
 // them up (CMakePresets.json).
 #include "obs/telemetry_server.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -345,6 +351,88 @@ TEST_F(HttpServerTest, UrlDecodeHandlesEscapesAndInvalidSequences) {
   EXPECT_EQ(net::url_decode("%2Fpath%3Fq"), "/path?q");
   EXPECT_EQ(net::url_decode("100%"), "100%");     // truncated escape kept verbatim
   EXPECT_EQ(net::url_decode("%zz"), "%zz");       // invalid hex kept verbatim
+}
+
+// Regression for the unbounded-read hole: a client that connects and then
+// trickles (or stops sending entirely) used to hold the single-threaded
+// accept loop hostage, because SO_RCVTIMEO resets on every received byte.
+// The absolute request deadline answers 408 however chatty the client is.
+TEST_F(HttpServerTest, SlowRequestHeadGets408NotAHang) {
+  net::HttpServerOptions options;
+  options.request_deadline_ms = 300;
+  net::HttpServer server{options};
+  server.handle("GET", "/ping", [](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, "pong\n");
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+
+  // Slowloris: keep the connection warm with one byte at a time, never
+  // finishing the request head. Each byte would reset a per-recv timeout;
+  // the absolute deadline must still fire.
+  const char* head = "GET /ping HTTP/1.1\r\n";
+  std::string reply;
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::size_t sent = 0;
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (head[sent] != '\0') (void)::send(fd, head + sent++, 1, 0);
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 60) > 0) {  // server answered (or closed on us)
+      char buf[512];
+      ssize_t n;
+      while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) reply.append(buf, static_cast<std::size_t>(n));
+      break;
+    }
+  }
+  ::close(fd);
+  EXPECT_NE(reply.find("408"), std::string::npos) << "reply was: " << reply;
+  EXPECT_GE(server.stats().request_timeouts, 1u);
+
+  // The loop is free again: a well-behaved client is served normally.
+  net::HttpClientResponse response;
+  ASSERT_TRUE(net::http_get("127.0.0.1", server.port(), "/ping", response));
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST_F(HttpServerTest, SlowHandlerGets503) {
+  net::HttpServerOptions options;
+  options.handler_deadline_ms = 100;
+  net::HttpServer server{options};
+  server.handle("GET", "/stuck", [](const net::HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    return net::HttpResponse::text(200, "finally\n");
+  });
+  server.handle("GET", "/fast", [](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, "ok\n");
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  net::HttpClientResponse response;
+  ASSERT_TRUE(net::http_get("127.0.0.1", server.port(), "/stuck", response));
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("deadline"), std::string::npos);
+  EXPECT_EQ(server.stats().handler_timeouts, 1u);
+
+  ASSERT_TRUE(net::http_get("127.0.0.1", server.port(), "/fast", response));
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST_F(TelemetryTest, HealthzEmbedsServerResilienceStats) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.start());
+  const net::HttpClientResponse response = get(server, "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"server\":{\"requests\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"accept_retries\":0"), std::string::npos);
+  EXPECT_NE(response.body.find("\"degraded\":false"), std::string::npos);
 }
 
 TEST_F(HttpServerTest, PortsAreReleasedOnStop) {
