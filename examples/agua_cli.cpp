@@ -1,53 +1,11 @@
 // A small CLI driver over the library: trains a controller + surrogate for
-// one of the three applications and prints the Agua report, a sample
-// explanation, and (optionally) a checkpoint.
+// one of the three applications, prints the Agua report and a sample
+// explanation, optionally writes a checkpoint, and optionally keeps serving
+// telemetry and live explanations over loopback HTTP.
 //
-//   agua_cli <abr|cc|ddos> [--seed N] [--open] [--save PATH] [--paper-config]
-//            [--trace] [--metrics-out PATH] [--metrics-format json|prometheus]
-//            [--flight-record PATH] [--threads N] [--tiny]
-//            [--serve-telemetry PORT] [--serve-linger SECONDS]
-//            [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
-//            [--faults SPEC]
-//
-//   --open            use the open-source embedding stack (default: closed)
-//   --paper-config    train with the paper's exact §4 hyperparameters
-//   --save PATH       write the trained surrogate to PATH (binary archive)
-//   --trace           capture begin/end spans and print the span tree after the run
-//   --metrics-out     write the metrics registry to PATH
-//   --metrics-format  json (JSON lines, the default) or prometheus (text exposition)
-//   --flight-record   record structured events (per-epoch training telemetry,
-//                     stage boundaries, health alerts) into a bounded ring and
-//                     write them to PATH as JSON lines; also dumps on
-//                     std::terminate so failed runs leave a forensic trail
-//   --threads N       worker-pool size for training/explanation (0 = auto;
-//                     default: AGUA_THREADS env or hardware concurrency).
-//                     Results are bitwise identical for any N (DESIGN.md §7).
-//   --tiny            shrink the datasets/epochs to smoke-test scale (seconds,
-//                     not minutes) — for CI plumbing checks, not evaluation
-//   --serve-telemetry PORT
-//                     serve the live telemetry plane on 127.0.0.1:PORT for the
-//                     duration of the run (0 = ephemeral port, printed at
-//                     startup): /metrics /metrics.json /healthz /tracez
-//                     /eventsz /buildz. Arms the flight-recorder ring so
-//                     /eventsz is live even without --flight-record.
-//   --serve-linger SECONDS
-//                     with --serve-telemetry: keep serving for up to SECONDS
-//                     after the run finishes, so the final state can be
-//                     scraped; `curl -X POST .../quitquitquit` ends the
-//                     linger early
-//   --checkpoint-dir DIR
-//                     write crash-safe training checkpoints (concept.ckpt /
-//                     output.ckpt) into DIR at epoch boundaries; a run killed
-//                     mid-training can be rerun with --resume and finishes
-//                     with a bitwise-identical model (DESIGN.md §8)
-//   --checkpoint-every N
-//                     epochs between checkpoint snapshots (default 5)
-//   --resume          with --checkpoint-dir: restore the latest snapshots and
-//                     continue training instead of starting over
-//   --faults SPEC     arm deterministic fault injection, e.g.
-//                     'model_io.save.write=short:0.5@once,net.accept=error@nth:2'
-//                     (also read from the AGUA_FAULTS env var; see
-//                     common/fault.hpp for the grammar)
+// Run `agua_cli --help` for the full flag reference; the operator runbook
+// (docs/OPERATIONS.md) documents every flag with examples, and docs/API.md
+// documents the HTTP endpoints that --serve / --serve-telemetry expose.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,10 +24,64 @@
 #include "obs/fault_telemetry.hpp"
 #include "obs/telemetry_server.hpp"
 #include "obs/trace.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
 using namespace agua;
+
+constexpr const char* kUsage =
+    "usage: agua_cli <abr|cc|ddos> [flags]\n"
+    "\n"
+    "Train a controller + Agua surrogate for one application, print the\n"
+    "report and a sample explanation, and optionally keep serving telemetry\n"
+    "and live explanations. Full runbook: docs/OPERATIONS.md; HTTP schemas:\n"
+    "docs/API.md.\n"
+    "\n"
+    "  --help            print this reference and exit\n"
+    "  --seed N          experiment seed (default 42)\n"
+    "  --open            use the open-source embedding stack (default: closed)\n"
+    "  --paper-config    train with the paper's exact §4 hyperparameters\n"
+    "  --save PATH       write the trained surrogate to PATH (binary archive)\n"
+    "  --trace           capture spans and print the span tree after the run\n"
+    "  --metrics-out PATH       write the metrics registry to PATH\n"
+    "  --metrics-format json|prometheus\n"
+    "                    format for --metrics-out (default json)\n"
+    "  --flight-record PATH     record structured events into a bounded ring\n"
+    "                    and write them to PATH as JSON lines; also dumps on\n"
+    "                    std::terminate so failed runs leave a forensic trail\n"
+    "  --threads N       worker-pool size (0 = auto: AGUA_THREADS env or\n"
+    "                    hardware concurrency); results are bitwise identical\n"
+    "                    for any N (DESIGN.md §7)\n"
+    "  --tiny            shrink datasets/epochs to smoke-test scale\n"
+    "  --serve-telemetry PORT   serve /metrics /metrics.json /healthz /tracez\n"
+    "                    /eventsz /buildz on 127.0.0.1:PORT during the run\n"
+    "                    (0 = ephemeral port, printed at startup)\n"
+    "  --serve PORT      everything --serve-telemetry serves, plus the\n"
+    "                    explanation plane: POST /explain, GET /modelz,\n"
+    "                    POST /reloadz. The model installs when training\n"
+    "                    finishes (/explain answers 503 before that) and the\n"
+    "                    process lingers until POST /quitquitquit unless\n"
+    "                    --serve-linger caps it\n"
+    "  --serve-max-batch N      micro-batcher: close a batch at N coalesced\n"
+    "                    requests (default 16)\n"
+    "  --serve-batch-linger-us USEC\n"
+    "                    micro-batcher: linger up to USEC microseconds for\n"
+    "                    more requests before explaining (default 500;\n"
+    "                    0 = no coalescing)\n"
+    "  --serve-cache N   explanation result-cache capacity in entries\n"
+    "                    (default 1024; 0 disables caching)\n"
+    "  --serve-linger SECONDS   keep serving for up to SECONDS after the run\n"
+    "                    (POST /quitquitquit ends it early); with --serve the\n"
+    "                    default is to linger until quit is requested\n"
+    "  --checkpoint-dir DIR     write crash-safe training checkpoints into\n"
+    "                    DIR at epoch boundaries (DESIGN.md §8)\n"
+    "  --checkpoint-every N     epochs between checkpoints (default 5)\n"
+    "  --resume          with --checkpoint-dir: restore the latest snapshots\n"
+    "                    and continue training instead of starting over\n"
+    "  --faults SPEC     arm deterministic fault injection, e.g.\n"
+    "                    'model_io.save.write=short:0.5@once' (also read from\n"
+    "                    the AGUA_FAULTS env var; grammar in common/fault.hpp)\n";
 
 struct CliOptions {
   std::string app;
@@ -84,8 +96,13 @@ struct CliOptions {
   std::string metrics_format = "json";
   std::string flight_record;
   bool serve_telemetry = false;
+  bool serve_explain = false;       // --serve: telemetry + explanation plane
   std::uint16_t serve_port = 0;     // 0 = ephemeral
+  std::size_t serve_max_batch = 16;
+  std::int64_t serve_batch_linger_us = 500;
+  std::size_t serve_cache = 1024;
   double serve_linger = 0.0;        // seconds to keep serving after the run
+  bool serve_linger_set = false;    // --serve-linger given explicitly
   std::string checkpoint_dir;
   std::size_t checkpoint_every = 5;
   bool resume = false;
@@ -128,8 +145,23 @@ bool parse(int argc, char** argv, CliOptions& options) {
       options.serve_telemetry = true;
       options.serve_port =
           static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      options.serve_telemetry = true;
+      options.serve_explain = true;
+      options.serve_port =
+          static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve-max-batch") == 0 && i + 1 < argc) {
+      options.serve_max_batch =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (options.serve_max_batch == 0) options.serve_max_batch = 1;
+    } else if (std::strcmp(argv[i], "--serve-batch-linger-us") == 0 && i + 1 < argc) {
+      options.serve_batch_linger_us = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--serve-cache") == 0 && i + 1 < argc) {
+      options.serve_cache =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--serve-linger") == 0 && i + 1 < argc) {
       options.serve_linger = std::strtod(argv[++i], nullptr);
+      options.serve_linger_set = true;
     } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
       options.checkpoint_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc) {
@@ -155,7 +187,8 @@ void make_tiny(core::Dataset& train, core::Dataset& test, core::AguaConfig& conf
 }
 
 void run(const CliOptions& options, core::Dataset& train, core::Dataset& test,
-         const concepts::ConceptSet& concept_set, const core::DescribeFn& describe) {
+         const concepts::ConceptSet& concept_set, const core::DescribeFn& describe,
+         serve::ExplainService* explain_service) {
   core::AguaConfig config =
       options.paper_config ? core::paper_agua_config() : core::AguaConfig{};
   config.embedder = options.open_embeddings ? text::open_source_embedder_config()
@@ -187,6 +220,25 @@ void run(const CliOptions& options, core::Dataset& train, core::Dataset& test,
     }
   }
 
+  if (explain_service != nullptr) {
+    // Hand the serving plane its own copy of the trained model plus the test
+    // split's embeddings as row-addressable inputs; /explain flips from 503
+    // to live at this point.
+    std::vector<std::vector<double>> rows;
+    rows.reserve(test.samples.size());
+    for (const auto& sample : test.samples) rows.push_back(sample.embedding);
+    const std::size_t num_rows = rows.size();
+    explain_service->set_rows(std::move(rows));
+    if (!options.save_path.empty()) {
+      explain_service->set_default_model_path(options.save_path);
+    }
+    const serve::ModelInfo info =
+        explain_service->install_model(agua.model->clone(), "train:" + options.app);
+    std::printf("explanation service ready (fingerprint %s, %zu rows)\n",
+                info.fingerprint.c_str(), num_rows);
+    std::fflush(stdout);  // scripts watch for this line before POSTing
+  }
+
   if (options.trace) {
     std::printf("span tree (wall-clock, children indented under parents):\n%s\n",
                 obs::format_span_tree(obs::collect_spans()).c_str());
@@ -216,16 +268,15 @@ void run(const CliOptions& options, core::Dataset& train, core::Dataset& test,
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+  }
   CliOptions options;
   if (!parse(argc, argv, options)) {
-    std::fprintf(stderr,
-                 "usage: %s <abr|cc|ddos> [--seed N] [--open] [--save PATH]"
-                 " [--paper-config] [--trace] [--metrics-out PATH]"
-                 " [--metrics-format json|prometheus] [--flight-record PATH]"
-                 " [--threads N] [--tiny] [--serve-telemetry PORT]"
-                 " [--serve-linger SECONDS] [--checkpoint-dir DIR]"
-                 " [--checkpoint-every N] [--resume] [--faults SPEC]\n",
-                 argv[0]);
+    std::fputs(kUsage, stderr);
     return 2;
   }
   // Fault plumbing first: the injected-fault → obs bridge must be live before
@@ -255,7 +306,20 @@ int main(int argc, char** argv) {
     // Install the dump-on-terminate hook before any real work starts.
     obs::set_flight_record_path(options.flight_record);
   }
-  obs::TelemetryServer telemetry({.port = options.serve_port});
+  // The explanation service outlives the telemetry server (declared first =
+  // destroyed last), so handlers can never outlive the service they call.
+  serve::ExplainService explain_service(
+      {.max_batch = options.serve_max_batch,
+       .batch_linger_us = options.serve_batch_linger_us,
+       .cache_capacity = options.serve_cache});
+  obs::TelemetryServer telemetry(
+      {.port = options.serve_port,
+       // Coalescing needs concurrent requests in flight; plain telemetry
+       // keeps the classic one-at-a-time loop.
+       .connection_threads = options.serve_explain ? std::size_t{4} : std::size_t{1},
+       .extra_index = options.serve_explain ? serve::ExplainService::index_lines()
+                                            : std::string{}});
+  if (options.serve_explain) explain_service.mount(telemetry.http());
   if (options.serve_telemetry) {
     if (!telemetry.start()) {
       std::fprintf(stderr, "failed to start telemetry server: %s\n",
@@ -264,27 +328,30 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "telemetry server listening on %s "
-        "(/metrics /metrics.json /healthz /tracez /eventsz /buildz)\n",
-        telemetry.url().c_str());
+        "(/metrics /metrics.json /healthz /tracez /eventsz /buildz%s)\n",
+        telemetry.url().c_str(),
+        options.serve_explain ? " /explain /modelz /reloadz" : "");
     std::fflush(stdout);  // scripts watch for this line before curling
   }
   common::set_default_thread_count(options.threads);
   std::printf("building the %s application bundle (seed %llu, %zu worker threads)...\n",
               options.app.c_str(), static_cast<unsigned long long>(options.seed),
               common::default_thread_count());
+  serve::ExplainService* service_ptr =
+      options.serve_explain ? &explain_service : nullptr;
   try {
     if (options.app == "abr") {
       apps::AbrBundle bundle = apps::make_abr_bundle(options.seed);
       run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
-          bundle.describe_fn());
+          bundle.describe_fn(), service_ptr);
     } else if (options.app == "cc") {
       apps::CcBundle bundle = apps::make_cc_bundle(options.seed);
       run(options, bundle.train, bundle.test, bundle.describer->concept_set(),
-          bundle.describe_fn());
+          bundle.describe_fn(), service_ptr);
     } else {
       apps::DdosBundle bundle = apps::make_ddos_bundle(options.seed);
       run(options, bundle.train, bundle.test, bundle.describer.concept_set(),
-          bundle.describe_fn());
+          bundle.describe_fn(), service_ptr);
     }
   } catch (const std::exception& e) {
     // Injected faults (FaultInjected) and diverged training
@@ -294,12 +361,21 @@ int main(int argc, char** argv) {
     if (!options.flight_record.empty()) obs::flush_flight_record();
     return 1;
   }
-  if (options.serve_telemetry && options.serve_linger > 0.0) {
-    std::printf("run finished; telemetry lingers for up to %.0f s "
-                "(curl -X POST %s/quitquitquit to end early)\n",
-                options.serve_linger, telemetry.url().c_str());
+  // --serve with no explicit --serve-linger keeps serving explanations until
+  // quit is requested; plain telemetry only lingers when asked to.
+  double linger = options.serve_linger;
+  if (options.serve_explain && !options.serve_linger_set) linger = -1.0;
+  if (options.serve_telemetry && (linger > 0.0 || linger < 0.0)) {
+    if (linger < 0.0) {
+      std::printf("run finished; serving until POST %s/quitquitquit\n",
+                  telemetry.url().c_str());
+    } else {
+      std::printf("run finished; telemetry lingers for up to %.0f s "
+                  "(curl -X POST %s/quitquitquit to end early)\n",
+                  linger, telemetry.url().c_str());
+    }
     std::fflush(stdout);
-    telemetry.wait_for_quit(options.serve_linger);
+    telemetry.wait_for_quit(linger);
   }
   return 0;
 }

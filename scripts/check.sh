@@ -6,16 +6,19 @@
 # `obs` to smoke-test the observability surface end to end: run agua_cli at
 # tiny scale with --flight-record and Prometheus metrics output, then validate
 # that both files parse and the flight record carries per-epoch training
-# telemetry. `serve` smoke-tests the live telemetry plane: start
-# `agua_cli --serve-telemetry` on an ephemeral port, scrape /metrics /healthz
-# /eventsz over HTTP, validate the bodies, then shut it down via
-# POST /quitquitquit and assert a clean exit. `faults` is the chaos smoke:
-# kill -9 a training run mid-flight, resume it from its crash-safe
-# checkpoints, and require the final model to be byte-for-byte identical to
-# an uninterrupted run; then arm fault injection (--faults) and assert both
-# the skip-and-recover path and the bounded-failure path behave.
+# telemetry. `serve` smoke-tests the serving plane end to end: start
+# `agua_cli --serve` on an ephemeral port, scrape /metrics /healthz /eventsz
+# over HTTP, POST /explain twice (asserting the repeat is a byte-identical
+# cache hit), check /modelz, then shut down via POST /quitquitquit and assert
+# a clean exit. `faults` is the chaos smoke: kill -9 a training run
+# mid-flight, resume it from its crash-safe checkpoints, and require the
+# final model to be byte-for-byte identical to an uninterrupted run; then arm
+# fault injection (--faults) and assert both the skip-and-recover path and
+# the bounded-failure path behave. `docs` lints the documentation suite:
+# every intra-repo markdown link must resolve, and every flag `agua_cli
+# --help` advertises must be documented in docs/OPERATIONS.md.
 #
-#   scripts/check.sh [default|asan|tsan|obs|serve|faults] [-j N]
+#   scripts/check.sh [default|asan|tsan|obs|serve|faults|docs] [-j N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,8 +32,9 @@ while [ $# -gt 0 ]; do
     obs) mode="obs" ;;
     serve) mode="serve" ;;
     faults) mode="faults" ;;
+    docs) mode="docs" ;;
     -j) jobs="$2"; shift ;;
-    *) echo "usage: $0 [default|asan|tsan|obs|serve|faults] [-j N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [default|asan|tsan|obs|serve|faults|docs] [-j N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -73,9 +77,9 @@ PY
 fi
 
 if [ "$mode" = "serve" ]; then
-  # Live-telemetry smoke: a tiny training run serving the telemetry plane on
-  # an ephemeral port, scraped over real HTTP while it lingers, then shut
-  # down via the quit endpoint. Asserts a clean (rc=0) exit.
+  # Serving-plane smoke: a tiny training run serving telemetry + /explain on
+  # an ephemeral port, scraped and queried over real HTTP while it lingers,
+  # then shut down via the quit endpoint. Asserts a clean (rc=0) exit.
   cmake --preset default
   cmake --build --preset default -j "$jobs" --target agua_cli
   out="$(mktemp -d)"
@@ -85,7 +89,7 @@ if [ "$mode" = "serve" ]; then
   }
   trap cleanup EXIT
   ./build/examples/agua_cli abr --tiny --threads 2 \
-    --serve-telemetry 0 --serve-linger 60 > "$out/cli.log" 2>&1 &
+    --serve 0 --serve-linger 60 > "$out/cli.log" 2>&1 &
   cli_pid=$!
   # The CLI prints the listen line before training starts; poll for it.
   url=""
@@ -124,6 +128,48 @@ build = json.load(open(buildz))
 assert build["threads"] >= 1 and "version" in build, build
 print(f"serve smoke OK: {len(lines)} prometheus lines, "
       f"{len(evts)} events, status={health['status']}")
+PY
+  # The explanation service comes up once training finishes and the model is
+  # installed; poll for its ready line before exercising /explain.
+  ready=""
+  for _ in $(seq 1 600); do
+    ready="$(grep -c '^explanation service ready' "$out/cli.log" || true)"
+    [ "$ready" != "0" ] && break
+    kill -0 "$cli_pid" 2>/dev/null || { cat "$out/cli.log"; echo "agua_cli died before the explanation service came up" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ "$ready" != "0" ] || { cat "$out/cli.log"; echo "no 'explanation service ready' line" >&2; exit 1; }
+  # Two identical requests: the first must miss the result cache, the repeat
+  # must hit it with a byte-identical body (DESIGN.md §6).
+  curl -fsS -D "$out/h1.txt" -X POST -d '{"row": 0}' \
+    "$url/explain" > "$out/explain1.json"
+  curl -fsS -D "$out/h2.txt" -X POST -d '{"row": 0}' \
+    "$url/explain" > "$out/explain2.json"
+  curl -fsS "$url/modelz" > "$out/modelz.json"
+  python3 - "$out/explain1.json" "$out/explain2.json" \
+    "$out/h1.txt" "$out/h2.txt" "$out/modelz.json" <<'PY'
+import json, sys
+exp1_path, exp2_path, h1_path, h2_path, modelz_path = sys.argv[1:6]
+raw1 = open(exp1_path, "rb").read()
+raw2 = open(exp2_path, "rb").read()
+assert raw1 == raw2, "repeated /explain bodies are not byte-identical"
+exp = json.loads(raw1)
+for key in ("fingerprint", "generation", "predicted_class",
+            "output_probability", "top", "concept_weights"):
+    assert key in exp, f"/explain body missing {key}: {sorted(exp)}"
+assert exp["top"] and all("concept" in t and "weight" in t for t in exp["top"]), exp["top"]
+def cache_state(path):
+    for line in open(path):
+        if line.lower().startswith("x-agua-cache:"):
+            return line.split(":", 1)[1].strip()
+    return None
+assert cache_state(h1_path) == "miss", f"first request: {cache_state(h1_path)!r}"
+assert cache_state(h2_path) == "hit", f"repeat request: {cache_state(h2_path)!r}"
+modelz = json.load(open(modelz_path))
+assert modelz["fingerprint"] == exp["fingerprint"], (modelz, exp["fingerprint"])
+assert modelz["cache"]["hits"] >= 1, modelz["cache"]
+print(f"explain smoke OK: fingerprint {exp['fingerprint']}, "
+      f"{len(exp['top'])} top concepts, cache miss->hit byte-identical")
 PY
   # Ask the process to finish early and require a clean exit.
   if ! curl -fsS -X POST "$url/quitquitquit" > /dev/null; then
@@ -210,12 +256,67 @@ PY
   exit 0
 fi
 
+if [ "$mode" = "docs" ]; then
+  # Documentation lint, two checks. First: every intra-repo markdown link
+  # (relative [text](path) target) must point at a file that exists. Second:
+  # every flag `agua_cli --help` advertises must appear in the operator
+  # runbook docs/OPERATIONS.md — the runbook is the single source of truth
+  # for flags, so a new flag without documentation fails the build here.
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target agua_cli
+  ./build/examples/agua_cli --help > /tmp/agua_help.$$ || { echo "agua_cli --help failed" >&2; exit 1; }
+  python3 - /tmp/agua_help.$$ <<'PY'
+import os, re, sys
+help_path = sys.argv[1]
+
+md_files = []
+for root, dirs, files in os.walk("."):
+    dirs[:] = [d for d in dirs if not d.startswith((".", "build")) and d != "third_party"]
+    md_files += [os.path.join(root, f) for f in files if f.endswith(".md")]
+
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Retrieved reference material, not authored docs: figures/links may point at
+# assets that were never mirrored into this repo.
+skip = {os.path.join(".", n) for n in ("PAPERS.md", "SNIPPETS.md")}
+bad = []
+for md in md_files:
+    if md in skip:
+        continue
+    text = open(md, encoding="utf-8").read()
+    # Fenced code blocks hold example links/paths that need not resolve.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+        if not os.path.exists(resolved):
+            bad.append(f"{md}: broken link -> {target}")
+if bad:
+    print("\n".join(bad), file=sys.stderr)
+    sys.exit(f"{len(bad)} broken intra-repo markdown link(s)")
+print(f"links OK: {len(md_files)} markdown files checked")
+
+flags = sorted(set(re.findall(r"--[a-z][a-z0-9-]*", open(help_path).read())))
+runbook = open("docs/OPERATIONS.md", encoding="utf-8").read()
+missing = [f for f in flags if f not in runbook]
+if missing:
+    sys.exit(f"flags in `agua_cli --help` missing from docs/OPERATIONS.md: {missing}")
+print(f"flags OK: all {len(flags)} --help flags documented in docs/OPERATIONS.md")
+PY
+  rm -f /tmp/agua_help.$$
+  echo "docs mode OK"
+  exit 0
+fi
+
 cmake --preset "$preset"
 if [ "$preset" = "tsan" ]; then
   # TSan doubles build time and the race surface is the pool + obs layer +
-  # fault registry; build and run only those suites (the test preset filters
-  # to match).
-  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry test_fault
+  # fault registry + serving plane; build and run only those suites (the
+  # test preset filters to match).
+  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry test_fault test_serve
 else
   cmake --build --preset "$preset" -j "$jobs"
 fi

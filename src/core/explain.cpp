@@ -115,29 +115,30 @@ Explanation explain_batched(AguaModel& model,
   return explain_batched_isolated(model, embeddings, output_class).aggregate;
 }
 
-BatchExplainResult explain_batched_isolated(
-    AguaModel& model, const std::vector<std::vector<double>>& embeddings,
-    std::size_t output_class) {
-  BatchExplainResult result;
+EachExplainResult explain_each_isolated(AguaModel& model,
+                                        const std::vector<std::vector<double>>& embeddings,
+                                        const std::vector<std::size_t>& output_classes) {
+  EachExplainResult result;
   result.attempted = embeddings.size();
+  result.slots.resize(embeddings.size());
+  result.ok.assign(embeddings.size(), 0);
   if (embeddings.empty()) return result;
   obs::TraceSpan span("agua.explain.batch");
   obs::MetricsRegistry::instance().counter("agua.explain.batch.samples")
       .add(embeddings.size());
-  const bool factual = output_class == static_cast<std::size_t>(-1);
+  constexpr std::size_t kFactual = static_cast<std::size_t>(-1);
 
   // Fan the per-input explanations out across the pool. Each explanation
   // depends only on the (identical) weights of the model clone that computed
-  // it, and the aggregation below walks results in index order, so the
-  // batched explanation is bitwise identical for any pool size.
+  // it, and callers walk the slots in index order, so both the per-slot
+  // results and any aggregate over them are bitwise identical for any pool
+  // size.
   //
   // Isolation (§8): each slot validates its input and catches its own
   // exceptions *inside* the worker — a poisoned embedding or a throwing
   // explanation marks one slot failed instead of tearing down the pool.
   common::ThreadPool& pool = common::default_pool();
-  std::vector<Explanation> per_input(embeddings.size());
   std::vector<std::string> slot_error(embeddings.size());
-  std::vector<char> slot_ok(embeddings.size(), 0);
   auto explain_index = [&](AguaModel& m, std::size_t i) {
     for (double v : embeddings[i]) {
       if (!std::isfinite(v)) {
@@ -145,10 +146,15 @@ BatchExplainResult explain_batched_isolated(
         return;
       }
     }
+    const std::size_t target = i < output_classes.size() ? output_classes[i] : kFactual;
+    if (target != kFactual && target >= m.num_outputs()) {
+      slot_error[i] = "output class out of range";
+      return;
+    }
     try {
-      per_input[i] = factual ? explain_factual(m, embeddings[i])
-                             : explain_for_class(m, embeddings[i], output_class);
-      slot_ok[i] = 1;
+      result.slots[i] = target == kFactual ? explain_factual(m, embeddings[i])
+                                           : explain_for_class(m, embeddings[i], target);
+      result.ok[i] = 1;
     } catch (const std::exception& e) {
       slot_error[i] = e.what();
     }
@@ -167,15 +173,27 @@ BatchExplainResult explain_batched_isolated(
                       });
   }
 
-  Explanation& aggregate = result.aggregate;
-  bool first = true;
-  for (std::size_t i = 0; i < per_input.size(); ++i) {
-    if (!slot_ok[i]) {
+  for (std::size_t i = 0; i < embeddings.size(); ++i) {
+    if (result.ok[i]) {
+      ++result.succeeded;
+    } else {
       result.errors.push_back(SlotError{i, std::move(slot_error[i])});
-      continue;
     }
-    ++result.succeeded;
-    const Explanation& exp = per_input[i];
+  }
+  if (!result.errors.empty()) {
+    obs::MetricsRegistry::instance().counter("agua.explain.slot_errors")
+        .add(result.errors.size());
+  }
+  return result;
+}
+
+Explanation aggregate_explanations(const EachExplainResult& each, std::size_t C,
+                                   std::size_t k) {
+  Explanation aggregate;
+  bool first = true;
+  for (std::size_t i = 0; i < each.slots.size(); ++i) {
+    if (!each.ok[i]) continue;
+    const Explanation& exp = each.slots[i];
     if (first) {
       aggregate = exp;
       first = false;
@@ -190,19 +208,13 @@ BatchExplainResult explain_batched_isolated(
       aggregate.raw_contributions[j] += exp.raw_contributions[j];
     }
   }
-  if (!result.errors.empty()) {
-    obs::MetricsRegistry::instance().counter("agua.explain.slot_errors")
-        .add(result.errors.size());
-  }
-  if (result.succeeded == 0) return result;
-  const double inv = 1.0 / static_cast<double>(result.succeeded);
+  if (each.succeeded == 0) return aggregate;
+  const double inv = 1.0 / static_cast<double>(each.succeeded);
   aggregate.output_probability *= inv;
   for (double& w : aggregate.concept_weights) w *= inv;
   for (double& w : aggregate.signed_concept_contributions) w *= inv;
   for (double& w : aggregate.raw_contributions) w *= inv;
   // Re-derive dominant levels from the batch-averaged contributions.
-  const std::size_t C = model.num_concepts();
-  const std::size_t k = model.num_levels();
   aggregate.dominant_levels.assign(C, 0);
   for (std::size_t c = 0; c < C; ++c) {
     std::size_t best_level = 0;
@@ -213,6 +225,23 @@ BatchExplainResult explain_batched_isolated(
       }
     }
     aggregate.dominant_levels[c] = k > 1 ? (3 * best_level) / k : 2;
+  }
+  return aggregate;
+}
+
+BatchExplainResult explain_batched_isolated(
+    AguaModel& model, const std::vector<std::vector<double>>& embeddings,
+    std::size_t output_class) {
+  BatchExplainResult result;
+  result.attempted = embeddings.size();
+  if (embeddings.empty()) return result;
+  const std::vector<std::size_t> classes(embeddings.size(), output_class);
+  EachExplainResult each = explain_each_isolated(model, embeddings, classes);
+  result.succeeded = each.succeeded;
+  result.errors = std::move(each.errors);
+  if (result.succeeded > 0) {
+    result.aggregate =
+        aggregate_explanations(each, model.num_concepts(), model.num_levels());
   }
   return result;
 }

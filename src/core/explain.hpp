@@ -84,4 +84,31 @@ BatchExplainResult explain_batched_isolated(
     AguaModel& model, const std::vector<std::vector<double>>& embeddings,
     std::size_t output_class = static_cast<std::size_t>(-1));
 
+/// Per-slot result of a fault-isolated fan-out that keeps every slot's
+/// explanation instead of aggregating — the shape the serving plane needs:
+/// one coalesced micro-batch in, one independent explanation per request out.
+struct EachExplainResult {
+  std::vector<Explanation> slots;  ///< valid where ok[i] != 0
+  std::vector<char> ok;            ///< 1 = slots[i] holds an explanation
+  std::vector<SlotError> errors;   ///< failures in index order
+  std::size_t attempted = 0;
+  std::size_t succeeded = 0;
+};
+
+/// One pool fan-out over a heterogeneous batch: slot i is explained for
+/// `output_classes[i]` (npos = factual, i.e. the surrogate's own argmax).
+/// Same isolation, instrumentation (`agua.explain.batch` span,
+/// `agua.explain.slot_errors`), clone-per-worker and index-order guarantees
+/// as explain_batched_isolated — which is now a thin aggregation over this.
+EachExplainResult explain_each_isolated(AguaModel& model,
+                                        const std::vector<std::vector<double>>& embeddings,
+                                        const std::vector<std::size_t>& output_classes);
+
+/// Average the successful slots in index order (eq. 8–10 batch semantics).
+/// Shared by explain_batched_isolated and the serving plane's multi-input
+/// requests, so both produce bitwise-identical aggregates for the same slots.
+/// `C`/`k` are the model's concept/level counts (for dominant-level rebuild).
+Explanation aggregate_explanations(const EachExplainResult& each, std::size_t C,
+                                   std::size_t k);
+
 }  // namespace agua::core

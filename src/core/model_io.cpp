@@ -199,4 +199,25 @@ std::optional<AguaModel> load_model_file(const std::string& path) {
   return std::move(result.model);
 }
 
+std::string model_fingerprint(AguaModel& model) {
+  std::ostringstream buffer;
+  common::BinaryWriter w(buffer);
+  save_model(w, model);
+  const std::string bytes = std::move(buffer).str();
+  // FNV-1a 64 over the archive bytes: cheap, dependency-free, and stable
+  // across runs/platforms because the archive itself is.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char byte : bytes) {
+    hash ^= static_cast<std::uint64_t>(byte);
+    hash *= 1099511628211ULL;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
 }  // namespace agua::core

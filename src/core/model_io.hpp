@@ -75,4 +75,11 @@ LoadModelResult load_model_file_ex(const std::string& path);
 /// File-level wrappers. Return false / nullopt on I/O failure.
 std::optional<AguaModel> load_model_file(const std::string& path);
 
+/// Stable 16-hex-digit fingerprint of a model's full serialized state
+/// (concept set + δθ + Ω weights, via save_model → FNV-1a 64). Two models
+/// answer explanations identically iff their archives match, so the serving
+/// plane keys its result cache and `/modelz` identity on this. Non-const for
+/// the same reason as save_model; the model is not modified.
+std::string model_fingerprint(AguaModel& model);
+
 }  // namespace agua::core

@@ -13,6 +13,7 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -55,15 +56,17 @@ bool write_all(int fd, std::string_view data) {
 }
 
 /// Read until the header terminator (CRLF CRLF), `max_bytes`, or the
-/// absolute `deadline_ms` budget. Request bodies are not supported, so the
-/// head is the whole request. The deadline is enforced with poll() against a
-/// fixed endpoint — unlike SO_RCVTIMEO it does not reset per byte, which is
-/// what defeats slowloris-style trickle clients (kTimeout → 408).
+/// absolute `deadline` budget. The deadline is enforced with poll() against
+/// a fixed endpoint — unlike SO_RCVTIMEO it does not reset per byte, which
+/// is what defeats slowloris-style trickle clients (kTimeout → 408). Any
+/// body bytes that arrived in the same segments stay in `out` past the
+/// terminator; read_body consumes them.
 enum class ReadHead { kOk, kTooLarge, kTimeout, kError };
 
-ReadHead read_head(int fd, std::size_t max_bytes, int deadline_ms, std::string& out) {
-  using Clock = std::chrono::steady_clock;
-  const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+using Clock = std::chrono::steady_clock;
+
+ReadHead read_head(int fd, std::size_t max_bytes, Clock::time_point deadline,
+                   std::string& out) {
   char buf[2048];
   while (out.find("\r\n\r\n") == std::string::npos) {
     if (out.size() >= max_bytes) return ReadHead::kTooLarge;
@@ -80,6 +83,30 @@ ReadHead read_head(int fd, std::size_t max_bytes, int deadline_ms, std::string& 
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
     if (n <= 0) return ReadHead::kError;  // reset or premature close
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return ReadHead::kOk;
+}
+
+/// Append to `out` until it holds `total` bytes, under the same absolute
+/// deadline as the head (one budget covers the whole request).
+ReadHead read_body(int fd, std::size_t total, Clock::time_point deadline,
+                   std::string& out) {
+  char buf[4096];
+  while (out.size() < total) {
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+    if (remaining.count() <= 0) return ReadHead::kTimeout;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ReadHead::kError;
+    }
+    if (ready == 0) return ReadHead::kTimeout;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n <= 0) return ReadHead::kError;
     out.append(buf, static_cast<std::size_t>(n));
   }
   return ReadHead::kOk;
@@ -130,6 +157,9 @@ std::string render_response(const HttpResponse& response, std::string_view allow
                     std::string(status_reason(response.status)) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
   if (!allow.empty()) out += "Allow: " + std::string(allow) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += response.body;
@@ -191,6 +221,7 @@ std::string_view status_reason(int status) {
     case 404: return "Not Found";
     case 408: return "Request Timeout";
     case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -264,6 +295,13 @@ bool HttpServer::start() {
     return false;
   }
   running_.store(true, std::memory_order_release);
+  conn_shutdown_ = false;
+  if (options_.connection_threads > 1) {
+    conn_workers_.reserve(options_.connection_threads);
+    for (std::size_t i = 0; i < options_.connection_threads; ++i) {
+      conn_workers_.emplace_back([this] { connection_worker(); });
+    }
+  }
   thread_ = std::thread([this] { accept_loop(); });
   return true;
 }
@@ -275,10 +313,64 @@ void HttpServer::stop() {
   const char byte = 'q';
   [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
   if (thread_.joinable()) thread_.join();
+  // The accept loop is gone, so no new fds can be queued; drain the workers.
+  // Workers finish their in-flight request before exiting, so no request is
+  // abandoned mid-response; queued-but-unserved connections are just closed
+  // (the client sees a reset, as it would from any server going down).
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_shutdown_ = true;
+  }
+  conn_cv_.notify_all();
+  for (std::thread& worker : conn_workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  conn_workers_.clear();
+  for (int fd : conn_queue_) ::close(fd);
+  conn_queue_.clear();
   for (int* fd : {&listen_fd_, &wake_fds_[0], &wake_fds_[1]}) {
     if (*fd >= 0) ::close(*fd);
     *fd = -1;
   }
+}
+
+void HttpServer::connection_worker() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mutex_);
+      conn_cv_.wait(lock, [this] { return conn_shutdown_ || !conn_queue_.empty(); });
+      if (conn_queue_.empty()) return;  // shutdown with nothing left to serve
+      fd = conn_queue_.front();
+      conn_queue_.erase(conn_queue_.begin());
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::dispatch_connection(int fd) {
+  if (options_.connection_threads <= 1) {
+    serve_connection(fd);
+    ::close(fd);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    // Bound the queue at one waiting connection per worker beyond the ones
+    // being served; past that the server is saturated and honesty beats
+    // buffering — shed the connection with an immediate 503.
+    if (conn_queue_.size() < options_.connection_threads) {
+      conn_queue_.push_back(fd);
+      conn_cv_.notify_one();
+      return;
+    }
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  write_all(fd, render_response(HttpResponse::text(503, "server busy\n")));
+  ::shutdown(fd, SHUT_WR);
+  ::close(fd);
 }
 
 void HttpServer::accept_loop() {
@@ -312,8 +404,7 @@ void HttpServer::accept_loop() {
     }
     backoff_ms = 0;
     degraded_.store(false, std::memory_order_relaxed);
-    serve_connection(fd);
-    ::close(fd);
+    dispatch_connection(fd);
   }
 }
 
@@ -324,6 +415,7 @@ HttpServerStats HttpServer::stats() const {
   s.handler_timeouts = handler_timeouts_.load(std::memory_order_relaxed);
   s.accept_retries = accept_retries_.load(std::memory_order_relaxed);
   s.write_errors = write_errors_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   return s;
 }
@@ -364,9 +456,10 @@ void HttpServer::serve_connection(int fd) {
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
-  std::string head;
-  const ReadHead read =
-      read_head(fd, options_.max_request_bytes, options_.request_deadline_ms, head);
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.request_deadline_ms);
+  std::string raw;
+  const ReadHead read = read_head(fd, options_.max_request_bytes, deadline, raw);
   if (read == ReadHead::kError) return;  // nothing parseable arrived; just close
 
   HttpResponse response;
@@ -378,9 +471,36 @@ void HttpServer::serve_connection(int fd) {
     response = HttpResponse::text(431, "request too large\n");
   } else {
     HttpRequest request;
-    if (!parse_request(head, request)) {
+    const std::size_t head_end = raw.find("\r\n\r\n") + 4;
+    bool body_ok = true;
+    if (!parse_request(std::string_view(raw).substr(0, head_end), request)) {
       response = HttpResponse::text(400, "malformed request\n");
-    } else {
+      body_ok = false;
+    } else if (const std::string* length = request.header("content-length")) {
+      // Body bytes that rode in with the head are already in `raw`; pull the
+      // rest under the request's remaining deadline budget.
+      char* end = nullptr;
+      const unsigned long long want = std::strtoull(length->c_str(), &end, 10);
+      if (end == length->c_str() || (end != nullptr && *end != '\0')) {
+        response = HttpResponse::text(400, "bad content-length\n");
+        body_ok = false;
+      } else if (want > options_.max_body_bytes) {
+        response = HttpResponse::text(413, "request body too large\n");
+        body_ok = false;
+      } else {
+        const ReadHead body_read = read_body(fd, head_end + want, deadline, raw);
+        if (body_read == ReadHead::kTimeout) {
+          request_timeouts_.fetch_add(1, std::memory_order_relaxed);
+          response = HttpResponse::text(408, "request timeout\n");
+          body_ok = false;
+        } else if (body_read != ReadHead::kOk) {
+          return;  // connection died mid-body; nothing to answer
+        } else {
+          request.body = raw.substr(head_end, want);
+        }
+      }
+    }
+    if (body_ok) {
       bool path_known = false;
       const Handler* handler = nullptr;
       for (const auto& [key, h] : handlers_) {
@@ -412,9 +532,18 @@ void HttpServer::serve_connection(int fd) {
   }
 }
 
+std::string HttpClientResponse::header(std::string_view lower_name,
+                                       std::string fallback) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return value;
+  }
+  return fallback;
+}
+
 bool http_request(const std::string& method, const std::string& host,
                   std::uint16_t port, const std::string& target,
-                  HttpClientResponse& out, int timeout_ms) {
+                  HttpClientResponse& out, int timeout_ms, const std::string& body,
+                  const std::string& content_type) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return false;
   set_io_timeout(fd, timeout_ms);
@@ -426,8 +555,14 @@ bool http_request(const std::string& method, const std::string& host,
     ::close(fd);
     return false;
   }
-  const std::string request = method + " " + target + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  if (!body.empty()) {
+    request += "Content-Type: " + content_type + "\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
   if (!write_all(fd, request)) {
     ::close(fd);
     return false;
@@ -452,6 +587,7 @@ bool http_request(const std::string& method, const std::string& host,
   out.status = std::atoi(status_line.c_str() + sp + 1);
 
   out.content_type.clear();
+  out.headers.clear();
   std::size_t pos = line_end + 2;
   while (pos < head_end) {
     std::size_t end = raw.find("\r\n", pos);
@@ -460,11 +596,12 @@ bool http_request(const std::string& method, const std::string& host,
     pos = end + 2;
     const std::size_t colon = line.find(':');
     if (colon == std::string::npos) continue;
-    if (lower(line.substr(0, colon)) == "content-type") {
-      std::size_t v = colon + 1;
-      while (v < line.size() && (line[v] == ' ' || line[v] == '\t')) ++v;
-      out.content_type = line.substr(v);
-    }
+    std::size_t v = colon + 1;
+    while (v < line.size() && (line[v] == ' ' || line[v] == '\t')) ++v;
+    const std::string name = lower(line.substr(0, colon));
+    const std::string value = line.substr(v);
+    if (name == "content-type") out.content_type = value;
+    out.headers.emplace_back(name, value);
   }
   out.body = raw.substr(head_end + 4);
   return true;
@@ -473,6 +610,11 @@ bool http_request(const std::string& method, const std::string& host,
 bool http_get(const std::string& host, std::uint16_t port, const std::string& target,
               HttpClientResponse& out, int timeout_ms) {
   return http_request("GET", host, port, target, out, timeout_ms);
+}
+
+bool http_post(const std::string& host, std::uint16_t port, const std::string& target,
+               const std::string& body, HttpClientResponse& out, int timeout_ms) {
+  return http_request("POST", host, port, target, out, timeout_ms, body);
 }
 
 }  // namespace agua::net

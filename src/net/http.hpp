@@ -4,23 +4,32 @@
 // dispatches to registered handlers; and a tiny blocking client used by the
 // tests and the scrape-latency benchmarks.
 //
-// Deliberate non-goals: TLS, keep-alive, chunked encoding, request bodies,
-// virtual hosts. Every connection carries exactly one request and is closed
-// after the response (`Connection: close`), which keeps the server a single
-// blocking accept loop on one dedicated thread — no connection table, no
-// per-connection threads, and a naturally bounded memory footprint (one
-// request buffer, capped at Options::max_request_bytes).
+// Deliberate non-goals: TLS, keep-alive, chunked encoding, virtual hosts.
+// Every connection carries exactly one request (head plus an optional
+// Content-Length body, for POST endpoints like /explain) and is closed after
+// the response (`Connection: close`). Memory stays naturally bounded: one
+// head buffer capped at Options::max_request_bytes and one body buffer
+// capped at Options::max_body_bytes per in-flight connection.
+//
+// By default the server is a single blocking accept loop on one dedicated
+// thread — no connection table. Options::connection_threads > 1 adds a fixed
+// pool of connection workers fed from the accept loop, so several requests
+// can be in flight at once (the explanation-serving plane needs this for
+// request coalescing); handlers must then be safe to run concurrently with
+// each other.
 //
 // Layering: net sits directly above common (like obs) and is
 // observability-free; the instrumented telemetry handlers live one layer up
-// in src/obs. Handlers run on the server thread, so anything they touch must
-// be thread-safe against the rest of the process — the obs layer's
+// in src/obs. Handlers run on server-owned threads, so anything they touch
+// must be thread-safe against the rest of the process — the obs layer's
 // snapshot API (obs/snapshot.hpp) exists exactly for that.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -38,6 +47,7 @@ struct HttpRequest {
   std::string query;    ///< raw query string after '?' (may be empty)
   std::string version;  ///< e.g. "HTTP/1.1"
   std::vector<std::pair<std::string, std::string>> headers;  ///< lower-cased names
+  std::string body;     ///< Content-Length bytes (empty when none was sent)
 
   /// First header with the given lower-case name, or nullptr.
   const std::string* header(std::string_view lower_name) const;
@@ -50,6 +60,9 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Additional response headers (e.g. "X-Agua-Cache: hit"). Names are sent
+  /// verbatim; keep Content-Type/Content-Length/Connection out of here.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 
   static HttpResponse text(int status, std::string body);
   static HttpResponse json(int status, std::string body);
@@ -68,6 +81,13 @@ struct HttpServerOptions {
   std::uint16_t port = 0;                  ///< 0 = kernel-assigned ephemeral port
   int backlog = 16;                        ///< listen(2) queue bound
   std::size_t max_request_bytes = 16 * 1024;  ///< head limit; larger → 431
+  std::size_t max_body_bytes = 1024 * 1024;   ///< body limit; larger → 413
+  /// Connection handling: 1 (default) serves one connection at a time inline
+  /// on the accept thread; N > 1 runs a fixed pool of N connection workers so
+  /// up to N requests are in flight concurrently (handlers must be
+  /// thread-safe). Accepted connections beyond the worker queue's bound are
+  /// answered 503 immediately — load is shed, never buffered unboundedly.
+  std::size_t connection_threads = 1;
   int io_timeout_ms = 5000;  ///< per-recv/send socket timeout
   /// Absolute budget for receiving one request head. SO_RCVTIMEO alone resets
   /// on every byte, so a client trickling one byte per interval (slowloris)
@@ -91,6 +111,7 @@ struct HttpServerStats {
   std::uint64_t handler_timeouts = 0;  ///< 503s (handler deadline overruns)
   std::uint64_t accept_retries = 0;    ///< backoff rounds in the accept loop
   std::uint64_t write_errors = 0;      ///< responses that failed to send
+  std::uint64_t rejected = 0;          ///< 503s from a full connection queue
   bool degraded = false;
 };
 
@@ -137,6 +158,8 @@ class HttpServer {
 
  private:
   void accept_loop();
+  void connection_worker();
+  void dispatch_connection(int fd);
   void serve_connection(int fd);
   HttpResponse run_handler(const Handler& handler, const HttpRequest& request);
 
@@ -149,7 +172,15 @@ class HttpServer {
   std::atomic<std::uint64_t> handler_timeouts_{0};
   std::atomic<std::uint64_t> accept_retries_{0};
   std::atomic<std::uint64_t> write_errors_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::atomic<bool> degraded_{false};
+  // Connection-worker pool (connection_threads > 1): accepted fds queue here
+  // and workers drain the queue; guarded by conn_mutex_.
+  std::vector<std::thread> conn_workers_;
+  std::vector<int> conn_queue_;
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  bool conn_shutdown_ = false;  // guarded by conn_mutex_
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [read, write]
   std::uint16_t port_ = 0;
@@ -161,18 +192,29 @@ struct HttpClientResponse {
   int status = 0;
   std::string content_type;
   std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< lower-cased names
+
+  /// First header with the given lower-case name, or `fallback`.
+  std::string header(std::string_view lower_name, std::string fallback = "") const;
 };
 
 /// One blocking request to host:port. `target` is the raw request target
-/// (path + optional query, e.g. "/eventsz?n=5"). Returns false on connect /
-/// I/O / parse failure. Only used against our own server, so the parser is
+/// (path + optional query, e.g. "/eventsz?n=5"). A non-empty `body` is sent
+/// with a Content-Length header and `content_type`. Returns false on connect
+/// / I/O / parse failure. Only used against our own server, so the parser is
 /// as minimal as the server's.
 bool http_request(const std::string& method, const std::string& host,
                   std::uint16_t port, const std::string& target,
-                  HttpClientResponse& out, int timeout_ms = 5000);
+                  HttpClientResponse& out, int timeout_ms = 5000,
+                  const std::string& body = std::string(),
+                  const std::string& content_type = "application/json");
 
 /// Convenience GET.
 bool http_get(const std::string& host, std::uint16_t port, const std::string& target,
               HttpClientResponse& out, int timeout_ms = 5000);
+
+/// Convenience POST with a JSON body.
+bool http_post(const std::string& host, std::uint16_t port, const std::string& target,
+               const std::string& body, HttpClientResponse& out, int timeout_ms = 5000);
 
 }  // namespace agua::net

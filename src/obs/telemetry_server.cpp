@@ -47,6 +47,7 @@ std::string monitors_json(const std::vector<HealthMonitorSnapshot>& monitors,
      << ",\"handler_timeouts\":" << server.handler_timeouts
      << ",\"accept_retries\":" << server.accept_retries
      << ",\"write_errors\":" << server.write_errors
+     << ",\"rejected\":" << server.rejected
      << ",\"degraded\":" << (server.degraded ? "true" : "false") << "},\"monitors\":[";
   for (std::size_t i = 0; i < monitors.size(); ++i) {
     const HealthMonitorSnapshot& m = monitors[i];
@@ -95,6 +96,7 @@ TelemetryServer::TelemetryServer(TelemetryOptions options)
     : options_(std::move(options)),
       server_(net::HttpServer::Options{.bind_address = options_.bind_address,
                                        .port = options_.port,
+                                       .connection_threads = options_.connection_threads,
                                        .request_deadline_ms = options_.request_deadline_ms,
                                        .handler_deadline_ms = options_.handler_deadline_ms}) {
   // Any fault fired anywhere in the process should be visible on /metrics
@@ -148,8 +150,8 @@ void TelemetryServer::register_endpoints() {
     };
   };
 
-  server_.handle("GET", "/", instrumented("index", [](const net::HttpRequest&) {
-    return net::HttpResponse::text(200, kIndex);
+  server_.handle("GET", "/", instrumented("index", [this](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, kIndex + options_.extra_index);
   }));
 
   server_.handle("GET", "/metrics", instrumented("metrics", [](const net::HttpRequest&) {

@@ -44,6 +44,14 @@ struct TelemetryOptions {
   /// Per-request handler budget (503 on overrun). Costs one short-lived
   /// helper thread per request — fine for a cold scrape path. 0 disables.
   int handler_deadline_ms = 2000;
+  /// Connection workers for the underlying net::HttpServer. The default (1)
+  /// keeps the classic serve-one-at-a-time telemetry plane; the explanation
+  /// serving plane raises this so requests can be in flight concurrently
+  /// (micro-batching coalesces nothing if connections are serialized).
+  std::size_t connection_threads = 1;
+  /// Extra lines appended to the `GET /` index (the serving plane lists its
+  /// endpoints here). Each entry should end with '\n'.
+  std::string extra_index;
 };
 
 class TelemetryServer {
@@ -69,6 +77,11 @@ class TelemetryServer {
   /// (negative = wait forever). Returns true when quit was requested — the
   /// idiom behind `agua_cli --serve-linger`.
   bool wait_for_quit(double timeout_seconds);
+
+  /// The underlying HTTP server, for mounting additional endpoints (the
+  /// explanation serving plane registers /explain, /modelz, /reloadz here).
+  /// Like any handler registration, mounting must finish before start().
+  net::HttpServer& http() { return server_; }
 
  private:
   void register_endpoints();

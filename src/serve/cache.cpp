@@ -1,0 +1,95 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace agua::serve {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    hash ^= static_cast<std::uint64_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t shards) {
+  shards = std::max<std::size_t>(1, shards);
+  if (capacity > 0) {
+    // Don't spread a tiny budget so thin that shards round down to zero.
+    shards = std::min(shards, capacity);
+    per_shard_capacity_ = std::max<std::size_t>(1, capacity / shards);
+  }
+  shards_ = std::vector<Shard>(shards);
+}
+
+ShardedLruCache::Shard& ShardedLruCache::shard_for(const std::string& key) {
+  return shards_[fnv1a(key) % shards_.size()];
+}
+
+bool ShardedLruCache::get(const std::string& key, std::string& value_out) {
+  if (per_shard_capacity_ == 0) return false;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  value_out = it->second->second;
+  ++shard.hits;
+  return true;
+}
+
+bool ShardedLruCache::put(const std::string& key, std::string value) {
+  if (per_shard_capacity_ == 0) return false;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return false;
+  }
+  bool evicted = false;
+  if (shard.order.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.order.back().first);
+    shard.order.pop_back();
+    ++shard.evictions;
+    evicted = true;
+  }
+  shard.order.emplace_front(key, std::move(value));
+  shard.index[key] = shard.order.begin();
+  ++shard.inserts;
+  return evicted;
+}
+
+void ShardedLruCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.order.clear();
+    shard.index.clear();
+  }
+}
+
+CacheStats ShardedLruCache::stats() const {
+  CacheStats stats;
+  stats.shards = shards_.size();
+  stats.capacity = per_shard_capacity_ * shards_.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.inserts += shard.inserts;
+    stats.entries += shard.order.size();
+  }
+  return stats;
+}
+
+}  // namespace agua::serve

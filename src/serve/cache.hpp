@@ -1,0 +1,76 @@
+// Sharded LRU cache for rendered explanation responses. Keys are exact
+// byte strings — (model fingerprint, request kind, target class, raw input
+// bytes) concatenated by the service — so "identical request" means
+// identical key and a hit returns the byte-identical body that was cached.
+//
+// Sharding bounds contention: each shard has its own mutex + LRU list, and a
+// key's shard is fixed by its FNV-1a hash, so concurrent connection workers
+// only collide when they touch the same shard. Capacity is enforced per
+// shard (capacity/shards entries each), which keeps eviction O(1) and the
+// total bounded without any cross-shard coordination.
+//
+// The cache is observability-free (like everything below obs); the service
+// layer turns the returned hit/miss/eviction facts into
+// `agua.serve.cache.*` metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace agua::serve {
+
+/// Aggregate counters across all shards (for /modelz and tests).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+  std::size_t shards = 0;
+};
+
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (each shard holds at least one entry). capacity == 0 disables the
+  /// cache: get() always misses, put() is a no-op.
+  ShardedLruCache(std::size_t capacity, std::size_t shards = 8);
+
+  /// Copies the cached value into `out` and promotes the entry to
+  /// most-recently-used. False on miss.
+  bool get(const std::string& key, std::string& value_out);
+
+  /// Insert or refresh. Evicts the shard's least-recently-used entry when
+  /// the shard is full. Returns true when an eviction happened.
+  bool put(const std::string& key, std::string value);
+
+  void clear();
+  CacheStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used.
+    std::list<std::pair<std::string, std::string>> order;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace agua::serve

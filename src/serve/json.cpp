@@ -1,0 +1,257 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace agua::serve {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonParseResult run() {
+    JsonParseResult result;
+    skip_ws();
+    if (!parse_value(result.value, 0)) {
+      result.error = error_.empty() ? fail("empty document") : error_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = fail("trailing bytes after document");
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  std::string fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return error_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > max_depth_) {
+      fail("nesting deeper than limit");
+      return false;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        if (!literal("true")) { fail("bad literal"); return false; }
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return true;
+      case 'f':
+        if (!literal("false")) { fail("bad literal"); return false; }
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return true;
+      case 'n':
+        if (!literal("null")) { fail("bad literal"); return false; }
+        out.kind = JsonValue::Kind::kNull;
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= text_.size()) break;
+      const char esc = text_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) {
+            fail("bad \\u escape");
+            return false;
+          }
+          // Latin-1 subset only; anything wider is replaced, not mangled.
+          out += code <= 0xFF ? static_cast<char>(code) : '?';
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail("bad escape character");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("unexpected character");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = value;
+    return true;
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '['
+    out.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skip_ws();
+      if (!parse_value(element, depth + 1)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) break;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      break;
+    }
+    fail("expected ',' or ']' in array");
+    return false;
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    ++pos_;  // '{'
+    out.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key string");
+        return false;
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':' after object key");
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.object[std::move(key)] = std::move(value);
+      skip_ws();
+      if (pos_ >= text_.size()) break;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      break;
+    }
+    fail("expected ',' or '}' in object");
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+JsonParseResult json_parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace agua::serve

@@ -1,0 +1,58 @@
+// Minimal recursive-descent JSON reader for the serving plane's request
+// bodies (serve/service.cpp). The obs layer only *emits* JSON
+// (obs/json.hpp); this is the first place the process must *parse* untrusted
+// JSON, so the reader is strict (no trailing garbage, bounded depth) and
+// never throws — a malformed body becomes a 400, not an exception.
+//
+// Deliberate non-goals: full unicode escapes (\uXXXX outside latin-1),
+// streaming, and number fidelity beyond double (the request schema carries
+// only feature vectors, row ids and small flags).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agua::serve {
+
+/// One parsed JSON value. Object keys keep insertion order irrelevant
+/// (std::map) — request schemas are looked up by name, never iterated.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member by key, or nullptr (also when this is not an object).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parse result: `ok` false means `error` holds a one-line diagnosis with a
+/// byte offset — exactly what a 400 body should echo back.
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;
+};
+
+/// Strict parse of a complete JSON document: trailing non-whitespace bytes
+/// are an error, nesting deeper than `max_depth` is an error (stack safety
+/// against adversarial bodies).
+JsonParseResult json_parse(std::string_view text, std::size_t max_depth = 32);
+
+}  // namespace agua::serve

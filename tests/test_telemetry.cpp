@@ -16,6 +16,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -433,6 +435,82 @@ TEST_F(TelemetryTest, HealthzEmbedsServerResilienceStats) {
   EXPECT_NE(response.body.find("\"server\":{\"requests\":"), std::string::npos);
   EXPECT_NE(response.body.find("\"accept_retries\":0"), std::string::npos);
   EXPECT_NE(response.body.find("\"degraded\":false"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, PostBodyRoundTripsToHandler) {
+  net::HttpServer server;
+  server.handle("POST", "/echo", [](const net::HttpRequest& request) {
+    return net::HttpResponse::text(200, request.body);
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+  net::HttpClientResponse response;
+  const std::string body = "{\"payload\": [1, 2, 3]}";
+  ASSERT_TRUE(net::http_post("127.0.0.1", server.port(), "/echo", body, response));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, body);
+}
+
+TEST_F(HttpServerTest, OversizedBodyGets413) {
+  net::HttpServerOptions options;
+  options.max_body_bytes = 16;
+  net::HttpServer server{options};
+  server.handle("POST", "/echo", [](const net::HttpRequest& request) {
+    return net::HttpResponse::text(200, request.body);
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+  net::HttpClientResponse response;
+  ASSERT_TRUE(net::http_post("127.0.0.1", server.port(), "/echo",
+                             std::string(64, 'x'), response));
+  EXPECT_EQ(response.status, 413);
+}
+
+TEST_F(HttpServerTest, ExtraHeadersAreWritten) {
+  net::HttpServer server;
+  server.handle("GET", "/h", [](const net::HttpRequest&) {
+    net::HttpResponse response = net::HttpResponse::text(200, "ok");
+    response.extra_headers.emplace_back("X-Custom", "tagged");
+    return response;
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+  net::HttpClientResponse response;
+  ASSERT_TRUE(net::http_get("127.0.0.1", server.port(), "/h", response));
+  EXPECT_EQ(response.header("x-custom"), "tagged");
+  EXPECT_EQ(response.header("absent", "fallback"), "fallback");
+}
+
+TEST_F(HttpServerTest, ConnectionWorkersServeConcurrentRequests) {
+  // With a worker pool, a handler parked on one connection must not block
+  // another request — the property the serve plane's micro-batcher needs.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  net::HttpServerOptions options;
+  options.connection_threads = 3;
+  net::HttpServer server{options};
+  server.handle("GET", "/slow", [&](const net::HttpRequest&) {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait_for(lock, std::chrono::seconds(5), [&] { return gate_open; });
+    return net::HttpResponse::text(200, "slow");
+  });
+  server.handle("GET", "/fast", [](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, "fast");
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  std::thread slow_client([&] {
+    net::HttpClientResponse response;
+    net::http_get("127.0.0.1", server.port(), "/slow", response, 10000);
+  });
+  // The fast request completes while /slow is parked.
+  net::HttpClientResponse fast;
+  ASSERT_TRUE(net::http_get("127.0.0.1", server.port(), "/fast", fast, 10000));
+  EXPECT_EQ(fast.body, "fast");
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  slow_client.join();
 }
 
 TEST_F(HttpServerTest, PortsAreReleasedOnStop) {
