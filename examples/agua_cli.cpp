@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "apps/abr_bundle.hpp"
 #include "common/fault.hpp"
@@ -22,6 +24,7 @@
 #include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/fault_telemetry.hpp"
+#include "obs/slo.hpp"
 #include "obs/telemetry_server.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
@@ -74,6 +77,10 @@ constexpr const char* kUsage =
     "  --serve-linger SECONDS   keep serving for up to SECONDS after the run\n"
     "                    (POST /quitquitquit ends it early); with --serve the\n"
     "                    default is to linger until quit is requested\n"
+    "  --slo SPEC        track a latency/error objective for an endpoint and\n"
+    "                    surface multi-window burn rates on /statusz, e.g.\n"
+    "                    '/explain=250ms:99.9' (grammar: ENDPOINT=LATENCY:PCT;\n"
+    "                    repeatable, or comma-separate several specs)\n"
     "  --checkpoint-dir DIR     write crash-safe training checkpoints into\n"
     "                    DIR at epoch boundaries (DESIGN.md §8)\n"
     "  --checkpoint-every N     epochs between checkpoints (default 5)\n"
@@ -101,6 +108,7 @@ struct CliOptions {
   std::size_t serve_max_batch = 16;
   std::int64_t serve_batch_linger_us = 500;
   std::size_t serve_cache = 1024;
+  std::vector<obs::SloSpec> slos;   // --slo specs, registered before serving
   double serve_linger = 0.0;        // seconds to keep serving after the run
   bool serve_linger_set = false;    // --serve-linger given explicitly
   std::string checkpoint_dir;
@@ -159,6 +167,23 @@ bool parse(int argc, char** argv, CliOptions& options) {
     } else if (std::strcmp(argv[i], "--serve-cache") == 0 && i + 1 < argc) {
       options.serve_cache =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+      // Accept both repeated flags and comma-separated spec lists.
+      std::string_view specs = argv[++i];
+      while (!specs.empty()) {
+        const std::size_t comma = specs.find(',');
+        const std::string_view one = specs.substr(0, comma);
+        obs::SloSpec spec;
+        std::string slo_error;
+        if (!obs::parse_slo_spec(one, spec, &slo_error)) {
+          std::fprintf(stderr, "bad --slo spec '%.*s': %s\n",
+                       static_cast<int>(one.size()), one.data(), slo_error.c_str());
+          return false;
+        }
+        options.slos.push_back(spec);
+        if (comma == std::string_view::npos) break;
+        specs.remove_prefix(comma + 1);
+      }
     } else if (std::strcmp(argv[i], "--serve-linger") == 0 && i + 1 < argc) {
       options.serve_linger = std::strtod(argv[++i], nullptr);
       options.serve_linger_set = true;
@@ -293,6 +318,12 @@ int main(int argc, char** argv) {
     }
   }
   obs::set_trace_enabled(options.trace);
+  // Generated trace ids (requests arriving without a traceparent header) are
+  // derived from the experiment seed so a replayed run produces the same ids.
+  net::seed_trace_ids(options.seed ^ 0x7C5A);
+  for (const obs::SloSpec& spec : options.slos) {
+    obs::SloRegistry::instance().track(spec);
+  }
   if (!options.flight_record.empty() || options.serve_telemetry) {
     // Enable event capture up front — for --flight-record so even a crash
     // mid-training leaves the ring on disk, for --serve-telemetry so
@@ -319,7 +350,11 @@ int main(int argc, char** argv) {
        .connection_threads = options.serve_explain ? std::size_t{4} : std::size_t{1},
        .extra_index = options.serve_explain ? serve::ExplainService::index_lines()
                                             : std::string{}});
-  if (options.serve_explain) explain_service.mount(telemetry.http());
+  if (options.serve_explain) {
+    explain_service.mount(telemetry.http());
+    telemetry.add_status_section(
+        "serving", [&explain_service] { return explain_service.status_section(); });
+  }
   if (options.serve_telemetry) {
     if (!telemetry.start()) {
       std::fprintf(stderr, "failed to start telemetry server: %s\n",
@@ -328,7 +363,7 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "telemetry server listening on %s "
-        "(/metrics /metrics.json /healthz /tracez /eventsz /buildz%s)\n",
+        "(/metrics /metrics.json /healthz /statusz /tracez /eventsz /buildz%s)\n",
         telemetry.url().c_str(),
         options.serve_explain ? " /explain /modelz /reloadz" : "");
     std::fflush(stdout);  // scripts watch for this line before curling

@@ -14,11 +14,17 @@
 # mid-flight, resume it from its crash-safe checkpoints, and require the
 # final model to be byte-for-byte identical to an uninterrupted run; then arm
 # fault injection (--faults) and assert both the skip-and-recover path and
-# the bounded-failure path behave. `docs` lints the documentation suite:
-# every intra-repo markdown link must resolve, and every flag `agua_cli
-# --help` advertises must be documented in docs/OPERATIONS.md.
+# the bounded-failure path behave. `trace` smoke-tests end-to-end request
+# tracing: POST /explain with a W3C traceparent header and assert the same
+# trace id comes back in X-Agua-Trace-Id, is queryable via /tracez?trace=ID,
+# and shows up as an OpenMetrics exemplar on the serve latency histogram;
+# also checks /statusz renders its operator sections. `docs` lints the
+# documentation suite: every intra-repo markdown link must resolve, every
+# flag `agua_cli --help` advertises must be documented in
+# docs/OPERATIONS.md, and every metric/span/monitor name literal in src/
+# must follow the `agua.<layer>.<op>` convention (DESIGN.md §6).
 #
-#   scripts/check.sh [default|asan|tsan|obs|serve|faults|docs] [-j N]
+#   scripts/check.sh [default|asan|tsan|obs|serve|trace|faults|docs] [-j N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,10 +37,11 @@ while [ $# -gt 0 ]; do
     default|asan|tsan) preset="$1" ;;
     obs) mode="obs" ;;
     serve) mode="serve" ;;
+    trace) mode="trace" ;;
     faults) mode="faults" ;;
     docs) mode="docs" ;;
     -j) jobs="$2"; shift ;;
-    *) echo "usage: $0 [default|asan|tsan|obs|serve|faults|docs] [-j N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [default|asan|tsan|obs|serve|trace|faults|docs] [-j N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -185,6 +192,80 @@ PY
   exit 0
 fi
 
+if [ "$mode" = "trace" ]; then
+  # Tracing smoke: one traced request must be joinable across every surface —
+  # the response header, the per-trace span index, and metric exemplars.
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target agua_cli
+  out="$(mktemp -d)"
+  cleanup() {
+    [ -n "${cli_pid:-}" ] && kill "$cli_pid" 2>/dev/null || true
+    rm -rf "$out"
+  }
+  trap cleanup EXIT
+  ./build/examples/agua_cli abr --tiny --threads 2 \
+    --serve 0 --slo '/explain=250ms:99' --serve-linger 60 > "$out/cli.log" 2>&1 &
+  cli_pid=$!
+  url=""
+  for _ in $(seq 1 100); do
+    url="$(sed -n 's#^telemetry server listening on \(http://[0-9.:]*\).*#\1#p' \
+           "$out/cli.log" | head -n1)"
+    [ -n "$url" ] && break
+    kill -0 "$cli_pid" 2>/dev/null || { cat "$out/cli.log"; echo "agua_cli died before serving" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$url" ] || { cat "$out/cli.log"; echo "no telemetry listen line" >&2; exit 1; }
+  ready=""
+  for _ in $(seq 1 600); do
+    ready="$(grep -c '^explanation service ready' "$out/cli.log" || true)"
+    [ "$ready" != "0" ] && break
+    kill -0 "$cli_pid" 2>/dev/null || { cat "$out/cli.log"; echo "agua_cli died before the explanation service came up" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ "$ready" != "0" ] || { cat "$out/cli.log"; echo "no 'explanation service ready' line" >&2; exit 1; }
+  echo "tracing against $url"
+  trace_id="4bf92f3577b34da6a3ce929d0e0e4736"
+  curl -fsS -D "$out/explain_headers.txt" -X POST \
+    -H "traceparent: 00-${trace_id}-00f067aa0ba902b7-01" \
+    -d '{"row": 0}' "$url/explain" > "$out/explain.json"
+  curl -fsS "$url/tracez?trace=${trace_id}&format=json" > "$out/trace.json"
+  curl -fsS -H 'Accept: application/openmetrics-text' "$url/metrics" > "$out/metrics.om"
+  curl -fsS "$url/statusz" > "$out/statusz.txt"
+  python3 - "$trace_id" "$out/explain_headers.txt" "$out/trace.json" \
+    "$out/metrics.om" "$out/statusz.txt" <<'PY'
+import json, re, sys
+trace_id, headers_path, trace_path, om_path, statusz_path = sys.argv[1:6]
+echoed = None
+for line in open(headers_path):
+    if line.lower().startswith("x-agua-trace-id:"):
+        echoed = line.split(":", 1)[1].strip()
+assert echoed == trace_id, f"X-Agua-Trace-Id: want {trace_id}, got {echoed!r}"
+trace = json.load(open(trace_path))
+assert trace["trace_id"] == trace_id, trace
+names = {s["name"] for s in trace["spans"]}
+assert "agua.serve.request" in names, f"/tracez?trace= spans: {sorted(names)}"
+om = open(om_path).read()
+assert om.rstrip("\n").endswith("# EOF"), "OpenMetrics body missing # EOF"
+exemplar = re.compile(r'_bucket\{le="[^"]*"\} \d+ # \{trace_id="([0-9a-f]{32})"\}')
+ids = set(exemplar.findall(om))
+assert trace_id in ids, f"no exemplar with {trace_id}; saw {sorted(ids)}"
+statusz = open(statusz_path).read()
+for section in ("== server ==", "== health ==", "== slo ==", "== traces ==",
+                "== serving ==", "/explain"):
+    assert section in statusz, f"/statusz missing {section!r}:\n{statusz}"
+print(f"trace smoke OK: id {trace_id} joined across header, /tracez, "
+      f"{len(ids)} exemplar id(s), and /statusz renders every section")
+PY
+  if ! curl -fsS -X POST "$url/quitquitquit" > /dev/null; then
+    kill -0 "$cli_pid" 2>/dev/null && { echo "quit endpoint unreachable" >&2; exit 1; }
+  fi
+  wait "$cli_pid"; rc=$?
+  cli_pid=""
+  [ "$rc" -eq 0 ] || { cat "$out/cli.log"; echo "agua_cli exited rc=$rc" >&2; exit 1; }
+  echo "trace smoke: clean shutdown (rc=0)"
+  exit 0
+fi
+
 if [ "$mode" = "faults" ]; then
   # Chaos smoke, three acts (DESIGN.md §8).
   cmake --preset default
@@ -305,6 +386,26 @@ missing = [f for f in flags if f not in runbook]
 if missing:
     sys.exit(f"flags in `agua_cli --help` missing from docs/OPERATIONS.md: {missing}")
 print(f"flags OK: all {len(flags)} --help flags documented in docs/OPERATIONS.md")
+
+# Metric-naming lint: every metric/span/monitor name literal registered in
+# src/ must follow the `agua.<layer>.<op>` convention (DESIGN.md §6) —
+# lower-case dotted segments, at least three, starting with "agua".
+name_site = re.compile(
+    r'\b(?:counter|gauge|histogram|health_monitor|TraceSpan|ScopedTimer)'
+    r'\s*\(\s*"([^"]+)"')
+name_ok = re.compile(r"^agua\.[a-z0-9_]+(\.[a-z0-9_]+)+$")
+sources, bad_names = [], []
+for root, dirs, files in os.walk("src"):
+    sources += [os.path.join(root, f) for f in files if f.endswith((".cpp", ".hpp"))]
+for source in sorted(sources):
+    text = open(source, encoding="utf-8").read()
+    for name in name_site.findall(text):
+        if not name_ok.match(name):
+            bad_names.append(f"{source}: {name!r}")
+if bad_names:
+    print("\n".join(bad_names), file=sys.stderr)
+    sys.exit(f"{len(bad_names)} metric name(s) violate agua.<layer>.<op> (DESIGN.md §6)")
+print(f"metric names OK: every literal in {len(sources)} src files matches agua.<layer>.<op>")
 PY
   rm -f /tmp/agua_help.$$
   echo "docs mode OK"
@@ -316,7 +417,7 @@ if [ "$preset" = "tsan" ]; then
   # TSan doubles build time and the race surface is the pool + obs layer +
   # fault registry + serving plane; build and run only those suites (the
   # test preset filters to match).
-  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry test_fault test_serve
+  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry test_tracing test_fault test_serve
 else
   cmake --build --preset "$preset" -j "$jobs"
 fi

@@ -173,7 +173,91 @@ int hex_digit(char c) {
   return -1;
 }
 
+/// Parse exactly `digits` lower/upper hex characters into `out`. Returns
+/// false on any non-hex character (traceparent is strict about field width).
+bool parse_hex_u64(std::string_view s, std::uint64_t& out) {
+  std::uint64_t value = 0;
+  for (char c : s) {
+    const int d = hex_digit(c);
+    if (d < 0) return false;
+    value = (value << 4) | static_cast<std::uint64_t>(d);
+  }
+  out = value;
+  return true;
+}
+
+void append_hex_u64(std::string& out, std::uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHex[(v >> shift) & 0xF];
+  }
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Server-generated trace ids come from a seeded counter stream so a run's
+// ids are reproducible from the experiment seed (seed_trace_ids), yet unique
+// per request. Relaxed ordering is fine: uniqueness only needs the
+// fetch_add to be atomic.
+std::atomic<std::uint64_t> g_trace_seed{0x41475541ULL /* "AGUA" */};
+std::atomic<std::uint64_t> g_trace_counter{0};
+
 }  // namespace
+
+std::string TraceContext::trace_id_hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex_u64(out, trace_hi);
+  append_hex_u64(out, trace_lo);
+  return out;
+}
+
+bool parse_traceparent(std::string_view value, TraceContext& out) {
+  // version "00": 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>.
+  // Future versions are allowed to append fields, so accept a longer value
+  // as long as the extra part starts with '-'; version 0xff is reserved.
+  if (value.size() < 55) return false;
+  if (value[2] != '-' || value[35] != '-' || value[52] != '-') return false;
+  if (value.size() > 55 && value[55] != '-') return false;
+  std::uint64_t version = 0;
+  if (!parse_hex_u64(value.substr(0, 2), version) || version == 0xFF) return false;
+  if (version == 0 && value.size() != 55) return false;
+  TraceContext parsed;
+  std::uint64_t flags = 0;
+  if (!parse_hex_u64(value.substr(3, 16), parsed.trace_hi) ||
+      !parse_hex_u64(value.substr(19, 16), parsed.trace_lo) ||
+      !parse_hex_u64(value.substr(36, 16), parsed.parent_span) ||
+      !parse_hex_u64(value.substr(53, 2), flags)) {
+    return false;
+  }
+  if (!parsed.valid() || parsed.parent_span == 0) return false;
+  parsed.sampled = (flags & 0x01) != 0;
+  parsed.from_header = true;
+  out = parsed;
+  return true;
+}
+
+TraceContext generate_trace_context() {
+  const std::uint64_t seed = g_trace_seed.load(std::memory_order_relaxed);
+  const std::uint64_t n = g_trace_counter.fetch_add(1, std::memory_order_relaxed);
+  TraceContext ctx;
+  ctx.trace_hi = splitmix64(seed ^ (n * 2));
+  ctx.trace_lo = splitmix64(seed ^ (n * 2 + 1));
+  if (!ctx.valid()) ctx.trace_lo = 1;  // astronomically unlikely, but spec-required
+  ctx.sampled = true;
+  ctx.from_header = false;
+  return ctx;
+}
+
+void seed_trace_ids(std::uint64_t seed) {
+  g_trace_seed.store(seed, std::memory_order_relaxed);
+  g_trace_counter.store(0, std::memory_order_relaxed);
+}
 
 const std::string* HttpRequest::header(std::string_view lower_name) const {
   for (const auto& [name, value] : headers) {
@@ -209,7 +293,7 @@ HttpResponse HttpResponse::text(int status, std::string body) {
 HttpResponse HttpResponse::json(int status, std::string body) {
   HttpResponse r;
   r.status = status;
-  r.content_type = "application/json";
+  r.content_type = "application/json; charset=utf-8";
   r.body = std::move(body);
   return r;
 }
@@ -368,7 +452,10 @@ void HttpServer::dispatch_connection(int fd) {
   }
   rejected_.fetch_add(1, std::memory_order_relaxed);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
-  write_all(fd, render_response(HttpResponse::text(503, "server busy\n")));
+  HttpResponse shed = HttpResponse::text(503, "server busy\n");
+  shed.extra_headers.emplace_back("X-Agua-Trace-Id",
+                                  generate_trace_context().trace_id_hex());
+  write_all(fd, render_response(shed));
   ::shutdown(fd, SHUT_WR);
   ::close(fd);
 }
@@ -462,6 +549,9 @@ void HttpServer::serve_connection(int fd) {
   const ReadHead read = read_head(fd, options_.max_request_bytes, deadline, raw);
   if (read == ReadHead::kError) return;  // nothing parseable arrived; just close
 
+  // Every response carries the request's trace id (X-Agua-Trace-Id), even
+  // the pre-parse error paths — a 408'd slowloris still gets a joinable id.
+  TraceContext trace = generate_trace_context();
   HttpResponse response;
   std::string allow;
   if (read == ReadHead::kTimeout) {
@@ -476,27 +566,36 @@ void HttpServer::serve_connection(int fd) {
     if (!parse_request(std::string_view(raw).substr(0, head_end), request)) {
       response = HttpResponse::text(400, "malformed request\n");
       body_ok = false;
-    } else if (const std::string* length = request.header("content-length")) {
-      // Body bytes that rode in with the head are already in `raw`; pull the
-      // rest under the request's remaining deadline budget.
-      char* end = nullptr;
-      const unsigned long long want = std::strtoull(length->c_str(), &end, 10);
-      if (end == length->c_str() || (end != nullptr && *end != '\0')) {
-        response = HttpResponse::text(400, "bad content-length\n");
-        body_ok = false;
-      } else if (want > options_.max_body_bytes) {
-        response = HttpResponse::text(413, "request body too large\n");
-        body_ok = false;
-      } else {
-        const ReadHead body_read = read_body(fd, head_end + want, deadline, raw);
-        if (body_read == ReadHead::kTimeout) {
-          request_timeouts_.fetch_add(1, std::memory_order_relaxed);
-          response = HttpResponse::text(408, "request timeout\n");
+    } else {
+      // Propagate the client's trace id when the traceparent header is
+      // well-formed; a malformed one falls back to the generated context
+      // (the spec says restart the trace).
+      if (const std::string* traceparent = request.header("traceparent")) {
+        parse_traceparent(*traceparent, trace);
+      }
+      request.trace = trace;
+      if (const std::string* length = request.header("content-length")) {
+        // Body bytes that rode in with the head are already in `raw`; pull
+        // the rest under the request's remaining deadline budget.
+        char* end = nullptr;
+        const unsigned long long want = std::strtoull(length->c_str(), &end, 10);
+        if (end == length->c_str() || (end != nullptr && *end != '\0')) {
+          response = HttpResponse::text(400, "bad content-length\n");
           body_ok = false;
-        } else if (body_read != ReadHead::kOk) {
-          return;  // connection died mid-body; nothing to answer
+        } else if (want > options_.max_body_bytes) {
+          response = HttpResponse::text(413, "request body too large\n");
+          body_ok = false;
         } else {
-          request.body = raw.substr(head_end, want);
+          const ReadHead body_read = read_body(fd, head_end + want, deadline, raw);
+          if (body_read == ReadHead::kTimeout) {
+            request_timeouts_.fetch_add(1, std::memory_order_relaxed);
+            response = HttpResponse::text(408, "request timeout\n");
+            body_ok = false;
+          } else if (body_read != ReadHead::kOk) {
+            return;  // connection died mid-body; nothing to answer
+          } else {
+            request.body = raw.substr(head_end, want);
+          }
         }
       }
     }
@@ -519,6 +618,13 @@ void HttpServer::serve_connection(int fd) {
         response = HttpResponse::text(404, "not found\n");
       }
     }
+  }
+  bool has_trace_header = false;
+  for (const auto& [name, value] : response.extra_headers) {
+    if (lower(name) == "x-agua-trace-id") has_trace_header = true;
+  }
+  if (!has_trace_header) {
+    response.extra_headers.emplace_back("X-Agua-Trace-Id", trace.trace_id_hex());
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   const bool write_ok =
@@ -543,7 +649,8 @@ std::string HttpClientResponse::header(std::string_view lower_name,
 bool http_request(const std::string& method, const std::string& host,
                   std::uint16_t port, const std::string& target,
                   HttpClientResponse& out, int timeout_ms, const std::string& body,
-                  const std::string& content_type) {
+                  const std::string& content_type,
+                  const std::vector<std::pair<std::string, std::string>>& headers) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return false;
   set_io_timeout(fd, timeout_ms);
@@ -557,6 +664,9 @@ bool http_request(const std::string& method, const std::string& host,
   }
   std::string request = method + " " + target + " HTTP/1.1\r\nHost: " + host +
                         "\r\nConnection: close\r\n";
+  for (const auto& [name, value] : headers) {
+    request += name + ": " + value + "\r\n";
+  }
   if (!body.empty()) {
     request += "Content-Type: " + content_type + "\r\n";
     request += "Content-Length: " + std::to_string(body.size()) + "\r\n";

@@ -38,6 +38,41 @@
 
 namespace agua::net {
 
+/// W3C trace context for one request: a 128-bit trace id plus the upstream
+/// parent span id, parsed from an incoming `traceparent` header
+/// (`00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>`) or generated
+/// server-side when the client sent none. This is protocol plumbing, not
+/// observability — the net layer only carries the id; the obs layer decides
+/// what to record against it. Every response echoes the id back as
+/// `X-Agua-Trace-Id` so a client (or an operator reading curl -i output) can
+/// join the response to /tracez and to metric exemplars.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;    ///< high 64 bits of the 128-bit trace id
+  std::uint64_t trace_lo = 0;    ///< low 64 bits
+  std::uint64_t parent_span = 0; ///< upstream parent-id (0 when generated)
+  bool sampled = true;           ///< traceparent flags bit 0
+  bool from_header = false;      ///< parsed from traceparent vs generated
+
+  /// All-zero trace ids are invalid per the W3C spec.
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+  /// The trace id as 32 lower-case hex characters (the wire format).
+  std::string trace_id_hex() const;
+};
+
+/// Parse a `traceparent` header value. Returns false (leaving `out`
+/// untouched) on any syntax violation, an unknown version byte of 0xff, or
+/// an all-zero trace id — the caller then generates a fresh context, per the
+/// spec's "restart the trace" guidance.
+bool parse_traceparent(std::string_view value, TraceContext& out);
+
+/// Generate a fresh sampled trace context from the process-local seeded
+/// stream (splitmix64 over seed + counter). Never returns an invalid id.
+TraceContext generate_trace_context();
+
+/// Reseed the generated-trace-id stream (and reset its counter) so a run's
+/// server-generated ids are reproducible from the experiment seed.
+void seed_trace_ids(std::uint64_t seed);
+
 /// One parsed request. Header names are lower-cased at parse time; the path
 /// is percent-decoded, the query string is kept raw (decode per key via
 /// query_param).
@@ -48,6 +83,9 @@ struct HttpRequest {
   std::string version;  ///< e.g. "HTTP/1.1"
   std::vector<std::pair<std::string, std::string>> headers;  ///< lower-cased names
   std::string body;     ///< Content-Length bytes (empty when none was sent)
+  /// Request-scoped trace context: parsed from `traceparent` when present
+  /// and well-formed, otherwise generated. Always valid() inside a handler.
+  TraceContext trace;
 
   /// First header with the given lower-case name, or nullptr.
   const std::string* header(std::string_view lower_name) const;
@@ -200,14 +238,17 @@ struct HttpClientResponse {
 
 /// One blocking request to host:port. `target` is the raw request target
 /// (path + optional query, e.g. "/eventsz?n=5"). A non-empty `body` is sent
-/// with a Content-Length header and `content_type`. Returns false on connect
-/// / I/O / parse failure. Only used against our own server, so the parser is
-/// as minimal as the server's.
+/// with a Content-Length header and `content_type`; `headers` are extra
+/// request headers sent verbatim (e.g. {"traceparent", ...} or an Accept for
+/// /metrics content negotiation). Returns false on connect / I/O / parse
+/// failure. Only used against our own server, so the parser is as minimal
+/// as the server's.
 bool http_request(const std::string& method, const std::string& host,
                   std::uint16_t port, const std::string& target,
                   HttpClientResponse& out, int timeout_ms = 5000,
                   const std::string& body = std::string(),
-                  const std::string& content_type = "application/json");
+                  const std::string& content_type = "application/json",
+                  const std::vector<std::pair<std::string, std::string>>& headers = {});
 
 /// Convenience GET.
 bool http_get(const std::string& host, std::uint16_t port, const std::string& target,

@@ -182,6 +182,58 @@ std::string export_prometheus() {
                                .metrics);
 }
 
+std::string export_openmetrics(const std::vector<MetricSnapshot>& metrics) {
+  std::ostringstream os;
+  std::set<std::string> emitted;
+  for (const MetricSnapshot& metric : metrics) {
+    const std::string name = prometheus_name(metric.name);
+    if (!emitted.insert(name).second) continue;
+    os << "# HELP " << name << " Agua metric " << prometheus_help_escape(metric.name)
+       << "\n";
+    os << "# TYPE " << name << " " << prometheus_kind(metric.kind) << "\n";
+    switch (metric.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        // OpenMetrics counters: the TYPE line names the metric family, the
+        // sample carries the mandatory _total suffix.
+        os << name << "_total " << metric.counter_value << "\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << name << " " << json_number(metric.gauge_value) << "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        const HistogramSnapshot& h = metric.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+          cumulative += h.bucket_counts[i];
+          const std::string le =
+              i < h.bounds.size() ? json_number(h.bounds[i]) : std::string("+Inf");
+          os << name << "_bucket{le=\"" << prometheus_label_escape(le) << "\"} "
+             << cumulative;
+          if (i < h.exemplars.size() && h.exemplars[i].valid()) {
+            const Exemplar& exemplar = h.exemplars[i];
+            const TraceId trace{exemplar.trace_hi, exemplar.trace_lo};
+            os << " # {trace_id=\"" << trace.hex() << "\"} "
+               << json_number(exemplar.value);
+          }
+          os << "\n";
+        }
+        os << name << "_sum " << json_number(h.sum) << "\n"
+           << name << "_count " << h.count << "\n";
+        break;
+      }
+    }
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+std::string export_openmetrics() {
+  return export_openmetrics(capture_snapshot({.include_spans = false,
+                                              .include_events = false,
+                                              .include_monitors = false})
+                                .metrics);
+}
+
 namespace {
 
 bool write_text_file(const std::string& path, const std::string& payload) {

@@ -44,6 +44,20 @@ std::string export_prometheus(const std::vector<MetricSnapshot>& metrics);
 /// Convenience over the live registry.
 std::string export_prometheus();
 
+/// OpenMetrics text exposition (version 1.0.0), the format Prometheus
+/// negotiates with `Accept: application/openmetrics-text`. Same name
+/// sanitization and HELP/TYPE structure as export_prometheus, with the
+/// OpenMetrics differences: counter samples carry the `_total` suffix, the
+/// body ends with the mandatory `# EOF` terminator, and histogram bucket
+/// samples append exemplars (`# {trace_id="<32 hex>"} <value>`) for buckets
+/// that have one — the trace id of a recent traced observation, recorded via
+/// obs::record_latency under a TraceContextScope. That is the hop that lets
+/// a dashboard jump from a p99 spike to /tracez?trace=ID.
+std::string export_openmetrics(const std::vector<MetricSnapshot>& metrics);
+
+/// Convenience over the live registry.
+std::string export_openmetrics();
+
 /// Write export_json() to `path`. Returns false on I/O failure.
 bool write_json_file(const std::string& path);
 

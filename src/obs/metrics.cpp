@@ -88,10 +88,14 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   reset();
 }
 
+std::size_t Histogram::bucket_index(double value) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+}
+
 void Histogram::record(double value) {
   if (!enabled()) return;
-  const std::size_t index =
-      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  const std::size_t index = bucket_index(value);
   // Ordering matters for scrape consistency: sum/min/max first, the bucket
   // increment last, so a snapshot that counts a sample (via its bucket) has
   // already seen its sum/min/max contributions in the common case.
@@ -99,6 +103,19 @@ void Histogram::record(double value) {
   atomic_fetch_min(min_, value);
   atomic_fetch_max(max_, value);
   buckets_[index].fetch_add(1, std::memory_order_release);
+}
+
+void Histogram::record(double value, const Exemplar& exemplar) {
+  if (!enabled()) return;
+  record(value);
+  if (!exemplar.valid()) return;
+  const std::int64_t last = last_exemplar_ns_.load(std::memory_order_relaxed);
+  if (last != 0 && exemplar.ts_ns - last < kMinExemplarGapNs) return;
+  last_exemplar_ns_.store(exemplar.ts_ns, std::memory_order_relaxed);
+  const std::size_t index = bucket_index(value);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (exemplars_.empty()) exemplars_.resize(buckets_.size());
+  exemplars_[index] = exemplar;
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -133,6 +150,10 @@ HistogramSnapshot Histogram::snapshot() const {
       snap.max = 0.0;
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    snap.exemplars = exemplars_;
+  }
   return snap;
 }
 
@@ -141,6 +162,9 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  last_exemplar_ns_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  exemplars_.clear();
 }
 
 const std::vector<double>& Histogram::default_latency_bounds() {

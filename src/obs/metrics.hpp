@@ -47,6 +47,18 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// One recent observation pinned to a histogram bucket, carrying the trace
+/// id of the request that produced it — the OpenMetrics "exemplar". A
+/// default-constructed Exemplar (ts_ns == 0) means "none recorded".
+struct Exemplar {
+  double value = 0.0;
+  std::int64_t ts_ns = 0;        // now_ns() at record time; 0 = unset
+  std::uint64_t trace_hi = 0;    // 128-bit trace id, high/low halves
+  std::uint64_t trace_lo = 0;
+
+  bool valid() const { return ts_ns != 0 && (trace_hi | trace_lo) != 0; }
+};
+
 /// Read-only view of a histogram at a moment in time. Percentiles are
 /// estimated by linear interpolation inside the owning bucket and clamped to
 /// the observed [min, max], so single-sample and all-equal distributions
@@ -58,6 +70,7 @@ struct HistogramSnapshot {
   double max = 0.0;
   std::vector<double> bounds;                // upper bound per bucket (last = +inf omitted)
   std::vector<std::uint64_t> bucket_counts;  // size == bounds.size() + 1
+  std::vector<Exemplar> exemplars;           // per bucket; empty when none recorded
 
   double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
   /// p in [0, 100]; returns 0 for an empty histogram.
@@ -76,6 +89,13 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void record(double value);
+  /// Record and remember `exemplar` for the bucket `value` lands in. The
+  /// exemplar path takes a small mutex — it only runs for traced requests
+  /// (obs::record_latency), never on the untraced hot path — and is
+  /// rate-limited to one write per kMinExemplarGapNs per histogram:
+  /// exemplars are samples, so a traced hot loop skips the mutex for all but
+  /// ~one request per millisecond (the first traced record always lands).
+  void record(double value, const Exemplar& exemplar);
   HistogramSnapshot snapshot() const;
   void reset();
 
@@ -83,6 +103,8 @@ class Histogram {
   static const std::vector<double>& default_latency_bounds();
 
  private:
+  std::size_t bucket_index(double value) const;
+
   std::vector<double> bounds_;
   std::deque<std::atomic<std::uint64_t>> buckets_;  // deque: atomics aren't movable
   // No separate count: snapshot() derives it from the buckets so a snapshot
@@ -90,6 +112,12 @@ class Histogram {
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};
+  // Per-bucket exemplars, lazily allocated on the first traced record so
+  // untraced histograms pay nothing. Guarded by exemplar_mutex_.
+  mutable std::mutex exemplar_mutex_;
+  std::vector<Exemplar> exemplars_;
+  static constexpr std::int64_t kMinExemplarGapNs = 1'000'000;  // 1 ms
+  std::atomic<std::int64_t> last_exemplar_ns_{0};
 };
 
 /// One row of MetricsRegistry::snapshot().

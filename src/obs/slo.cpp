@@ -1,0 +1,227 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace agua::obs {
+namespace {
+
+/// "/explain" → "explain", "/metrics.json" → "metrics_json": the endpoint
+/// path folded into a metric-name segment per `agua.<layer>.<op>`.
+std::string sanitize_endpoint(std::string_view endpoint) {
+  std::string out;
+  out.reserve(endpoint.size());
+  for (char c : endpoint) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (ok) {
+      out += c;
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? std::string("root") : out;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool parse_slo_spec(std::string_view text, SloSpec& out, std::string* error) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return fail(error, "expected ENDPOINT=LATENCY:OBJECTIVE, e.g. /explain=250ms:99.9");
+  }
+  SloSpec spec;
+  spec.endpoint = std::string(text.substr(0, eq));
+  if (spec.endpoint.front() != '/') {
+    return fail(error, "endpoint must start with '/': " + spec.endpoint);
+  }
+  const std::string_view rest = text.substr(eq + 1);
+  const std::size_t colon = rest.find(':');
+  if (colon == std::string_view::npos) {
+    return fail(error, "expected LATENCY:OBJECTIVE after '=', e.g. 250ms:99.9");
+  }
+  const std::string latency_text(rest.substr(0, colon));
+  char* end = nullptr;
+  const double latency = std::strtod(latency_text.c_str(), &end);
+  if (end == latency_text.c_str() || latency <= 0.0) {
+    return fail(error, "bad latency threshold: " + latency_text);
+  }
+  const std::string_view unit(end);
+  if (unit == "ms") {
+    spec.latency_threshold_s = latency * 1e-3;
+  } else if (unit == "s") {
+    spec.latency_threshold_s = latency;
+  } else {
+    return fail(error, "latency needs a ms or s suffix: " + latency_text);
+  }
+  const std::string objective_text(rest.substr(colon + 1));
+  end = nullptr;
+  const double objective_pct = std::strtod(objective_text.c_str(), &end);
+  if (end == objective_text.c_str() || *end != '\0' || objective_pct <= 0.0 ||
+      objective_pct >= 100.0) {
+    return fail(error, "objective must be a percentage in (0, 100): " + objective_text);
+  }
+  spec.objective = objective_pct / 100.0;
+  out = std::move(spec);
+  return true;
+}
+
+SloTracker::SloTracker(SloSpec spec)
+    : spec_(std::move(spec)),
+      gauge_prefix_("agua.slo." + sanitize_endpoint(spec_.endpoint)),
+      ring_(kSlowBuckets) {}
+
+void SloTracker::observe(double latency_s, int status) {
+  observe_at(now_ns(), latency_s, status);
+}
+
+void SloTracker::observe_at(std::int64_t ts_ns, double latency_s, int status) {
+  // Bad = the server failed (5xx), gave up (408), or succeeded too slowly.
+  // 4xx client errors neither help nor hurt the latency objective but do
+  // count as served-correctly, so they land in `total` only.
+  const bool is_bad = status >= 500 || status == 408 ||
+                      (status < 400 && latency_s > spec_.latency_threshold_s);
+  const std::int64_t epoch = ts_ns / kBucketNs;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = ring_[static_cast<std::size_t>(epoch) % ring_.size()];
+  if (bucket.epoch != epoch) {
+    bucket.epoch = epoch;
+    bucket.total = 0;
+    bucket.bad = 0;
+  }
+  ++bucket.total;
+  ++total_;
+  if (is_bad) {
+    ++bucket.bad;
+    ++bad_;
+  }
+}
+
+SloWindow SloTracker::window_locked(std::int64_t now_epoch, std::size_t buckets) const {
+  SloWindow window;
+  for (const Bucket& bucket : ring_) {
+    if (bucket.epoch < 0) continue;
+    const std::int64_t age = now_epoch - bucket.epoch;
+    if (age < 0 || age >= static_cast<std::int64_t>(buckets)) continue;
+    window.total += bucket.total;
+    window.bad += bucket.bad;
+  }
+  if (window.total > 0) {
+    window.bad_ratio = static_cast<double>(window.bad) / static_cast<double>(window.total);
+  }
+  const double budget = 1.0 - spec_.objective;  // parse guarantees > 0
+  window.burn_rate = window.bad_ratio / budget;
+  return window;
+}
+
+SloSnapshot SloTracker::snapshot() { return snapshot_at(now_ns()); }
+
+SloSnapshot SloTracker::snapshot_at(std::int64_t ts_ns) {
+  SloSnapshot snap;
+  snap.spec = spec_;
+  bool flipped = false;
+  {
+    const std::int64_t now_epoch = ts_ns / kBucketNs;
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.total = total_;
+    snap.bad = bad_;
+    snap.fast = window_locked(now_epoch, kFastBuckets);
+    snap.slow = window_locked(now_epoch, kSlowBuckets);
+    // Multi-window rule: page only when the fast window shows the budget
+    // burning NOW and the slow window shows it has been burning long enough
+    // to matter. Either alone is noise.
+    snap.burning = snap.fast.burn_rate >= spec_.burn_alert &&
+                   snap.slow.burn_rate >= spec_.burn_alert;
+    flipped = snap.burning != burning_;
+    burning_ = snap.burning;
+  }
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  registry.gauge(gauge_prefix_ + ".fast_burn").set(snap.fast.burn_rate);
+  registry.gauge(gauge_prefix_ + ".slow_burn").set(snap.slow.burn_rate);
+  registry.gauge(gauge_prefix_ + ".burning").set(snap.burning ? 1.0 : 0.0);
+  if (flipped) {
+    event_log().append(snap.burning ? "slo.burn.start" : "slo.burn.end",
+                       {{"fast_burn", snap.fast.burn_rate},
+                        {"slow_burn", snap.slow.burn_rate},
+                        {"objective", spec_.objective}});
+  }
+  return snap;
+}
+
+SloRegistry& SloRegistry::instance() {
+  static SloRegistry registry;
+  return registry;
+}
+
+SloTracker& SloRegistry::track(const SloSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tracker : trackers_) {
+    if (tracker->spec().endpoint == spec.endpoint) return *tracker;
+  }
+  trackers_.push_back(std::make_unique<SloTracker>(spec));
+  return *trackers_.back();
+}
+
+SloTracker* SloRegistry::find(std::string_view endpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tracker : trackers_) {
+    if (tracker->spec().endpoint == endpoint) return tracker.get();
+  }
+  return nullptr;
+}
+
+std::vector<SloSnapshot> SloRegistry::snapshot() {
+  std::vector<SloTracker*> trackers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    trackers.reserve(trackers_.size());
+    for (const auto& tracker : trackers_) trackers.push_back(tracker.get());
+  }
+  std::vector<SloSnapshot> out;
+  out.reserve(trackers.size());
+  for (SloTracker* tracker : trackers) out.push_back(tracker->snapshot());
+  std::sort(out.begin(), out.end(), [](const SloSnapshot& a, const SloSnapshot& b) {
+    return a.spec.endpoint < b.spec.endpoint;
+  });
+  return out;
+}
+
+void SloRegistry::clear_for_testing() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  trackers_.clear();
+}
+
+void slo_observe(std::string_view endpoint, double latency_s, int status) {
+  SloTracker* tracker = SloRegistry::instance().find(endpoint);
+  if (tracker != nullptr) tracker->observe(latency_s, status);
+}
+
+std::string format_slo_table(const std::vector<SloSnapshot>& slos) {
+  if (slos.empty()) return "(no SLOs configured — start with --slo ENDPOINT=LATENCY:PCT)\n";
+  common::TablePrinter table({"endpoint", "objective", "threshold", "requests", "bad",
+                              "burn 5m", "burn 1h", "state"});
+  table.right_align_from(1);
+  for (const SloSnapshot& slo : slos) {
+    table.add_row({slo.spec.endpoint,
+                   common::format_double(slo.spec.objective * 100.0, 3) + "%",
+                   common::format_double(slo.spec.latency_threshold_s * 1e3, 1) + " ms",
+                   std::to_string(slo.total), std::to_string(slo.bad),
+                   common::format_double(slo.fast.burn_rate, 2),
+                   common::format_double(slo.slow.burn_rate, 2),
+                   slo.burning ? "BURNING" : "ok"});
+  }
+  return table.render();
+}
+
+}  // namespace agua::obs

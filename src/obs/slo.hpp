@@ -1,0 +1,150 @@
+// Per-endpoint service-level objectives with multi-window burn-rate
+// accounting, the alerting arithmetic operators actually page on.
+//
+// An SLO here is "fraction `objective` of requests to `endpoint` succeed
+// within `latency_threshold_s`". Every served request is classified good or
+// bad (bad = server error, deadline expiry, or a success over the latency
+// threshold) into a ring of coarse time buckets; the burn rate over a
+// window is the window's bad-request ratio divided by the SLO's error
+// budget (1 - objective). Burn 1.0 means the budget is being consumed
+// exactly as fast as it accrues; 14.4 over an hour means a 30-day budget
+// dies in two days. Following the multi-window multi-burn-rate pattern, the
+// tracker reports a fast window (5 min, catches cliffs quickly) and a slow
+// window (1 h, rides out blips); `burning` is set only when BOTH exceed the
+// alert threshold, which is what keeps one-off latency spikes from paging.
+//
+// State lives in a process-wide SloRegistry (configured from `agua_cli
+// --slo`), is surfaced on /statusz, and publishes
+// `agua.slo.<endpoint>.fast_burn` / `slow_burn` gauges on snapshot so the
+// burn rates are scrapeable from /metrics like everything else. Burn-state
+// transitions append `slo.burn.start` / `slo.burn.end` flight-recorder
+// events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agua::obs {
+
+/// One objective: "objective fraction of `endpoint` requests are good,
+/// where good = non-error and faster than latency_threshold_s".
+struct SloSpec {
+  std::string endpoint;              ///< request path, e.g. "/explain"
+  double latency_threshold_s = 0.25; ///< success slower than this is "bad"
+  double objective = 0.99;           ///< target good ratio in (0, 1)
+  double burn_alert = 14.4;          ///< burning when both windows exceed this
+};
+
+/// Parse "ENDPOINT=LATENCYms:OBJECTIVE_PCT", e.g. "/explain=250ms:99.9"
+/// (250 ms latency threshold, 99.9% objective). Latency accepts `ms` or `s`
+/// suffixes. Returns false and fills `error` (when non-null) on bad syntax
+/// or out-of-range values (objective must be in (0, 100), latency > 0).
+bool parse_slo_spec(std::string_view text, SloSpec& out, std::string* error = nullptr);
+
+/// Rolling-window state for one window size.
+struct SloWindow {
+  std::uint64_t total = 0;   ///< requests observed in the window
+  std::uint64_t bad = 0;     ///< requests that violated the objective
+  double bad_ratio = 0.0;    ///< bad / total (0 when empty)
+  double burn_rate = 0.0;    ///< bad_ratio / (1 - objective)
+};
+
+/// Point-in-time view of one tracker.
+struct SloSnapshot {
+  SloSpec spec;
+  std::uint64_t total = 0;   ///< lifetime requests observed
+  std::uint64_t bad = 0;     ///< lifetime bad requests
+  SloWindow fast;            ///< last 5 minutes
+  SloWindow slow;            ///< last hour
+  bool burning = false;      ///< both windows above spec.burn_alert
+};
+
+/// Burn-rate tracker for one endpoint. Thread-safe; observe() is one mutex
+/// acquisition plus O(1) bucket arithmetic, cheap against any request that
+/// did real work. Time is injectable (the _at variants) so tests can replay
+/// hours in microseconds.
+class SloTracker {
+ public:
+  /// 5-second buckets; 60 cover the fast window, 720 the slow one.
+  static constexpr std::int64_t kBucketNs = 5'000'000'000;
+  static constexpr std::size_t kFastBuckets = 60;   ///< 5 minutes
+  static constexpr std::size_t kSlowBuckets = 720;  ///< 1 hour
+
+  explicit SloTracker(SloSpec spec);
+
+  /// Classify one served request. `status` is the HTTP status answered;
+  /// bad = 5xx, 408 (deadline expiry), or a non-error slower than the
+  /// latency threshold. 4xx client errors are the client's fault and do not
+  /// burn the server's budget.
+  void observe(double latency_s, int status);
+  void observe_at(std::int64_t ts_ns, double latency_s, int status);
+
+  /// Compute both windows relative to now, publish the burn gauges, and
+  /// append a flight-recorder event if the burning state flipped.
+  SloSnapshot snapshot();
+  SloSnapshot snapshot_at(std::int64_t ts_ns);
+
+  const SloSpec& spec() const { return spec_; }
+
+ private:
+  struct Bucket {
+    std::int64_t epoch = -1;  ///< ts_ns / kBucketNs when last written
+    std::uint64_t total = 0;
+    std::uint64_t bad = 0;
+  };
+
+  SloWindow window_locked(std::int64_t now_epoch, std::size_t buckets) const;
+
+  const SloSpec spec_;
+  const std::string gauge_prefix_;  ///< "agua.slo.<sanitized endpoint>"
+  mutable std::mutex mutex_;
+  std::vector<Bucket> ring_;        ///< kSlowBuckets, indexed by epoch % size
+  std::uint64_t total_ = 0;
+  std::uint64_t bad_ = 0;
+  bool burning_ = false;
+};
+
+/// Process-wide tracker registry, mirroring MetricsRegistry: configure once
+/// at startup (CLI --slo), observe from the serving paths, snapshot from
+/// /statusz and /metrics.
+class SloRegistry {
+ public:
+  static SloRegistry& instance();
+
+  /// Create (or return the existing) tracker for spec.endpoint. A second
+  /// registration for the same endpoint keeps the first spec.
+  SloTracker& track(const SloSpec& spec);
+
+  /// Tracker for `endpoint`, or nullptr when none is registered.
+  SloTracker* find(std::string_view endpoint);
+
+  /// Snapshot every tracker (sorted by endpoint), publishing burn gauges.
+  std::vector<SloSnapshot> snapshot();
+
+  /// Drop all trackers (tests / reconfiguration).
+  void clear_for_testing();
+
+  SloRegistry(const SloRegistry&) = delete;
+  SloRegistry& operator=(const SloRegistry&) = delete;
+
+ private:
+  SloRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<SloTracker>> trackers_;
+};
+
+/// Observe into the endpoint's tracker if one is registered, else no-op.
+/// This is the single call the serving paths make — unconfigured SLOs cost
+/// one registry lookup.
+void slo_observe(std::string_view endpoint, double latency_s, int status);
+
+/// Render the registry as an operator table for /statusz (endpoint,
+/// objective, windows, burn rates, state).
+std::string format_slo_table(const std::vector<SloSnapshot>& slos);
+
+}  // namespace agua::obs

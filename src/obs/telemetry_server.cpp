@@ -6,12 +6,14 @@
 #include <sstream>
 #include <utility>
 
+#include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/events.hpp"
 #include "obs/export.hpp"
 #include "obs/fault_telemetry.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 
@@ -74,18 +76,29 @@ std::string spans_json(const std::vector<SpanRecord>& spans) {
        << ",\"parent_id\":" << span.parent_id << ",\"thread\":" << span.thread_id
        << ",\"depth\":" << span.depth << ",\"begin_ns\":" << span.begin_ns
        << ",\"end_ns\":" << span.end_ns
-       << ",\"duration_s\":" << json_number(span.duration_seconds()) << "}";
+       << ",\"duration_s\":" << json_number(span.duration_seconds())
+       << ",\"trace_id\":\"" << (span.trace.valid() ? span.trace.hex() : std::string())
+       << "\"}";
   }
   os << "]\n";
   return os.str();
 }
 
+/// True when the Accept header (if any) asks for OpenMetrics. A real
+/// Prometheus sends a q-weighted list; substring matching is all the
+/// negotiation a two-format endpoint needs.
+bool wants_openmetrics(const net::HttpRequest& request) {
+  const std::string* accept = request.header("accept");
+  return accept != nullptr && accept->find("application/openmetrics-text") != std::string::npos;
+}
+
 constexpr const char* kIndex =
     "agua telemetry plane\n"
-    "  GET  /metrics       Prometheus text exposition\n"
+    "  GET  /metrics       Prometheus text exposition (OpenMetrics via Accept)\n"
     "  GET  /metrics.json  metrics + spans, JSON lines\n"
     "  GET  /healthz       health monitors (200 ok / 503 unhealthy)\n"
-    "  GET  /tracez        completed span trees (?format=json)\n"
+    "  GET  /statusz       one-page operator view (health + SLO burn + sections)\n"
+    "  GET  /tracez        completed span trees (?format=json, ?trace=ID)\n"
     "  GET  /eventsz       flight-recorder tail as JSONL (?n=K)\n"
     "  GET  /buildz        build + runtime info\n"
     "  POST /quitquitquit  ask the process to finish\n";
@@ -142,11 +155,26 @@ void TelemetryServer::register_endpoints() {
   // per-endpoint latency histogram, resolved by name per request (scrape
   // endpoints are cold paths; a registry lookup is noise here, and late
   // lookup keeps the server safe across MetricsRegistry::reset_for_testing).
+  // The wrapper also activates the request's trace context (so handler spans
+  // and latency exemplars carry the trace id) and feeds the endpoint's SLO
+  // tracker, if one is registered, with the answered status + latency.
   const auto instrumented = [](const char* endpoint, net::HttpServer::Handler fn) {
     return [endpoint, fn = std::move(fn)](const net::HttpRequest& request) {
       MetricsRegistry::instance().counter("agua.telemetry.requests").add(1);
-      ScopedTimer timer(std::string("agua.telemetry.") + endpoint);
-      return fn(request);
+      const std::int64_t begin = now_ns();
+      const TraceContextScope trace_scope(
+          TraceId{request.trace.trace_hi, request.trace.trace_lo});
+      net::HttpResponse response;
+      {
+        // A TraceSpan rather than a bare ScopedTimer: the endpoint latency
+        // lands in the same-named histogram either way, but the span record
+        // is what /tracez?trace=ID serves for this request.
+        TraceSpan span(std::string("agua.telemetry.") + endpoint);
+        response = fn(request);
+      }
+      slo_observe(request.path, static_cast<double>(now_ns() - begin) * 1e-9,
+                  response.status);
+      return response;
     };
   };
 
@@ -154,13 +182,21 @@ void TelemetryServer::register_endpoints() {
     return net::HttpResponse::text(200, kIndex + options_.extra_index);
   }));
 
-  server_.handle("GET", "/metrics", instrumented("metrics", [](const net::HttpRequest&) {
+  server_.handle("GET", "/metrics", instrumented("metrics", [](const net::HttpRequest& request) {
+    // Burn gauges are computed on read; refresh them so they appear in the
+    // same scrape that asks for them.
+    SloRegistry::instance().snapshot();
     const Snapshot snap = capture_snapshot({.include_spans = false,
                                             .include_events = false,
                                             .include_monitors = false});
     net::HttpResponse response;
-    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    response.body = export_prometheus(snap.metrics);
+    if (wants_openmetrics(request)) {
+      response.content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+      response.body = export_openmetrics(snap.metrics);
+    } else {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = export_prometheus(snap.metrics);
+    }
     return response;
   }));
 
@@ -190,9 +226,30 @@ void TelemetryServer::register_endpoints() {
   }));
 
   server_.handle("GET", "/tracez", instrumented("tracez", [](const net::HttpRequest& request) {
+    const bool json = request.query_param("format") == "json";
+    const std::string trace_param = request.query_param("trace");
+    if (!trace_param.empty()) {
+      // Per-trace lookup against the bounded trace index — works even when
+      // global span capture is off, which is the production configuration.
+      TraceId id;
+      if (!TraceId::parse(trace_param, id)) {
+        return net::HttpResponse::json(400, "{\"error\":\"bad trace id (expect 32 hex chars)\"}\n");
+      }
+      const std::vector<SpanRecord> spans = spans_for_trace(id);
+      if (spans.empty()) {
+        return net::HttpResponse::json(
+            404, "{\"error\":\"unknown trace (never seen, or evicted)\"}\n");
+      }
+      if (json) {
+        return net::HttpResponse::json(200, "{\"trace_id\":\"" + id.hex() +
+                                                "\",\"spans\":" + spans_json(spans) + "}\n");
+      }
+      return net::HttpResponse::text(
+          200, "trace " + id.hex() + "\n" + format_span_tree(spans));
+    }
     const Snapshot snap =
         capture_snapshot({.include_events = false, .include_monitors = false});
-    if (request.query_param("format") == "json") {
+    if (json) {
       return net::HttpResponse::json(200, spans_json(snap.spans));
     }
     std::string body;
@@ -238,6 +295,10 @@ void TelemetryServer::register_endpoints() {
     return net::HttpResponse::json(200, os.str());
   }));
 
+  server_.handle("GET", "/statusz", instrumented("statusz", [this](const net::HttpRequest&) {
+    return net::HttpResponse::text(200, render_statusz());
+  }));
+
   server_.handle("POST", "/quitquitquit",
                  instrumented("quit", [this](const net::HttpRequest&) {
                    {
@@ -247,6 +308,55 @@ void TelemetryServer::register_endpoints() {
                    quit_cv_.notify_all();
                    return net::HttpResponse::text(200, "bye\n");
                  }));
+}
+
+void TelemetryServer::add_status_section(std::string title,
+                                         std::function<std::string()> provider) {
+  status_sections_.emplace_back(std::move(title), std::move(provider));
+}
+
+std::string TelemetryServer::render_statusz() {
+  std::ostringstream os;
+  os << "agua statusz — " << options_.version << " (" << AGUA_BUILD_TYPE << "), uptime "
+     << common::format_double(static_cast<double>(now_ns() - start_ns_) * 1e-9, 1)
+     << " s\n\n";
+
+  const net::HttpServerStats server_stats = server_.stats();
+  os << "== server ==\n"
+     << "requests " << server_stats.requests << ", request_timeouts "
+     << server_stats.request_timeouts << ", handler_timeouts "
+     << server_stats.handler_timeouts << ", rejected " << server_stats.rejected
+     << ", write_errors " << server_stats.write_errors << ", degraded "
+     << (server_stats.degraded ? "yes" : "no") << "\n\n";
+
+  os << "== health ==\n";
+  const std::vector<HealthMonitorSnapshot> monitors = snapshot_monitors();
+  bool healthy = true;
+  for (const HealthMonitorSnapshot& m : monitors) healthy &= m.healthy;
+  os << "status: "
+     << (!healthy ? "unhealthy" : server_stats.degraded ? "degraded" : "ok") << "\n";
+  if (monitors.empty()) {
+    os << "(no health monitors registered)\n";
+  } else {
+    for (const HealthMonitorSnapshot& m : monitors) {
+      os << m.name << "  " << (m.healthy ? "healthy" : "UNHEALTHY") << "  mean "
+         << common::format_double(m.rolling_mean, 4) << "  samples " << m.samples
+         << "  alerts " << m.alerts << "\n";
+    }
+  }
+  os << "\n== slo ==\n" << format_slo_table(SloRegistry::instance().snapshot());
+
+  const TraceIndexStats trace_stats = trace_index_stats();
+  os << "\n== traces ==\n"
+     << "indexed traces " << trace_stats.traces << ", spans "
+     << trace_stats.indexed_spans << ", evicted " << trace_stats.evicted_traces
+     << ", dropped spans " << trace_stats.dropped_spans
+     << " (query /tracez?trace=ID)\n";
+
+  for (const auto& [title, provider] : status_sections_) {
+    os << "\n== " << title << " ==\n" << provider();
+  }
+  return os.str();
 }
 
 }  // namespace agua::obs

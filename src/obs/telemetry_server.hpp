@@ -3,10 +3,14 @@
 // events, health monitors — inspectable on a *running* process instead of
 // post-mortem via files. One GET away:
 //
-//   /metrics       Prometheus text exposition (scrape target)
+//   /metrics       Prometheus text exposition (scrape target); negotiates
+//                  OpenMetrics 1.0 with exemplars via Accept
 //   /metrics.json  JSON lines: metrics + completed spans
 //   /healthz       aggregated HealthMonitor status; 200 healthy / 503 not
-//   /tracez        most recent completed span trees (text; ?format=json)
+//   /statusz       one-page operator view: build + server + health + SLO
+//                  burn rates + registered sections (add_status_section)
+//   /tracez        most recent completed span trees (text; ?format=json);
+//                  ?trace=ID serves one request's spans from the trace index
 //   /eventsz       tail of the flight-recorder ring as JSONL (?n=K)
 //   /buildz        version, build type, compiler, thread-pool size, obs state
 //   /              plain-text index of the above
@@ -22,8 +26,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/http.hpp"
 
@@ -83,12 +90,21 @@ class TelemetryServer {
   /// Like any handler registration, mounting must finish before start().
   net::HttpServer& http() { return server_; }
 
+  /// Register a named /statusz section. `provider` is called per request on
+  /// a server thread and must be thread-safe; its text is rendered verbatim
+  /// under a "== title ==" heading. Like handler registration, must be
+  /// called before start() (the section list is immutable afterwards). The
+  /// serving plane registers its model + cache section this way.
+  void add_status_section(std::string title, std::function<std::string()> provider);
+
  private:
   void register_endpoints();
+  std::string render_statusz();
 
   TelemetryOptions options_;
   net::HttpServer server_;
   std::int64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, std::function<std::string()>>> status_sections_;
   std::mutex quit_mutex_;
   std::condition_variable quit_cv_;
   bool quit_requested_ = false;  // guarded by quit_mutex_

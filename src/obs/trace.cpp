@@ -22,11 +22,151 @@ std::vector<SpanRecord>& span_buffer() {
 struct ThreadSpanState {
   std::uint64_t ordinal = g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::uint64_t> stack;  // open span ids, innermost last
+  TraceId trace;                     // active request trace (zero = none)
 };
 
 ThreadSpanState& thread_state() {
   thread_local ThreadSpanState state;
   return state;
+}
+
+// Bounded per-trace span index: the most recent kMaxTraces traces, each
+// holding up to kMaxSpansPerTrace records, FIFO-evicted whole. Sized so a
+// busy serving plane keeps the last few hundred requests addressable via
+// /tracez?trace=ID at a few MB worst case, with O(recent) lookup — the scan
+// walks newest-first because the active trace is almost always near the
+// back.
+constexpr std::size_t kMaxTraces = 256;
+constexpr std::size_t kMaxSpansPerTrace = 64;
+
+struct TraceEntry {
+  TraceId id;
+  std::uint32_t slot = 0;  // this entry's position in IdTable::slots
+  std::uint32_t used = 0;  // live prefix of `spans`; elements beyond it are
+                           // recycled husks kept for their heap capacity
+  std::vector<SpanRecord> spans;
+};
+
+// Open-addressed id → entry table, sized 4× kMaxTraces so probe chains stay
+// short (load ≤ 0.25). Every request indexes one span, so this lookup sits
+// on the traced serve hot path — a node-based map (or worse, a linear scan
+// of all resident entries) dominated the tracing overhead there. FIFO
+// eviction erases one key per insertion at capacity; deletion compacts the
+// probe cluster in place (Knuth 6.4 Algorithm R), so there are no tombstones
+// and the load factor never drifts. The entry ring reserves its full
+// capacity up front, so the table can hold raw TraceEntry pointers.
+struct IdTable {
+  static constexpr std::size_t kSlots = 1024;  // power of two, ≥ 4× kMaxTraces
+  static constexpr std::size_t kMask = kSlots - 1;
+  struct Slot {
+    TraceId id;
+    TraceEntry* entry = nullptr;
+  };
+  std::vector<Slot> slots = std::vector<Slot>(kSlots);
+
+  static std::size_t hash(const TraceId& id) {
+    // The ids are either random (generated) or adversary-supplied; mixing lo
+    // with a golden-ratio multiply keeps crafted headers from clustering.
+    return static_cast<std::size_t>(id.hi ^ (id.lo * 0x9e3779b97f4a7c15ULL));
+  }
+  TraceEntry* find(const TraceId& id) const {
+    for (std::size_t i = hash(id);; ++i) {
+      const Slot& slot = slots[i & kMask];
+      if (slot.entry == nullptr) return nullptr;
+      if (slot.id == id) return slot.entry;
+    }
+  }
+  void insert(const TraceId& id, TraceEntry* entry) {  // caller ensures absent
+    for (std::size_t i = hash(id);; ++i) {
+      Slot& slot = slots[i & kMask];
+      if (slot.entry == nullptr) {
+        slot.id = id;
+        slot.entry = entry;
+        entry->slot = static_cast<std::uint32_t>(i & kMask);
+        return;
+      }
+    }
+  }
+  // Erase the key held at `hole` (the entry's remembered slot — eviction
+  // would otherwise pay a second probe chain through a cold hash region).
+  void erase_at(std::size_t hole) {
+    // Backward-shift: walk the rest of the cluster, pulling any element whose
+    // home position does not lie strictly after the hole back into it.
+    std::size_t j = (hole + 1) & kMask;
+    while (slots[j].entry != nullptr) {
+      const std::size_t home = hash(slots[j].id) & kMask;
+      if (((j - home) & kMask) >= ((j - hole) & kMask)) {
+        slots[hole] = slots[j];
+        slots[hole].entry->slot = static_cast<std::uint32_t>(hole);
+        hole = j;
+      }
+      j = (j + 1) & kMask;
+    }
+    slots[hole].entry = nullptr;
+  }
+  void clear() {
+    for (Slot& slot : slots) slot.entry = nullptr;
+  }
+};
+
+struct TraceIndex {
+  TraceIndex() { entries.reserve(kMaxTraces); }  // push_back never reallocates
+
+  std::mutex mutex;
+  // Fixed ring: grows to kMaxTraces, then evict_next walks it overwriting the
+  // oldest trace in place — steady-state eviction touches one slot and never
+  // moves an entry (the table's pointers stay valid for the process life).
+  std::vector<TraceEntry> entries;
+  std::size_t evict_next = 0;
+  IdTable table;
+  std::uint64_t indexed_spans = 0;
+  std::uint64_t evicted_traces = 0;
+  std::uint64_t dropped_spans = 0;
+};
+
+TraceIndex& trace_index() {
+  static TraceIndex index;
+  return index;
+}
+
+void index_span(const TraceId& id, const SpanRecord& record) {
+  if (!id.valid()) return;
+  TraceIndex& index = trace_index();
+  std::lock_guard<std::mutex> lock(index.mutex);
+  TraceEntry* entry = index.table.find(id);
+  if (entry == nullptr) {
+    if (index.entries.size() >= kMaxTraces) {
+      // Steady serving state: every request brings a fresh trace, so this is
+      // the hot branch. Overwrite the oldest slot in place, recycling its
+      // span buffer rather than freeing and reallocating it every request.
+      entry = &index.entries[index.evict_next];
+      if (++index.evict_next == kMaxTraces) index.evict_next = 0;
+      index.table.erase_at(entry->slot);
+      ++index.evicted_traces;
+      entry->id = id;
+      entry->used = 0;  // spans stay constructed; their buffers get reused
+    } else {
+      index.entries.push_back(TraceEntry{id, 0, 0, {}});
+      entry = &index.entries.back();
+      entry->spans.reserve(4);
+    }
+    index.table.insert(id, entry);
+  }
+  if (entry->used >= kMaxSpansPerTrace) {
+    ++index.dropped_spans;
+    return;
+  }
+  if (entry->used < entry->spans.size()) {
+    // Copy-assign into the recycled element: the string assignment reuses
+    // its existing capacity, so the steady-state traced request makes no
+    // allocation here (a freshly freed hot chunk beats a 256-requests-old
+    // cold one on the serve path).
+    entry->spans[entry->used] = record;
+  } else {
+    entry->spans.push_back(record);
+  }
+  ++entry->used;
+  ++index.indexed_spans;
 }
 
 }  // namespace
@@ -54,7 +194,104 @@ void clear_spans() {
   span_buffer().clear();
 }
 
+std::string TraceId::hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint64_t part : {hi, lo}) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out += kHex[(part >> shift) & 0xF];
+    }
+  }
+  return out;
+}
+
+bool TraceId::parse(std::string_view s, TraceId& out) {
+  if (s.size() != 32) return false;
+  TraceId parsed;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const char c = s[i];
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    std::uint64_t& part = i < 16 ? parsed.hi : parsed.lo;
+    part = (part << 4) | static_cast<std::uint64_t>(digit);
+  }
+  if (!parsed.valid()) return false;
+  out = parsed;
+  return true;
+}
+
 std::uint64_t thread_ordinal() { return thread_state().ordinal; }
+
+TraceId current_trace() { return thread_state().trace; }
+
+TraceContextScope::TraceContextScope(TraceId id) {
+  if (!id.valid()) return;
+  ThreadSpanState& state = thread_state();
+  previous_ = state.trace;
+  state.trace = id;
+  active_ = true;
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (!active_) return;
+  thread_state().trace = previous_;
+}
+
+std::vector<SpanRecord> spans_for_trace(const TraceId& id) {
+  std::vector<SpanRecord> out;
+  if (!id.valid()) return out;
+  TraceIndex& index = trace_index();
+  {
+    std::lock_guard<std::mutex> lock(index.mutex);
+    if (const TraceEntry* entry = index.table.find(id)) {
+      out.assign(entry->spans.begin(), entry->spans.begin() + entry->used);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns : a.id < b.id;
+  });
+  return out;
+}
+
+TraceIndexStats trace_index_stats() {
+  TraceIndex& index = trace_index();
+  std::lock_guard<std::mutex> lock(index.mutex);
+  TraceIndexStats stats;
+  stats.traces = index.entries.size();
+  stats.indexed_spans = index.indexed_spans;
+  stats.evicted_traces = index.evicted_traces;
+  stats.dropped_spans = index.dropped_spans;
+  return stats;
+}
+
+void clear_trace_index() {
+  TraceIndex& index = trace_index();
+  std::lock_guard<std::mutex> lock(index.mutex);
+  index.table.clear();
+  index.entries.clear();
+  index.evict_next = 0;
+  index.indexed_spans = 0;
+  index.evicted_traces = 0;
+  index.dropped_spans = 0;
+}
+
+void record_latency(Histogram& histogram, double seconds, std::int64_t ts_ns) {
+  const TraceId trace = thread_state().trace;
+  if (!trace.valid()) {
+    histogram.record(seconds);
+    return;
+  }
+  Exemplar exemplar;
+  exemplar.value = seconds;
+  exemplar.ts_ns = ts_ns != 0 ? ts_ns : now_ns();
+  exemplar.trace_hi = trace.hi;
+  exemplar.trace_lo = trace.lo;
+  histogram.record(seconds, exemplar);
+}
 
 std::uint64_t current_span_id() {
   if (!trace_enabled()) return 0;
@@ -78,8 +315,11 @@ SpanParentScope::~SpanParentScope() {
 TraceSpan::TraceSpan(std::string name)
     : name_(std::move(name)),
       histogram_(&MetricsRegistry::instance().histogram(name_)) {
-  if (trace_enabled()) {
-    ThreadSpanState& state = thread_state();
+  ThreadSpanState& state = thread_state();
+  trace_ = state.trace;
+  // An active request trace forces capture even when the global firehose is
+  // off — that's what keeps /tracez?trace=ID usable in production.
+  if (trace_enabled() || trace_.valid()) {
     id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
     parent_id_ = state.stack.empty() ? 0 : state.stack.back();
     depth_ = state.stack.size();
@@ -88,10 +328,28 @@ TraceSpan::TraceSpan(std::string name)
   begin_ns_ = now_ns();
 }
 
+void TraceSpan::annotate_trace(const TraceId& id) {
+  if (!id.valid() || id == trace_) return;
+  if (std::find(extra_traces_.begin(), extra_traces_.end(), id) != extra_traces_.end()) {
+    return;
+  }
+  if (id_ == 0) {
+    // Capture was off when the span opened (the dispatcher thread runs with
+    // no trace context of its own); the first annotation switches it on so
+    // the record can be indexed under the annotated traces.
+    ThreadSpanState& state = thread_state();
+    id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_id_ = state.stack.empty() ? 0 : state.stack.back();
+    depth_ = state.stack.size();
+    state.stack.push_back(id_);
+  }
+  extra_traces_.push_back(id);
+}
+
 TraceSpan::~TraceSpan() {
   const std::int64_t end_ns = now_ns();
-  histogram_->record(static_cast<double>(end_ns - begin_ns_) * 1e-9);
-  if (id_ == 0) return;  // tracing was off when the span opened
+  record_latency(*histogram_, static_cast<double>(end_ns - begin_ns_) * 1e-9, end_ns);
+  if (id_ == 0) return;  // capture was off when the span opened
   ThreadSpanState& state = thread_state();
   // Tolerate out-of-order destruction (shouldn't happen with scoped use).
   auto it = std::find(state.stack.begin(), state.stack.end(), id_);
@@ -101,9 +359,13 @@ TraceSpan::~TraceSpan() {
   record.parent_id = parent_id_;
   record.thread_id = state.ordinal;
   record.depth = depth_;
-  record.name = name_;
+  record.name = std::move(name_);  // the span is dying; no further use
   record.begin_ns = begin_ns_;
   record.end_ns = end_ns;
+  record.trace = trace_;
+  index_span(trace_, record);
+  for (const TraceId& extra : extra_traces_) index_span(extra, record);
+  if (!trace_enabled()) return;
   std::lock_guard<std::mutex> lock(g_span_mutex);
   span_buffer().push_back(std::move(record));
 }

@@ -7,6 +7,15 @@
 //
 // Span capture is off by default (set_trace_enabled); histogram recording is
 // always on so `--metrics-out` works without `--trace`.
+//
+// Request tracing rides on top: a thread establishes a 128-bit trace id with
+// TraceContextScope (the serving plane does this per request, from the
+// net-layer traceparent context), and every span completed while the scope
+// is active is copied into a bounded per-trace index — independent of the
+// global set_trace_enabled switch, so /tracez?trace=ID works on a production
+// server that is not buffering the full span firehose. The same thread-local
+// context feeds histogram exemplars (record_latency), which is how a
+// /metrics bucket points back at a concrete request.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +25,23 @@
 #include "obs/metrics.hpp"
 
 namespace agua::obs {
+
+/// 128-bit request trace identity (W3C trace-context trace-id). The zero id
+/// is invalid, matching the spec.
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool valid() const { return (hi | lo) != 0; }
+  bool operator==(const TraceId& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  /// 32 lower-case hex characters (the traceparent wire format).
+  std::string hex() const;
+  /// Parse exactly 32 hex characters. Returns false (leaving `out`
+  /// untouched) on bad length, non-hex input, or the all-zero id.
+  static bool parse(std::string_view s, TraceId& out);
+};
 
 /// One completed begin/end event. Parentage refers to span ids; parent_id 0
 /// means a root span. Ids are unique per process, start at 1.
@@ -27,6 +53,7 @@ struct SpanRecord {
   std::string name;
   std::int64_t begin_ns = 0;
   std::int64_t end_ns = 0;
+  TraceId trace;                // active request trace, if any (may be zero)
 
   double duration_seconds() const {
     return static_cast<double>(end_ns - begin_ns) * 1e-9;
@@ -59,6 +86,55 @@ std::uint64_t current_span_id();
 /// carry, reused by the event log so events and spans correlate by thread.
 std::uint64_t thread_ordinal();
 
+/// The calling thread's active request trace id (zero id when none). Set
+/// with TraceContextScope.
+TraceId current_trace();
+
+/// RAII activation of a request trace on the calling thread. While alive,
+/// spans completed on this thread are indexed under `id` (bounded per-trace
+/// index, see spans_for_trace) and histogram recordings made through
+/// ScopedTimer/TraceSpan/record_latency carry `id` as an exemplar. Nests:
+/// the previous trace id is restored on destruction. A zero id is a no-op
+/// scope (clears nothing, indexes nothing).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceId id);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceId previous_;
+  bool active_ = false;
+};
+
+/// Copy out the spans indexed under `id`, ordered by begin time. Empty when
+/// the trace is unknown (never seen, or evicted from the bounded index).
+std::vector<SpanRecord> spans_for_trace(const TraceId& id);
+
+/// Counters for the bounded per-trace index (for /tracez self-reporting and
+/// tests). The index keeps the most recent kMax traces FIFO; older traces
+/// are evicted whole, and spans past the per-trace cap are dropped.
+struct TraceIndexStats {
+  std::size_t traces = 0;            ///< traces currently resident
+  std::uint64_t indexed_spans = 0;   ///< spans accepted since clear
+  std::uint64_t evicted_traces = 0;  ///< whole traces dropped to make room
+  std::uint64_t dropped_spans = 0;   ///< spans past the per-trace cap
+};
+TraceIndexStats trace_index_stats();
+
+/// Drop the per-trace index (tests / run boundaries).
+void clear_trace_index();
+
+/// Record `seconds` into `histogram`, attaching the calling thread's active
+/// trace id as an exemplar when one is set. This is the one choke point
+/// where latency measurements pick up request identity — use it instead of
+/// Histogram::record on any path a traced request can reach. Callers that
+/// already hold a fresh timestamp (a timer that just read the clock) pass it
+/// as `ts_ns` so the exemplar doesn't cost a second clock read.
+void record_latency(Histogram& histogram, double seconds, std::int64_t ts_ns = 0);
+
 /// RAII adoption of a foreign parent span: spans opened on this thread while
 /// the scope is alive nest under `parent_id` (typically captured on the
 /// submitting thread with current_span_id()). This is how pool workers
@@ -89,7 +165,8 @@ class ScopedTimer {
   explicit ScopedTimer(std::string_view name)
       : ScopedTimer(MetricsRegistry::instance().histogram(name)) {}
   ~ScopedTimer() {
-    histogram_->record(static_cast<double>(now_ns() - begin_ns_) * 1e-9);
+    const std::int64_t end_ns = now_ns();
+    record_latency(*histogram_, static_cast<double>(end_ns - begin_ns_) * 1e-9, end_ns);
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -100,9 +177,12 @@ class ScopedTimer {
   std::int64_t begin_ns_;
 };
 
-/// A ScopedTimer that additionally captures a SpanRecord (when tracing is
-/// enabled) and parents any TraceSpan opened while it is alive on the same
-/// thread. The span's histogram shares the span name.
+/// A ScopedTimer that additionally captures a SpanRecord and parents any
+/// TraceSpan opened while it is alive on the same thread. The span's
+/// histogram shares the span name. The record lands in the global span
+/// buffer when set_trace_enabled(true), and in the per-trace index when the
+/// thread has an active TraceContextScope — either alone is enough to
+/// capture the span.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string name);
@@ -111,13 +191,21 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Index this span's record under an additional trace id (on top of the
+  /// thread's active one). The serving plane's batch span calls this once
+  /// per batch member, so every coalesced request's /tracez?trace=ID view
+  /// includes the shared batch execution span.
+  void annotate_trace(const TraceId& id);
+
  private:
   std::string name_;
   Histogram* histogram_;
-  std::uint64_t id_ = 0;         // 0 when tracing was off at construction
+  std::uint64_t id_ = 0;         // 0 when capture was off at construction
   std::uint64_t parent_id_ = 0;
   std::size_t depth_ = 0;
   std::int64_t begin_ns_ = 0;
+  TraceId trace_;                     // thread's active trace at construction
+  std::vector<TraceId> extra_traces_; // annotate_trace additions
 };
 
 }  // namespace agua::obs

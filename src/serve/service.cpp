@@ -9,6 +9,7 @@
 #include "obs/events.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/json.hpp"
 
@@ -114,6 +115,33 @@ void ExplainService::set_default_model_path(std::string path) {
   default_model_path_ = std::move(path);
 }
 
+std::string ExplainService::status_section() const {
+  std::shared_ptr<ModelEntry> entry;
+  std::size_t rows = 0;
+  {
+    std::lock_guard<std::mutex> lock(model_mutex_);
+    entry = model_;
+    if (rows_) rows = rows_->size();
+  }
+  std::ostringstream os;
+  if (!entry) {
+    os << "model: (none installed)\n";
+  } else {
+    os << "model: generation " << entry->info.generation << ", fingerprint "
+       << entry->info.fingerprint << ", source " << entry->info.source << ", "
+       << entry->embedding_dim << "-dim, " << entry->model.num_concepts()
+       << " concepts, " << rows << " rows\n";
+  }
+  const CacheStats cache = cache_.stats();
+  os << "cache: " << cache.entries << "/" << cache.capacity << " entries ("
+     << cache.shards << " shards), hits " << cache.hits << ", misses " << cache.misses
+     << ", evictions " << cache.evictions << "\n";
+  os << "batcher: max_batch " << options_.max_batch << ", linger "
+     << options_.batch_linger_us << " us, queue " << options_.queue_capacity
+     << ", deadline " << options_.request_deadline_ms << " ms\n";
+  return os.str();
+}
+
 std::string ExplainService::index_lines() {
   return
       "  POST /explain       concept explanation for one input (docs/API.md)\n"
@@ -174,6 +202,24 @@ void ExplainService::fulfill(Pending& pending, net::HttpResponse response) {
 }
 
 net::HttpResponse ExplainService::handle_explain(const net::HttpRequest& request) {
+  // Activate the request's trace context for the whole handler: the
+  // agua.serve.request span (and any span below it) lands in the per-trace
+  // index, and its latency recording carries the trace id as an exemplar.
+  const obs::TraceId trace{request.trace.trace_hi, request.trace.trace_lo};
+  const obs::TraceContextScope trace_scope(trace);
+  const std::int64_t begin_ns = obs::now_ns();
+  net::HttpResponse response;
+  {
+    obs::TraceSpan span("agua.serve.request");
+    response = handle_explain_inner(request, trace);
+  }
+  obs::slo_observe("/explain", static_cast<double>(obs::now_ns() - begin_ns) * 1e-9,
+                   response.status);
+  return response;
+}
+
+net::HttpResponse ExplainService::handle_explain_inner(const net::HttpRequest& request,
+                                                       const obs::TraceId& trace) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
   metrics.counter("agua.serve.requests").add(1);
 
@@ -265,6 +311,7 @@ net::HttpResponse ExplainService::handle_explain(const net::HttpRequest& request
   pending->output_class = output_class;
   pending->top_k = top_k;
   pending->cache_key = std::move(key);
+  pending->trace = trace;
   pending->deadline = std::chrono::steady_clock::now() +
                       std::chrono::milliseconds(options_.request_deadline_ms);
   {
@@ -406,48 +453,60 @@ void ExplainService::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
   if (batch_hook_) batch_hook_(batch.size());
 
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
-  obs::TraceSpan span("agua.serve.batch");
-  metrics.counter("agua.serve.batches").add(1);
-  metrics.histogram("agua.serve.batch.size").record(static_cast<double>(batch.size()));
+  std::vector<net::HttpResponse> responses(batch.size());
+  {
+    obs::TraceSpan span("agua.serve.batch");
+    metrics.counter("agua.serve.batches").add(1);
+    metrics.histogram("agua.serve.batch.size").record(static_cast<double>(batch.size()));
 
-  std::vector<std::vector<double>> embeddings;
-  std::vector<std::size_t> classes;
-  embeddings.reserve(batch.size());
-  classes.reserve(batch.size());
-  for (const std::shared_ptr<Pending>& pending : batch) {
-    embeddings.push_back(pending->embedding);
-    classes.push_back(pending->output_class);
+    std::vector<std::vector<double>> embeddings;
+    std::vector<std::size_t> classes;
+    embeddings.reserve(batch.size());
+    classes.reserve(batch.size());
+    for (const std::shared_ptr<Pending>& pending : batch) {
+      embeddings.push_back(pending->embedding);
+      classes.push_back(pending->output_class);
+      // The shared batch execution span belongs to every member's trace — a
+      // /tracez?trace=ID view shows both the request's own span (connection
+      // thread) and the batch it rode in (dispatcher thread).
+      span.annotate_trace(pending->trace);
+    }
+    // Only this thread ever runs forward passes on the entry's model; a
+    // concurrent /reloadz swaps the shared_ptr but never touches this one.
+    const core::EachExplainResult each =
+        core::explain_each_isolated(entry->model, embeddings, classes);
+
+    // Per-slot error messages, recovered in index order.
+    std::vector<const std::string*> slot_error(batch.size(), nullptr);
+    for (const core::SlotError& e : each.errors) {
+      if (e.index < slot_error.size()) slot_error[e.index] = &e.message;
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Pending& pending = *batch[i];
+      if (!each.ok[i]) {
+        metrics.counter("agua.serve.errors").add(1);
+        const std::string message = slot_error[i] ? *slot_error[i] : "explanation failed";
+        // Poisoned input is the client's fault; anything else is ours.
+        const int status = message == "non-finite embedding" ? 400 : 500;
+        responses[i] = error_json(status, message);
+        continue;
+      }
+      std::string body = render_explanation(each.slots[i], entry->info, pending.top_k);
+      // Cache even when the requester already gave up (408): the work is done,
+      // the next identical request should hit.
+      if (cache_.put(pending.cache_key, body)) {
+        metrics.counter("agua.serve.cache.evictions").add(1);
+      }
+      responses[i] = net::HttpResponse::json(200, std::move(body));
+      responses[i].extra_headers.emplace_back("X-Agua-Cache", "miss");
+    }
   }
-  // Only this thread ever runs forward passes on the entry's model; a
-  // concurrent /reloadz swaps the shared_ptr but never touches this one.
-  const core::EachExplainResult each =
-      core::explain_each_isolated(entry->model, embeddings, classes);
-
-  // Per-slot error messages, recovered in index order.
-  std::vector<const std::string*> slot_error(batch.size(), nullptr);
-  for (const core::SlotError& e : each.errors) {
-    if (e.index < slot_error.size()) slot_error[e.index] = &e.message;
-  }
-
+  // The batch span closes — and lands in every member's trace index — before
+  // any response is released. A client that has its response in hand can
+  // always find the batch it rode in at /tracez?trace=ID.
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    Pending& pending = *batch[i];
-    if (!each.ok[i]) {
-      metrics.counter("agua.serve.errors").add(1);
-      const std::string message = slot_error[i] ? *slot_error[i] : "explanation failed";
-      // Poisoned input is the client's fault; anything else is ours.
-      const int status = message == "non-finite embedding" ? 400 : 500;
-      fulfill(pending, error_json(status, message));
-      continue;
-    }
-    std::string body = render_explanation(each.slots[i], entry->info, pending.top_k);
-    // Cache even when the requester already gave up (408): the work is done,
-    // the next identical request should hit.
-    if (cache_.put(pending.cache_key, body)) {
-      metrics.counter("agua.serve.cache.evictions").add(1);
-    }
-    net::HttpResponse response = net::HttpResponse::json(200, std::move(body));
-    response.extra_headers.emplace_back("X-Agua-Cache", "miss");
-    fulfill(pending, std::move(response));
+    fulfill(*batch[i], std::move(responses[i]));
   }
 }
 

@@ -50,6 +50,7 @@
 #include "core/model_io.hpp"
 #include "core/surrogate.hpp"
 #include "net/http.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 
 namespace agua::serve {
@@ -128,6 +129,10 @@ class ExplainService {
   /// Lines describing the mounted endpoints (for the telemetry index page).
   static std::string index_lines();
 
+  /// Operator text for /statusz (TelemetryServer::add_status_section):
+  /// installed model identity plus cache and batcher state. Thread-safe.
+  std::string status_section() const;
+
   // --- test seams (set before mount(); not thread-safe afterwards) ---
   /// Runs on the dispatcher right after it pops the first request of a
   /// batch, before lingering. Tests block here to force coalescing.
@@ -151,6 +156,7 @@ class ExplainService {
     std::size_t output_class = static_cast<std::size_t>(-1);  ///< npos = factual
     std::size_t top_k = 5;
     std::string cache_key;
+    obs::TraceId trace;  ///< requester's trace id; the batch span indexes under it
     std::chrono::steady_clock::time_point deadline;
     std::mutex mutex;
     std::condition_variable cv;
@@ -160,6 +166,8 @@ class ExplainService {
   };
 
   net::HttpResponse handle_explain(const net::HttpRequest& request);
+  net::HttpResponse handle_explain_inner(const net::HttpRequest& request,
+                                         const obs::TraceId& trace);
   net::HttpResponse handle_modelz(const net::HttpRequest& request);
   net::HttpResponse handle_reloadz(const net::HttpRequest& request);
   void dispatcher_loop();

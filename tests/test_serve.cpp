@@ -13,6 +13,8 @@
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "serve/cache.hpp"
 #include "serve/json.hpp"
@@ -163,6 +166,8 @@ class ServeTest : public ::testing::Test {
     obs::event_log().set_enabled(true);
     obs::reset_monitors();
     obs::MetricsRegistry::instance().reset();
+    obs::clear_trace_index();
+    obs::SloRegistry::instance().clear_for_testing();
   }
 
   /// Builds the service (with the given options), installs a model + rows,
@@ -203,7 +208,7 @@ TEST_F(ServeTest, SingleRequestRoundTrip) {
   const net::HttpClientResponse response =
       post_explain(R"({"input": [0.1, -0.4, 0.7, 0.2]})");
   EXPECT_EQ(response.status, 200);
-  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_EQ(response.content_type, "application/json; charset=utf-8");
   const JsonParseResult parsed = json_parse(response.body);
   ASSERT_TRUE(parsed.ok) << parsed.error;
   EXPECT_TRUE(parsed.value.find("fingerprint")->is_string());
@@ -461,6 +466,75 @@ TEST_F(ServeTest, ReloadzMissingFileAnswers404) {
   const JsonParseResult parsed = json_parse(response.body);
   ASSERT_TRUE(parsed.ok);
   EXPECT_EQ(parsed.value.find("code")->string, "io_error");
+}
+
+TEST_F(ServeTest, TracedExplainJoinsSpanIndexBatchSpanAndSlo) {
+  obs::SloRegistry::instance().track(
+      {.endpoint = "/explain", .latency_threshold_s = 5.0, .objective = 0.99});
+  start();
+  net::HttpClientResponse response;
+  ASSERT_TRUE(net::http_request(
+      "POST", "127.0.0.1", server_->port(), "/explain", response, 5000,
+      R"({"input": [0.1, -0.4, 0.7, 0.2]})", "application/json",
+      {{"traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"}}));
+  ASSERT_EQ(response.status, 200);
+  // The response echoes the client's trace id...
+  EXPECT_EQ(response.header("x-agua-trace-id"), "4bf92f3577b34da6a3ce929d0e0e4736");
+  // ...and the per-trace index holds both the request span (connection
+  // thread) and the shared batch span (dispatcher thread, annotated in).
+  obs::TraceId id;
+  ASSERT_TRUE(obs::TraceId::parse("4bf92f3577b34da6a3ce929d0e0e4736", id));
+  const std::vector<obs::SpanRecord> spans = obs::spans_for_trace(id);
+  std::set<std::string> names;
+  for (const obs::SpanRecord& span : spans) names.insert(span.name);
+  EXPECT_TRUE(names.count("agua.serve.request")) << "spans: " << spans.size();
+  EXPECT_TRUE(names.count("agua.serve.batch")) << "spans: " << spans.size();
+  // The SLO tracker classified the request (fast, 200 => good).
+  obs::SloTracker* tracker = obs::SloRegistry::instance().find("/explain");
+  ASSERT_NE(tracker, nullptr);
+  const obs::SloSnapshot slo = tracker->snapshot();
+  EXPECT_EQ(slo.total, 1u);
+  EXPECT_EQ(slo.bad, 0u);
+}
+
+TEST_F(ServeTest, CachedHitStillJoinsTraceAndSlo) {
+  obs::SloRegistry::instance().track({.endpoint = "/explain"});
+  start();
+  const std::string body = R"({"input": [0.1, -0.4, 0.7, 0.2]})";
+  ASSERT_EQ(post_explain(body).status, 200);  // warm the cache
+  net::HttpClientResponse warm;
+  ASSERT_TRUE(net::http_request(
+      "POST", "127.0.0.1", server_->port(), "/explain", warm, 5000, body,
+      "application/json",
+      {{"traceparent", "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab-00f067aa0ba902b7-01"}}));
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.header("x-agua-cache"), "hit");
+  EXPECT_EQ(warm.header("x-agua-trace-id"), "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab");
+  // Cache hits bypass the batcher but still record a request span under the
+  // trace and count against the SLO.
+  obs::TraceId id;
+  ASSERT_TRUE(obs::TraceId::parse("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab", id));
+  const std::vector<obs::SpanRecord> spans = obs::spans_for_trace(id);
+  ASSERT_FALSE(spans.empty());
+  bool request_span = false;
+  for (const obs::SpanRecord& span : spans) {
+    request_span |= span.name == "agua.serve.request";
+  }
+  EXPECT_TRUE(request_span);
+  EXPECT_EQ(obs::SloRegistry::instance().find("/explain")->snapshot().total, 2u);
+}
+
+TEST_F(ServeTest, StatusSectionReportsModelCacheAndBatcher) {
+  start();
+  post_explain(R"({"row": 0})");
+  post_explain(R"({"row": 0})");
+  const std::string section = service_->status_section();
+  const ModelInfo info = service_->model_info().value();
+  EXPECT_NE(section.find(info.fingerprint), std::string::npos) << section;
+  EXPECT_NE(section.find("hits 1"), std::string::npos) << section;
+  // With no model installed the section says so instead of rendering blanks.
+  ExplainService empty;
+  EXPECT_NE(empty.status_section().find("(none installed)"), std::string::npos);
 }
 
 TEST_F(ServeTest, QueueOverflowAnswers503) {

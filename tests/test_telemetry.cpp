@@ -141,7 +141,7 @@ TEST_F(TelemetryTest, HealthzFlipsTo503OnUnhealthyMonitor) {
   ASSERT_TRUE(server.start()) << server.last_error();
   net::HttpClientResponse response = get(server, "/healthz");
   EXPECT_EQ(response.status, 200);
-  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_EQ(response.content_type, "application/json; charset=utf-8");
   EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
   EXPECT_NE(response.body.find("agua.health.test_telemetry"), std::string::npos);
 
@@ -176,7 +176,7 @@ TEST_F(TelemetryTest, TracezServesTableAndJson) {
 
   const net::HttpClientResponse json = get(server, "/tracez?format=json");
   EXPECT_EQ(json.status, 200);
-  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_EQ(json.content_type, "application/json; charset=utf-8");
   EXPECT_EQ(json.body.front(), '[');
   EXPECT_NE(json.body.find("\"name\":\"agua.test.inner\""), std::string::npos);
   EXPECT_NE(json.body.find("\"parent_id\":"), std::string::npos);
@@ -222,7 +222,7 @@ TEST_F(TelemetryTest, BuildzReportsRuntimeInfo) {
   ASSERT_TRUE(server.start()) << server.last_error();
   const net::HttpClientResponse response = get(server, "/buildz");
   EXPECT_EQ(response.status, 200);
-  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_EQ(response.content_type, "application/json; charset=utf-8");
   EXPECT_NE(response.body.find("\"version\":\"test-1.2.3\""), std::string::npos);
   EXPECT_NE(response.body.find("\"threads\":"), std::string::npos);
   EXPECT_NE(response.body.find("\"events_enabled\":true"), std::string::npos);

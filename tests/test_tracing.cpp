@@ -1,0 +1,612 @@
+// End-to-end request tracing: W3C traceparent parsing and generation
+// (net/http), the bounded per-trace span index and thread-local trace
+// context (obs/trace), histogram exemplars (obs/metrics), OpenMetrics
+// rendering with exemplars (obs/export), SLO burn-rate accounting
+// (obs/slo), and the telemetry-server surfaces that tie them together
+// (/statusz, /tracez?trace=ID, Accept-negotiated /metrics). Fixture names
+// start with HttpServer/Obs/Telemetry so the tsan preset's filter picks the
+// whole file up (CMakePresets.json).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+#include "obs/events.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry_server.hpp"
+
+namespace {
+
+using namespace agua;
+using namespace agua::obs;
+
+// ---------------------------------------------------------------------------
+// net-layer traceparent parsing + generation
+
+TEST(HttpServerTraceparent, ParsesValidHeader) {
+  net::TraceContext trace;
+  ASSERT_TRUE(net::parse_traceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", trace));
+  EXPECT_EQ(trace.trace_hi, 0x4bf92f3577b34da6ULL);
+  EXPECT_EQ(trace.trace_lo, 0xa3ce929d0e0e4736ULL);
+  EXPECT_EQ(trace.parent_span, 0x00f067aa0ba902b7ULL);
+  EXPECT_TRUE(trace.sampled);
+  EXPECT_TRUE(trace.from_header);
+  EXPECT_TRUE(trace.valid());
+  EXPECT_EQ(trace.trace_id_hex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+}
+
+TEST(HttpServerTraceparent, UppercaseHexAndUnsampledFlags) {
+  net::TraceContext trace;
+  ASSERT_TRUE(net::parse_traceparent(
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-00", trace));
+  EXPECT_EQ(trace.trace_hi, 0x4bf92f3577b34da6ULL);
+  EXPECT_FALSE(trace.sampled);
+}
+
+TEST(HttpServerTraceparent, FutureVersionWithTrailingFieldsParses) {
+  // Per the spec, an unknown (non-ff) version parses as long as the 00
+  // prefix grammar holds and more data follows after a dash.
+  net::TraceContext trace;
+  ASSERT_TRUE(net::parse_traceparent(
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", trace));
+  EXPECT_TRUE(trace.valid());
+}
+
+TEST(HttpServerTraceparent, RejectsMalformedValues) {
+  const char* bad[] = {
+      "",
+      "00",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",       // no flags
+      "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01",     // short id
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b-01",     // short parent
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",    // zero trace
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",    // zero parent
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // version ff
+      "0x-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // bad version
+      "00-4bf92f3577b34da6a3ce929d0e0g4736-00f067aa0ba902b7-01",    // non-hex
+      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // bad dash
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",   // v00 too long
+  };
+  for (const char* value : bad) {
+    net::TraceContext trace;
+    EXPECT_FALSE(net::parse_traceparent(value, trace)) << "accepted: " << value;
+    EXPECT_FALSE(trace.valid()) << "touched out on: " << value;
+  }
+}
+
+TEST(HttpServerTraceparent, GeneratedIdsAreSeededAndDistinct) {
+  net::seed_trace_ids(7);
+  const net::TraceContext a = net::generate_trace_context();
+  const net::TraceContext b = net::generate_trace_context();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a.from_header);
+  EXPECT_NE(a.trace_id_hex(), b.trace_id_hex());
+  // Reseeding replays the same id stream (reproducible runs).
+  net::seed_trace_ids(7);
+  EXPECT_EQ(net::generate_trace_context().trace_id_hex(), a.trace_id_hex());
+  net::seed_trace_ids(8);
+  EXPECT_NE(net::generate_trace_context().trace_id_hex(), a.trace_id_hex());
+}
+
+TEST(HttpServerTraceparent, ServerEchoesIncomingTraceId) {
+  net::HttpServer server;
+  net::TraceContext seen;
+  server.handle("GET", "/probe", [&seen](const net::HttpRequest& request) {
+    seen = request.trace;
+    return net::HttpResponse::text(200, "ok");
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+  net::HttpClientResponse response;
+  ASSERT_TRUE(net::http_request(
+      "GET", "127.0.0.1", server.port(), "/probe", response, 5000, "", "text/plain",
+      {{"traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"}}));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.header("x-agua-trace-id"), "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_TRUE(seen.from_header);
+  EXPECT_EQ(seen.trace_id_hex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+  server.stop();
+}
+
+TEST(HttpServerTraceparent, ServerGeneratesIdWhenHeaderAbsentOrMalformed) {
+  net::HttpServer server;
+  server.handle("GET", "/probe", [](const net::HttpRequest& request) {
+    EXPECT_TRUE(request.trace.valid());
+    EXPECT_FALSE(request.trace.from_header);
+    return net::HttpResponse::text(200, "ok");
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+  net::HttpClientResponse bare;
+  ASSERT_TRUE(net::http_get("127.0.0.1", server.port(), "/probe", bare));
+  EXPECT_EQ(bare.header("x-agua-trace-id").size(), 32u);
+  // A malformed traceparent restarts the trace instead of failing the
+  // request (W3C "restart the trace" guidance).
+  net::HttpClientResponse mangled;
+  ASSERT_TRUE(net::http_request("GET", "127.0.0.1", server.port(), "/probe", mangled,
+                                5000, "", "text/plain",
+                                {{"traceparent", "00-borked-00f067aa0ba902b7-01"}}));
+  EXPECT_EQ(mangled.status, 200);
+  EXPECT_EQ(mangled.header("x-agua-trace-id").size(), 32u);
+  EXPECT_NE(mangled.header("x-agua-trace-id"), "borked");
+  // Error paths carry an id too: a 404 is still joinable to a trace.
+  net::HttpClientResponse missing;
+  ASSERT_TRUE(net::http_get("127.0.0.1", server.port(), "/nope", missing));
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(missing.header("x-agua-trace-id").size(), 32u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// obs-layer trace ids, context scopes, and the bounded per-trace index
+
+class ObsTracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    set_trace_enabled(false);
+    clear_spans();
+    clear_trace_index();
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    clear_trace_index();
+  }
+};
+
+TEST_F(ObsTracingTest, TraceIdHexParseRoundTrip) {
+  const TraceId id{0x4bf92f3577b34da6ULL, 0xa3ce929d0e0e4736ULL};
+  EXPECT_EQ(id.hex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+  TraceId parsed;
+  ASSERT_TRUE(TraceId::parse(id.hex(), parsed));
+  EXPECT_TRUE(parsed == id);
+  EXPECT_FALSE(TraceId::parse("4bf92f3577b34da6a3ce929d0e0e473", parsed));   // short
+  EXPECT_FALSE(TraceId::parse("4bf92f3577b34da6a3ce929d0e0e47361", parsed)); // long
+  EXPECT_FALSE(TraceId::parse("00000000000000000000000000000000", parsed));  // zero
+  EXPECT_FALSE(TraceId::parse("4bf92f3577b34da6a3ce929d0e0g4736", parsed));  // non-hex
+}
+
+TEST_F(ObsTracingTest, ScopeSetsAndRestoresCurrentTrace) {
+  EXPECT_FALSE(current_trace().valid());
+  const TraceId outer{1, 2};
+  const TraceId inner{3, 4};
+  {
+    TraceContextScope outer_scope(outer);
+    EXPECT_TRUE(current_trace() == outer);
+    {
+      TraceContextScope inner_scope(inner);
+      EXPECT_TRUE(current_trace() == inner);
+    }
+    EXPECT_TRUE(current_trace() == outer);
+    {
+      TraceContextScope noop(TraceId{});  // zero id = no-op, keeps outer
+      EXPECT_TRUE(current_trace() == outer);
+    }
+  }
+  EXPECT_FALSE(current_trace().valid());
+}
+
+TEST_F(ObsTracingTest, SpansIndexWithoutGlobalTraceEnabled) {
+  ASSERT_FALSE(trace_enabled());
+  const TraceId id{0xabc, 0xdef};
+  {
+    TraceContextScope scope(id);
+    TraceSpan span("agua.test.indexed");
+  }
+  const std::vector<SpanRecord> spans = spans_for_trace(id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "agua.test.indexed");
+  EXPECT_TRUE(spans[0].trace == id);
+  // The global span buffer stayed empty: the index works without the
+  // firehose, which is what makes /tracez?trace=ID production-safe.
+  EXPECT_TRUE(collect_spans().empty());
+  EXPECT_TRUE(spans_for_trace(TraceId{9, 9}).empty());
+}
+
+TEST_F(ObsTracingTest, AnnotateTraceIndexesUnderExtraTraces) {
+  const TraceId mine{1, 1};
+  const TraceId other{2, 2};
+  {
+    TraceContextScope scope(mine);
+    TraceSpan span("agua.test.batch");
+    span.annotate_trace(other);
+    span.annotate_trace(other);  // dedup: indexed once
+    span.annotate_trace(mine);   // already the active trace: no double entry
+  }
+  EXPECT_EQ(spans_for_trace(mine).size(), 1u);
+  ASSERT_EQ(spans_for_trace(other).size(), 1u);
+  EXPECT_EQ(spans_for_trace(other)[0].name, "agua.test.batch");
+}
+
+TEST_F(ObsTracingTest, PerTraceSpanCapDropsExcess) {
+  const TraceId id{5, 5};
+  {
+    TraceContextScope scope(id);
+    for (int i = 0; i < 70; ++i) TraceSpan span("agua.test.flood");
+  }
+  EXPECT_EQ(spans_for_trace(id).size(), 64u);  // kMaxSpansPerTrace
+  const TraceIndexStats stats = trace_index_stats();
+  EXPECT_EQ(stats.traces, 1u);
+  EXPECT_EQ(stats.dropped_spans, 6u);
+}
+
+TEST_F(ObsTracingTest, IndexEvictsOldestTracesWhole) {
+  const TraceId first{1, 1000};
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    TraceContextScope scope(TraceId{1, 1000 + i});
+    TraceSpan span("agua.test.evict");
+  }
+  const TraceIndexStats stats = trace_index_stats();
+  EXPECT_EQ(stats.traces, 256u);  // kMaxTraces
+  EXPECT_EQ(stats.evicted_traces, 44u);
+  EXPECT_EQ(stats.indexed_spans, 300u);
+  EXPECT_TRUE(spans_for_trace(first).empty());  // evicted whole
+  EXPECT_EQ(spans_for_trace(TraceId{1, 1299}).size(), 1u);
+}
+
+TEST_F(ObsTracingTest, RecordLatencyAttachesExemplarOnlyUnderScope) {
+  Histogram& histogram =
+      MetricsRegistry::instance().histogram("agua.test.exemplar_latency");
+  record_latency(histogram, 0.001);  // no scope: plain record
+  HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  for (const Exemplar& e : snap.exemplars) EXPECT_FALSE(e.valid());
+
+  const TraceId id{0x11, 0x22};
+  {
+    TraceContextScope scope(id);
+    record_latency(histogram, 0.001);
+  }
+  snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  bool found = false;
+  for (const Exemplar& e : snap.exemplars) {
+    if (!e.valid()) continue;
+    found = true;
+    EXPECT_EQ(e.trace_hi, 0x11u);
+    EXPECT_EQ(e.trace_lo, 0x22u);
+    EXPECT_DOUBLE_EQ(e.value, 0.001);
+    EXPECT_GT(e.ts_ns, 0);
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics rendering
+
+using ObsOpenMetricsTest = ObsTracingTest;
+
+TEST_F(ObsOpenMetricsTest, CountersCarryTotalSuffixAndBodyEndsWithEof) {
+  MetricsRegistry::instance().reset_for_testing();
+  MetricsRegistry::instance().counter("agua.test.om_requests").add(3);
+  MetricsRegistry::instance().gauge("agua.test.om_depth").set(1.5);
+  const std::string body = export_openmetrics();
+  // TYPE names the family; only the sample line gets the _total suffix.
+  EXPECT_NE(body.find("# TYPE agua_test_om_requests counter\n"), std::string::npos);
+  EXPECT_NE(body.find("agua_test_om_requests_total 3\n"), std::string::npos);
+  EXPECT_EQ(body.find("agua_test_om_requests 3\n"), std::string::npos);
+  EXPECT_NE(body.find("agua_test_om_depth 1.5\n"), std::string::npos);
+  ASSERT_GE(body.size(), 6u);
+  EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+  EXPECT_EQ(body.find("# EOF\n"), body.size() - 6);  // exactly once, at the end
+}
+
+TEST_F(ObsOpenMetricsTest, HelpTextEscapesBackslashAndNewline) {
+  // The HELP line carries the original dotted registry name; hostile
+  // characters must be escaped per the exposition grammar.
+  std::vector<MetricSnapshot> metrics(1);
+  metrics[0].kind = MetricSnapshot::Kind::kCounter;
+  metrics[0].name = "agua.test.weird\\name\nwith_newline";
+  metrics[0].counter_value = 1;
+  const std::string body = export_openmetrics(metrics);
+  EXPECT_NE(body.find("Agua metric agua.test.weird\\\\name\\nwith_newline\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("agua_test_weird_name_with_newline_total 1\n"),
+            std::string::npos);
+}
+
+TEST_F(ObsOpenMetricsTest, HistogramBucketsCarryExemplarSyntax) {
+  MetricsRegistry::instance().reset_for_testing();
+  Histogram& histogram = MetricsRegistry::instance().histogram("agua.test.om_latency");
+  {
+    TraceContextScope scope(TraceId{0x4bf92f3577b34da6ULL, 0xa3ce929d0e0e4736ULL});
+    record_latency(histogram, 0.001);
+  }
+  const std::string body = export_openmetrics();
+  // One bucket line must carry the exemplar:
+  //   name_bucket{le="..."} N # {trace_id="<32 hex>"} <value>
+  const std::regex exemplar_line(
+      "agua_test_om_latency_bucket\\{le=\"[^\"]+\"\\} \\d+ "
+      "# \\{trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"\\} 0\\.001");
+  EXPECT_TRUE(std::regex_search(body, exemplar_line)) << body;
+  // Buckets without an exemplar render plain.
+  EXPECT_NE(body.find("_bucket{le=\"+Inf\"} 1\n"), std::string::npos) << body;
+}
+
+TEST_F(ObsOpenMetricsTest, PrometheusRenderingStaysExemplarFree) {
+  MetricsRegistry::instance().reset_for_testing();
+  Histogram& histogram = MetricsRegistry::instance().histogram("agua.test.plain");
+  {
+    TraceContextScope scope(TraceId{1, 2});
+    record_latency(histogram, 0.001);
+  }
+  const std::string body = export_prometheus();
+  // 0.0.4 scrapers reject exemplar syntax; the legacy exporter must not leak it.
+  EXPECT_EQ(body.find(" # {"), std::string::npos);
+  EXPECT_EQ(body.find("# EOF"), std::string::npos);
+  EXPECT_EQ(body.find("_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SLO specs and burn-rate accounting
+
+class ObsSloTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::instance().reset();
+    SloRegistry::instance().clear_for_testing();
+    event_log().clear();
+    event_log().set_enabled(true);
+  }
+  void TearDown() override {
+    SloRegistry::instance().clear_for_testing();
+    event_log().set_enabled(false);
+  }
+
+  static constexpr std::int64_t kBucket = SloTracker::kBucketNs;
+};
+
+TEST_F(ObsSloTest, ParsesSpecGrammar) {
+  SloSpec spec;
+  ASSERT_TRUE(parse_slo_spec("/explain=250ms:99.9", spec));
+  EXPECT_EQ(spec.endpoint, "/explain");
+  EXPECT_DOUBLE_EQ(spec.latency_threshold_s, 0.25);
+  EXPECT_DOUBLE_EQ(spec.objective, 0.999);
+  ASSERT_TRUE(parse_slo_spec("/metrics=1s:95", spec));
+  EXPECT_DOUBLE_EQ(spec.latency_threshold_s, 1.0);
+  EXPECT_DOUBLE_EQ(spec.objective, 0.95);
+
+  std::string error;
+  const char* bad[] = {
+      "",                      // empty
+      "/explain",              // no '='
+      "/explain=250ms",        // no objective
+      "/explain=250:99",       // missing unit suffix
+      "/explain=250xs:99",     // unknown unit
+      "/explain=0ms:99",       // zero latency
+      "/explain=-5ms:99",      // negative latency
+      "/explain=250ms:0",      // objective must be > 0
+      "/explain=250ms:100",    // and < 100
+      "/explain=250ms:nope",   // non-numeric objective
+      "=250ms:99",             // empty endpoint
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(parse_slo_spec(text, spec, &error)) << "accepted: " << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST_F(ObsSloTest, ClassifiesGoodAndBadRequests) {
+  SloTracker tracker({.endpoint = "/explain",
+                      .latency_threshold_s = 0.1,
+                      .objective = 0.99});
+  const std::int64_t t0 = 1'000'000 * kBucket;
+  tracker.observe_at(t0, 0.01, 200);   // good
+  tracker.observe_at(t0, 0.50, 200);   // success but over threshold: bad
+  tracker.observe_at(t0, 0.01, 500);   // server error: bad
+  tracker.observe_at(t0, 0.01, 408);   // deadline expiry: bad
+  tracker.observe_at(t0, 0.01, 404);   // client error: not the server's budget
+  tracker.observe_at(t0, 0.50, 400);   // slow client error: still not bad
+  const SloSnapshot snap = tracker.snapshot_at(t0);
+  EXPECT_EQ(snap.total, 6u);
+  EXPECT_EQ(snap.bad, 3u);
+  EXPECT_EQ(snap.fast.total, 6u);
+  EXPECT_EQ(snap.fast.bad, 3u);
+  EXPECT_DOUBLE_EQ(snap.fast.bad_ratio, 0.5);
+  // burn = bad_ratio / (1 - objective) = 0.5 / 0.01
+  EXPECT_NEAR(snap.fast.burn_rate, 50.0, 1e-9);
+}
+
+TEST_F(ObsSloTest, WindowsAgeOutAndBurnNeedsBothWindows) {
+  SloTracker tracker({.endpoint = "/explain",
+                      .latency_threshold_s = 0.1,
+                      .objective = 0.99,
+                      .burn_alert = 14.4});
+  const std::int64_t t0 = 2'000'000 * kBucket;
+  // A burst of pure failures: both windows saturate, burning flips on.
+  for (int i = 0; i < 20; ++i) tracker.observe_at(t0, 0.01, 500);
+  SloSnapshot snap = tracker.snapshot_at(t0);
+  EXPECT_NEAR(snap.fast.burn_rate, 100.0, 1e-9);
+  EXPECT_NEAR(snap.slow.burn_rate, 100.0, 1e-9);
+  EXPECT_TRUE(snap.burning);
+
+  // 10 minutes later the fast window has aged the failures out but the slow
+  // window still remembers them: not burning (the multi-window AND).
+  const std::int64_t t1 = t0 + 120 * kBucket;
+  snap = tracker.snapshot_at(t1);
+  EXPECT_EQ(snap.fast.total, 0u);
+  EXPECT_GT(snap.slow.bad, 0u);
+  EXPECT_FALSE(snap.burning);
+
+  // Two hours later the ring has wrapped: both windows are clean.
+  const std::int64_t t2 = t0 + 1600 * kBucket;
+  snap = tracker.snapshot_at(t2);
+  EXPECT_EQ(snap.slow.total, 0u);
+  EXPECT_DOUBLE_EQ(snap.slow.burn_rate, 0.0);
+  EXPECT_EQ(snap.total, 20u);  // lifetime counters never age out
+
+  // The burn-state flips left flight-recorder breadcrumbs.
+  std::set<std::string> kinds;
+  for (const Event& event : event_log().snapshot()) kinds.insert(event.kind);
+  EXPECT_TRUE(kinds.count("slo.burn.start")) << "missing slo.burn.start";
+  EXPECT_TRUE(kinds.count("slo.burn.end")) << "missing slo.burn.end";
+}
+
+TEST_F(ObsSloTest, SnapshotPublishesBurnGauges) {
+  SloTracker& tracker = SloRegistry::instance().track(
+      {.endpoint = "/explain", .latency_threshold_s = 0.1, .objective = 0.9});
+  const std::int64_t t0 = 3'000'000 * kBucket;
+  tracker.observe_at(t0, 0.01, 500);
+  tracker.snapshot_at(t0);
+  EXPECT_NEAR(
+      MetricsRegistry::instance().gauge("agua.slo.explain.fast_burn").value(), 10.0,
+      1e-9);
+  EXPECT_NEAR(
+      MetricsRegistry::instance().gauge("agua.slo.explain.slow_burn").value(), 10.0,
+      1e-9);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::instance().gauge("agua.slo.explain.burning").value(), 0.0);
+}
+
+TEST_F(ObsSloTest, RegistryRoutesObservationsAndIgnoresUnknownEndpoints) {
+  slo_observe("/unregistered", 0.01, 200);  // no tracker: silently dropped
+  SloRegistry::instance().track({.endpoint = "/explain"});
+  slo_observe("/explain", 0.01, 200);
+  slo_observe("/explain", 0.01, 500);
+  SloTracker* tracker = SloRegistry::instance().find("/explain");
+  ASSERT_NE(tracker, nullptr);
+  const SloSnapshot snap = tracker->snapshot();
+  EXPECT_EQ(snap.total, 2u);
+  EXPECT_EQ(snap.bad, 1u);
+  // Re-registering the same endpoint keeps the original tracker + spec.
+  SloTracker& again = SloRegistry::instance().track(
+      {.endpoint = "/explain", .objective = 0.5});
+  EXPECT_EQ(&again, tracker);
+  EXPECT_DOUBLE_EQ(again.spec().objective, 0.99);
+  EXPECT_EQ(SloRegistry::instance().find("/nope"), nullptr);
+  ASSERT_EQ(SloRegistry::instance().snapshot().size(), 1u);
+}
+
+TEST_F(ObsSloTest, FormatsOperatorTable) {
+  SloRegistry::instance().track({.endpoint = "/explain"});
+  const std::string table = format_slo_table(SloRegistry::instance().snapshot());
+  EXPECT_NE(table.find("/explain"), std::string::npos);
+  EXPECT_NE(table.find("ok"), std::string::npos);
+  const std::string empty = format_slo_table({});
+  EXPECT_NE(empty.find("no SLOs configured"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry-server surfaces: /statusz, /tracez?trace=ID, Accept negotiation
+
+class TelemetryTracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    set_trace_enabled(false);
+    clear_spans();
+    clear_trace_index();
+    event_log().clear();
+    event_log().set_enabled(true);
+    reset_monitors();
+    MetricsRegistry::instance().reset();
+    SloRegistry::instance().clear_for_testing();
+  }
+  void TearDown() override {
+    event_log().set_enabled(false);
+    set_trace_enabled(false);
+    clear_trace_index();
+    SloRegistry::instance().clear_for_testing();
+    reset_monitors();
+  }
+
+  net::HttpClientResponse get(const TelemetryServer& server, const std::string& target,
+                              const std::string& accept = "") {
+    net::HttpClientResponse response;
+    std::vector<std::pair<std::string, std::string>> headers;
+    if (!accept.empty()) headers.emplace_back("Accept", accept);
+    EXPECT_TRUE(net::http_request("GET", "127.0.0.1", server.port(), target, response,
+                                  5000, "", "application/json", headers))
+        << "GET " << target << " failed";
+    return response;
+  }
+};
+
+TEST_F(TelemetryTracingTest, MetricsNegotiatesOpenMetricsViaAccept) {
+  MetricsRegistry::instance().counter("agua.test.negotiated").add(1);
+  TelemetryServer server;
+  ASSERT_TRUE(server.start()) << server.last_error();
+  const net::HttpClientResponse om =
+      get(server, "/metrics", "application/openmetrics-text; version=1.0.0");
+  EXPECT_EQ(om.status, 200);
+  EXPECT_EQ(om.content_type, "application/openmetrics-text; version=1.0.0; charset=utf-8");
+  EXPECT_NE(om.body.find("agua_test_negotiated_total 1\n"), std::string::npos);
+  EXPECT_NE(om.body.find("# EOF\n"), std::string::npos);
+  // No Accept, or any non-OpenMetrics Accept, falls back to 0.0.4 text.
+  for (const char* accept : {"", "text/plain", "*/*"}) {
+    const net::HttpClientResponse plain = get(server, "/metrics", accept);
+    EXPECT_EQ(plain.content_type, "text/plain; version=0.0.4; charset=utf-8");
+    EXPECT_EQ(plain.body.find("# EOF"), std::string::npos);
+    EXPECT_NE(plain.body.find("agua_test_negotiated 1\n"), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST_F(TelemetryTracingTest, TracedRequestLandsInTracezAndExemplars) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.start()) << server.last_error();
+  // Any instrumented endpoint will do; the wrapper opens a TraceContextScope
+  // from the request's trace context.
+  net::HttpClientResponse probe;
+  ASSERT_TRUE(net::http_request(
+      "GET", "127.0.0.1", server.port(), "/healthz", probe, 5000, "", "application/json",
+      {{"traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"}}));
+  EXPECT_EQ(probe.header("x-agua-trace-id"), "4bf92f3577b34da6a3ce929d0e0e4736");
+
+  const net::HttpClientResponse by_id =
+      get(server, "/tracez?trace=4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(by_id.status, 200);
+  EXPECT_NE(by_id.body.find("4bf92f3577b34da6a3ce929d0e0e4736"), std::string::npos);
+  EXPECT_NE(by_id.body.find("agua.telemetry.healthz"), std::string::npos);
+
+  const net::HttpClientResponse as_json =
+      get(server, "/tracez?trace=4bf92f3577b34da6a3ce929d0e0e4736&format=json");
+  EXPECT_EQ(as_json.status, 200);
+  EXPECT_EQ(as_json.content_type, "application/json; charset=utf-8");
+  EXPECT_NE(as_json.body.find("\"trace_id\":\"4bf92f3577b34da6a3ce929d0e0e4736\""),
+            std::string::npos);
+
+  // The traced scrape left an exemplar on the endpoint's latency histogram.
+  const net::HttpClientResponse om =
+      get(server, "/metrics", "application/openmetrics-text");
+  EXPECT_NE(om.body.find("trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\""),
+            std::string::npos);
+
+  const net::HttpClientResponse bad = get(server, "/tracez?trace=zzz");
+  EXPECT_EQ(bad.status, 400);
+  const net::HttpClientResponse unknown =
+      get(server, "/tracez?trace=ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(unknown.status, 404);
+  server.stop();
+}
+
+TEST_F(TelemetryTracingTest, StatuszRendersOperatorSections) {
+  SloRegistry::instance().track({.endpoint = "/explain"});
+  TelemetryServer server;
+  server.add_status_section("custom", [] { return std::string("custom-line\n"); });
+  ASSERT_TRUE(server.start()) << server.last_error();
+  const net::HttpClientResponse response = get(server, "/statusz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain; charset=utf-8");
+  for (const char* needle :
+       {"== server ==", "== health ==", "== slo ==", "== traces ==", "== custom ==",
+        "/explain", "custom-line", "uptime"}) {
+    EXPECT_NE(response.body.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << response.body;
+  }
+  // The index page advertises it.
+  EXPECT_NE(get(server, "/").body.find("/statusz"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
