@@ -541,6 +541,194 @@ void report_trace_propagation(const TraceStats& stats) {
 template <typename Fn>
 double best_of_ms(int repeats, Fn&& fn);  // defined below
 
+/// Overload-control plane (DESIGN.md §8): does CoDel shedding actually buy
+/// goodput under overload, and what does the armed-but-idle plane cost on
+/// the cached hit path?
+///
+/// The overload scenario is a synthetic congestion collapse: a deliberately
+/// slow backend (batch hook sleeps 20 ms, batch size 1 → ~50 req/s capacity)
+/// with closed-loop clients whose offered load is ~2-3x that capacity and a
+/// 60 ms request deadline. Without shedding the admission queue stands at
+/// ~8 requests, every arrival waits ~160 ms, and essentially everything
+/// 408s — the dispatcher still burns 20 ms per abandoned request, so
+/// goodput collapses. With CoDel armed the standing queue is detected
+/// within one interval and new arrivals get an instant 503; admitted
+/// requests see a short queue and finish inside their deadline.
+struct OverloadBenchStats {
+  double goodput_shed = 0.0;    ///< 200s per second, shedding armed
+  double goodput_noshed = 0.0;  ///< 200s per second, shedding disabled
+  double p99_shed_ms = 0.0;     ///< p99 latency of the 200s, shedding armed
+  double p99_noshed_ms = 0.0;
+  double refused_share = 0.0;   ///< fraction of attempts 503-shed while armed
+  std::uint64_t ok_shed = 0;
+  std::uint64_t ok_noshed = 0;
+  double idle_overhead_pct = 0.0;  ///< armed-but-idle vs disabled, cached hit
+};
+
+serve::ExplainServiceOptions overload_disabled_options() {
+  serve::ExplainServiceOptions options;
+  options.overload.codel.target_us = 0;          // disables CoDel
+  options.overload.rate_limit.rate_per_s = 0.0;  // disables the limiter
+  options.overload.breaker.failure_threshold = 0;
+  options.overload.brownout.enabled = false;
+  return options;
+}
+
+struct OverloadRun {
+  std::uint64_t attempts = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t refused = 0;  // 503 overload_shed / queue_full
+  std::uint64_t expired = 0;  // 408
+  std::vector<double> ok_latency_ms;
+};
+
+OverloadRun run_overload_load(bool shed, double seconds) {
+  serve::ExplainServiceOptions options = overload_disabled_options();
+  options.max_batch = 1;
+  options.batch_linger_us = 0;
+  options.queue_capacity = 64;
+  options.request_deadline_ms = 60;
+  options.cache_capacity = 0;  // every admitted request pays the full fan-out
+  if (shed) {
+    options.overload.codel.target_us = 10'000;
+    options.overload.codel.interval_us = 50'000;
+  }
+  serve::ExplainService service(options);
+  service.install_model(make_model(), "bench");
+  service.set_batch_hook([](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  service.start();
+
+  constexpr int kClients = 8;
+  std::atomic<bool> stop{false};
+  std::vector<OverloadRun> per(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &stop, &per, c] {
+      OverloadRun& mine = per[static_cast<std::size_t>(c)];
+      std::uint64_t n = 0;
+      net::HttpRequest request;
+      request.method = "POST";
+      request.path = "/explain";
+      while (!stop.load(std::memory_order_relaxed)) {
+        request.body = make_explain_body(
+            2'000'000 + static_cast<std::uint64_t>(c) * 1'000'000 + n++);
+        const auto begin = std::chrono::steady_clock::now();
+        const net::HttpResponse response = service.explain_http(request);
+        const double ms = std::chrono::duration_cast<
+                              std::chrono::duration<double, std::milli>>(
+                              std::chrono::steady_clock::now() - begin)
+                              .count();
+        ++mine.attempts;
+        if (response.status == 200) {
+          ++mine.ok;
+          mine.ok_latency_ms.push_back(ms);
+        } else if (response.status == 503 || response.status == 429) {
+          ++mine.refused;
+          // A well-behaved client honors Retry-After; 1 ms here stands in
+          // for it (scaled down so the run stays short) and keeps refused
+          // clients from busy-spinning the core the dispatcher needs.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        } else {
+          ++mine.expired;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000.0)));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  service.stop();
+
+  OverloadRun total;
+  for (OverloadRun& r : per) {
+    total.attempts += r.attempts;
+    total.ok += r.ok;
+    total.refused += r.refused;
+    total.expired += r.expired;
+    total.ok_latency_ms.insert(total.ok_latency_ms.end(), r.ok_latency_ms.begin(),
+                               r.ok_latency_ms.end());
+  }
+  return total;
+}
+
+double p99_ms(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t index =
+      (values.size() * 99 + 99) / 100 == 0 ? 0 : (values.size() * 99 + 99) / 100 - 1;
+  return values[std::min(index, values.size() - 1)];
+}
+
+OverloadBenchStats measure_overload() {
+  OverloadBenchStats stats;
+  constexpr double kSeconds = 1.5;
+  const OverloadRun noshed = run_overload_load(false, kSeconds);
+  const OverloadRun shed = run_overload_load(true, kSeconds);
+  stats.goodput_noshed = static_cast<double>(noshed.ok) / kSeconds;
+  stats.goodput_shed = static_cast<double>(shed.ok) / kSeconds;
+  stats.ok_noshed = noshed.ok;
+  stats.ok_shed = shed.ok;
+  stats.p99_noshed_ms = p99_ms(noshed.ok_latency_ms);
+  stats.p99_shed_ms = p99_ms(shed.ok_latency_ms);
+  stats.refused_share =
+      shed.attempts > 0
+          ? static_cast<double>(shed.refused) / static_cast<double>(shed.attempts)
+          : 0.0;
+
+  // Armed-but-idle cost on the cached hit path, paired-window median (same
+  // rationale as measure_trace_propagation): every check engaged — limiter
+  // charging one bucket, CoDel load, breaker closed, brownout gate — but
+  // nothing refusing.
+  serve::ExplainServiceOptions armed_options;  // defaults: codel + breaker on
+  armed_options.overload.rate_limit.rate_per_s = 1e9;  // enabled, never limits
+  serve::ExplainService armed(armed_options);
+  armed.install_model(make_model(), "bench");
+  armed.start();
+  serve::ExplainService disarmed(overload_disabled_options());
+  disarmed.install_model(make_model(), "bench");
+  disarmed.start();
+  net::HttpRequest request;
+  request.method = "POST";
+  request.path = "/explain";
+  request.body = make_explain_body(920000);
+  armed.explain_http(request);  // prime both caches
+  disarmed.explain_http(request);
+  constexpr int kIters = 2000;
+  constexpr int kRepeats = 15;
+  std::vector<double> pair_pct;
+  pair_pct.reserve(kRepeats);
+  for (int r = 0; r < kRepeats; ++r) {
+    const double armed_ns = best_ns_per_op(kIters, 1, [&] {
+      benchmark::DoNotOptimize(armed.explain_http(request));
+    });
+    const double disarmed_ns = best_ns_per_op(kIters, 1, [&] {
+      benchmark::DoNotOptimize(disarmed.explain_http(request));
+    });
+    if (disarmed_ns > 0.0) {
+      pair_pct.push_back(100.0 * (armed_ns - disarmed_ns) / disarmed_ns);
+    }
+  }
+  std::sort(pair_pct.begin(), pair_pct.end());
+  stats.idle_overhead_pct = pair_pct.empty() ? 0.0 : pair_pct[pair_pct.size() / 2];
+  return stats;
+}
+
+void report_overload(const OverloadBenchStats& stats) {
+  std::printf(
+      "overload (2x+ offered load, 60 ms deadline): goodput shed %.1f/s vs "
+      "unprotected %.1f/s (%s, must strictly improve); p99 of 200s %.1f ms vs "
+      "%.1f ms; %.0f%% of attempts refused while shedding; armed-but-idle "
+      "cached hit %+.2f%% (%s, budget < 2%%)\n",
+      stats.goodput_shed, stats.goodput_noshed,
+      stats.goodput_shed > stats.goodput_noshed ? "PASS" : "FAIL",
+      stats.p99_shed_ms, stats.p99_noshed_ms, 100.0 * stats.refused_share,
+      stats.idle_overhead_pct, stats.idle_overhead_pct < 2.0 ? "PASS" : "WARN");
+}
+
 /// The fault-injection registry's cost model (DESIGN.md §8): a disarmed
 /// check must be one relaxed atomic load + branch (sub-ns — cheap enough to
 /// stay compiled into serving and training permanently), an armed-but-miss
@@ -592,7 +780,8 @@ void report_fault_sites(const FaultSiteStats& stats) {
 /// counterpart to the google-benchmark suite above, written as one
 /// `agua.bench.v1` document (bench/bench_json.hpp).
 bool write_json_report(const std::string& path, std::size_t threads,
-                       const TraceStats& trace_stats) {
+                       const TraceStats& trace_stats,
+                       const OverloadBenchStats& overload_stats) {
   constexpr int kRepeats = 5;
   bench::BenchJson doc("perf_microbench", threads);
   doc.set_meta("repeats", kRepeats);
@@ -703,6 +892,21 @@ bool write_json_report(const std::string& path, std::size_t threads,
   doc.add("serve_explain_cached_untraced", trace_stats.cached_untraced_ns, "ns/op");
   doc.add("serve_explain_cached_traced", trace_stats.cached_traced_ns, "ns/op");
   doc.set_meta("trace_overhead_pct", trace_stats.overhead_pct);
+
+  // overload section: goodput under synthetic 2x+ overload with CoDel
+  // shedding armed vs disabled (armed must strictly win), p99 of the
+  // successful responses, and the armed-but-idle cost on the cached hit.
+  // Measured once in main() and shared with the printed report.
+  doc.add("overload_goodput_shed", overload_stats.goodput_shed, "req/s");
+  doc.add("overload_goodput_noshed", overload_stats.goodput_noshed, "req/s");
+  doc.add("overload_p99_shed", overload_stats.p99_shed_ms, "ms");
+  doc.add("overload_p99_noshed", overload_stats.p99_noshed_ms, "ms");
+  doc.set_meta("overload_refused_share", overload_stats.refused_share);
+  doc.set_meta("overload_goodput_gain",
+               overload_stats.goodput_noshed > 0.0
+                   ? overload_stats.goodput_shed / overload_stats.goodput_noshed
+                   : 0.0);
+  doc.set_meta("overload_idle_overhead_pct", overload_stats.idle_overhead_pct);
 
   return doc.write(path);
 }
@@ -815,9 +1019,11 @@ int main(int argc, char** argv) {
   report_serve(measure_serve());
   const TraceStats trace_stats = measure_trace_propagation();
   report_trace_propagation(trace_stats);
+  const OverloadBenchStats overload_stats = measure_overload();
+  report_overload(overload_stats);
   report_parallel_speedup(threads);
   if (!json_path.empty()) {
-    if (write_json_report(json_path, threads, trace_stats)) {
+    if (write_json_report(json_path, threads, trace_stats, overload_stats)) {
       std::printf("\nbench telemetry written to %s\n", json_path.c_str());
     } else {
       std::fprintf(stderr, "\nfailed to write %s\n", json_path.c_str());

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "apps/abr_bundle.hpp"
@@ -81,6 +82,31 @@ constexpr const char* kUsage =
     "                    surface multi-window burn rates on /statusz, e.g.\n"
     "                    '/explain=250ms:99.9' (grammar: ENDPOINT=LATENCY:PCT;\n"
     "                    repeatable, or comma-separate several specs)\n"
+    "  --slo-hook CMD    run CMD (via the shell, detached) whenever an SLO's\n"
+    "                    burn state flips, appending: start|end ENDPOINT\n"
+    "                    FAST_BURN SLOW_BURN — webhook/pager glue for\n"
+    "                    unattended deployments\n"
+    "  --slo-exit-nonzero       exit with status 4 when any SLO is still\n"
+    "                    burning at shutdown, so supervisors notice\n"
+    "  --shed-target-ms MS      overload control: CoDel sojourn target for\n"
+    "                    /explain admission (default 25; 0 disables shedding)\n"
+    "  --shed-interval-ms MS    overload control: sojourn must stay above the\n"
+    "                    target this long before arrivals shed (default 100)\n"
+    "  --rate-limit RPS[:BURST] per-client token bucket on /explain keyed on\n"
+    "                    X-Agua-Client (fallback: peer address); over-rate\n"
+    "                    clients get 429 + Retry-After (default off)\n"
+    "  --breaker-threshold N    open the /explain circuit breaker after N\n"
+    "                    consecutive backend failures (default 5; 0 disables)\n"
+    "  --breaker-backoff-ms MS  first breaker open duration; doubles per\n"
+    "                    reopen, capped at 30s (default 1000)\n"
+    "  --brownout on|off SLO-driven degradation tiers for /explain: shrink\n"
+    "                    top_k, allow slightly-stale cache hits, tighten\n"
+    "                    admission while the --slo burn state fires\n"
+    "                    (default on; inert without an /explain SLO)\n"
+    "  --brownout-top-k N       top_k cap while browned out (default 3)\n"
+    "  --deadline-margin-ms MS  close a micro-batch early when the oldest\n"
+    "                    member's deadline is within MS, converting would-be\n"
+    "                    408s into answers (default 20; 0 disables)\n"
     "  --checkpoint-dir DIR     write crash-safe training checkpoints into\n"
     "                    DIR at epoch boundaries (DESIGN.md §8)\n"
     "  --checkpoint-every N     epochs between checkpoints (default 5)\n"
@@ -109,6 +135,17 @@ struct CliOptions {
   std::int64_t serve_batch_linger_us = 500;
   std::size_t serve_cache = 1024;
   std::vector<obs::SloSpec> slos;   // --slo specs, registered before serving
+  std::string slo_hook;             // --slo-hook command, run on burn flips
+  bool slo_exit_nonzero = false;    // exit 4 when burning at shutdown
+  std::int64_t shed_target_ms = 25;     // CoDel sojourn target (0 = off)
+  std::int64_t shed_interval_ms = 100;  // CoDel interval
+  double rate_limit_rps = 0.0;          // per-client tokens/s (0 = off)
+  double rate_limit_burst = 0.0;        // bucket depth (0 = max(1, rps))
+  int breaker_threshold = 5;            // consecutive failures to open (0 = off)
+  std::int64_t breaker_backoff_ms = 1000;
+  bool brownout = true;
+  std::size_t brownout_top_k = 3;
+  std::int64_t deadline_margin_ms = 20;  // early batch close margin (0 = off)
   double serve_linger = 0.0;        // seconds to keep serving after the run
   bool serve_linger_set = false;    // --serve-linger given explicitly
   std::string checkpoint_dir;
@@ -184,6 +221,49 @@ bool parse(int argc, char** argv, CliOptions& options) {
         if (comma == std::string_view::npos) break;
         specs.remove_prefix(comma + 1);
       }
+    } else if (std::strcmp(argv[i], "--slo-hook") == 0 && i + 1 < argc) {
+      options.slo_hook = argv[++i];
+    } else if (std::strcmp(argv[i], "--slo-exit-nonzero") == 0) {
+      options.slo_exit_nonzero = true;
+    } else if (std::strcmp(argv[i], "--shed-target-ms") == 0 && i + 1 < argc) {
+      options.shed_target_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--shed-interval-ms") == 0 && i + 1 < argc) {
+      options.shed_interval_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rate-limit") == 0 && i + 1 < argc) {
+      const char* spec = argv[++i];
+      char* end = nullptr;
+      options.rate_limit_rps = std::strtod(spec, &end);
+      if (end == spec || options.rate_limit_rps < 0.0) {
+        std::fprintf(stderr, "bad --rate-limit spec: %s (want RPS or RPS:BURST)\n", spec);
+        return false;
+      }
+      if (*end == ':') {
+        options.rate_limit_burst = std::strtod(end + 1, &end);
+      }
+      if (*end != '\0') {
+        std::fprintf(stderr, "bad --rate-limit spec: %s (want RPS or RPS:BURST)\n", spec);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--breaker-threshold") == 0 && i + 1 < argc) {
+      options.breaker_threshold = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--breaker-backoff-ms") == 0 && i + 1 < argc) {
+      options.breaker_backoff_ms = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--brownout") == 0 && i + 1 < argc) {
+      const std::string_view mode = argv[++i];
+      if (mode == "on") {
+        options.brownout = true;
+      } else if (mode == "off") {
+        options.brownout = false;
+      } else {
+        std::fprintf(stderr, "--brownout wants on|off, got: %s\n", argv[i]);
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--brownout-top-k") == 0 && i + 1 < argc) {
+      options.brownout_top_k =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (options.brownout_top_k == 0) options.brownout_top_k = 1;
+    } else if (std::strcmp(argv[i], "--deadline-margin-ms") == 0 && i + 1 < argc) {
+      options.deadline_margin_ms = std::strtoll(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--serve-linger") == 0 && i + 1 < argc) {
       options.serve_linger = std::strtod(argv[++i], nullptr);
       options.serve_linger_set = true;
@@ -324,6 +404,24 @@ int main(int argc, char** argv) {
   for (const obs::SloSpec& spec : options.slos) {
     obs::SloRegistry::instance().track(spec);
   }
+  if (!options.slo_hook.empty()) {
+    // Alert routing: every burn flip spawns `CMD start|end ENDPOINT FAST SLOW`
+    // through the shell. Detached on purpose — snapshot paths (handlers, the
+    // brownout sampler) must never block on a webhook.
+    const std::string hook_command = options.slo_hook;
+    obs::set_burn_hook([hook_command](const obs::SloSnapshot& snap) {
+      char burns[64];
+      std::snprintf(burns, sizeof burns, " %.3f %.3f", snap.fast.burn_rate,
+                    snap.slow.burn_rate);
+      const std::string line = hook_command + (snap.burning ? " start " : " end ") +
+                               snap.spec.endpoint + burns;
+      std::thread([line] {
+        if (std::system(line.c_str()) != 0) {
+          std::fprintf(stderr, "slo hook failed: %s\n", line.c_str());
+        }
+      }).detach();
+    });
+  }
   if (!options.flight_record.empty() || options.serve_telemetry) {
     // Enable event capture up front — for --flight-record so even a crash
     // mid-training leaves the ring on disk, for --serve-telemetry so
@@ -339,10 +437,21 @@ int main(int argc, char** argv) {
   }
   // The explanation service outlives the telemetry server (declared first =
   // destroyed last), so handlers can never outlive the service they call.
+  serve::OverloadOptions overload;
+  overload.codel.target_us = options.shed_target_ms * 1000;
+  overload.codel.interval_us = options.shed_interval_ms * 1000;
+  overload.rate_limit.rate_per_s = options.rate_limit_rps;
+  overload.rate_limit.burst = options.rate_limit_burst;
+  overload.breaker.failure_threshold = options.breaker_threshold;
+  overload.breaker.backoff_ms = options.breaker_backoff_ms;
+  overload.brownout.enabled = options.brownout;
+  overload.brownout.degraded_top_k = options.brownout_top_k;
+  overload.deadline_margin_us = options.deadline_margin_ms * 1000;
   serve::ExplainService explain_service(
       {.max_batch = options.serve_max_batch,
        .batch_linger_us = options.serve_batch_linger_us,
-       .cache_capacity = options.serve_cache});
+       .cache_capacity = options.serve_cache,
+       .overload = overload});
   obs::TelemetryServer telemetry(
       {.port = options.serve_port,
        // Coalescing needs concurrent requests in flight; plain telemetry
@@ -354,6 +463,8 @@ int main(int argc, char** argv) {
     explain_service.mount(telemetry.http());
     telemetry.add_status_section(
         "serving", [&explain_service] { return explain_service.status_section(); });
+    telemetry.add_status_section(
+        "overload", [&explain_service] { return explain_service.overload_section(); });
   }
   if (options.serve_telemetry) {
     if (!telemetry.start()) {
@@ -411,6 +522,18 @@ int main(int argc, char** argv) {
     }
     std::fflush(stdout);
     telemetry.wait_for_quit(linger);
+  }
+  if (options.slo_exit_nonzero) {
+    // Close the alerting loop for unattended runs: a burn still active at
+    // shutdown makes the process exit nonzero so supervisors/cron notice.
+    for (const obs::SloSnapshot& snap : obs::SloRegistry::instance().snapshot()) {
+      if (snap.burning) {
+        std::fprintf(stderr, "SLO burn active at shutdown: %s (fast %.2f, slow %.2f)\n",
+                     snap.spec.endpoint.c_str(), snap.fast.burn_rate,
+                     snap.slow.burn_rate);
+        return 4;
+      }
+    }
   }
   return 0;
 }

@@ -22,9 +22,14 @@
 # documentation suite: every intra-repo markdown link must resolve, every
 # flag `agua_cli --help` advertises must be documented in
 # docs/OPERATIONS.md, and every metric/span/monitor name literal in src/
-# must follow the `agua.<layer>.<op>` convention (DESIGN.md §6).
+# must follow the `agua.<layer>.<op>` convention (DESIGN.md §6). `overload`
+# smoke-tests the overload-control plane end to end: flood /explain past a
+# tight rate limit and assert 429s carry Retry-After and the uniform error
+# envelope, drive the SLO into burn and assert responses degrade
+# (X-Agua-Degraded) while the burn hook fires, check the /statusz overload
+# section, then let the flood stop and assert recovery.
 #
-#   scripts/check.sh [default|asan|tsan|obs|serve|trace|faults|docs] [-j N]
+#   scripts/check.sh [default|asan|tsan|obs|serve|trace|faults|overload|docs] [-j N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,9 +44,10 @@ while [ $# -gt 0 ]; do
     serve) mode="serve" ;;
     trace) mode="trace" ;;
     faults) mode="faults" ;;
+    overload) mode="overload" ;;
     docs) mode="docs" ;;
     -j) jobs="$2"; shift ;;
-    *) echo "usage: $0 [default|asan|tsan|obs|serve|trace|faults|docs] [-j N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [default|asan|tsan|obs|serve|trace|faults|overload|docs] [-j N]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -337,6 +343,162 @@ PY
   exit 0
 fi
 
+if [ "$mode" = "overload" ]; then
+  # Overload-control smoke, four acts (DESIGN.md §8, docs/OPERATIONS.md).
+  # CoDel shedding itself is covered deterministically by the injected-clock
+  # suite in tests/test_overload.cpp and by the perf_microbench goodput
+  # comparison; this smoke proves the CLI wiring: rate-limit refusals carry
+  # the full refusal contract over real HTTP, SLO burn drives the brownout
+  # and the alert hook, /statusz and /metrics expose the plane, and the
+  # server recovers and exits cleanly once the abuse stops.
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target agua_cli
+  out="$(mktemp -d)"
+  cleanup() {
+    [ -n "${cli_pid:-}" ] && kill "$cli_pid" 2>/dev/null || true
+    rm -rf "$out"
+  }
+  trap cleanup EXIT
+  # --serve-max-batch 2 + a 5 ms linger means a lone cold request waits the
+  # full linger — a guaranteed miss of the deliberately absurd 1 ms objective
+  # below. Cache hits bypass the batch queue, so repeats stay fast: that is
+  # the recovery traffic. The hook appends "start|end /explain FAST SLOW"
+  # lines to hook.log via the shell.
+  ./build/examples/agua_cli abr --tiny --threads 2 \
+    --serve 0 --serve-linger 60 \
+    --serve-max-batch 2 --serve-batch-linger-us 5000 \
+    --rate-limit 2:2 \
+    --slo '/explain=1ms:99' --slo-hook "echo >>$out/hook.log" \
+    > "$out/cli.log" 2>&1 &
+  cli_pid=$!
+  url=""
+  for _ in $(seq 1 100); do
+    url="$(sed -n 's#^telemetry server listening on \(http://[0-9.:]*\).*#\1#p' \
+           "$out/cli.log" | head -n1)"
+    [ -n "$url" ] && break
+    kill -0 "$cli_pid" 2>/dev/null || { cat "$out/cli.log"; echo "agua_cli died before serving" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$url" ] || { cat "$out/cli.log"; echo "no telemetry listen line" >&2; exit 1; }
+  ready=""
+  for _ in $(seq 1 600); do
+    ready="$(grep -c '^explanation service ready' "$out/cli.log" || true)"
+    [ "$ready" != "0" ] && break
+    kill -0 "$cli_pid" 2>/dev/null || { cat "$out/cli.log"; echo "agua_cli died before the explanation service came up" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ "$ready" != "0" ] || { cat "$out/cli.log"; echo "no 'explanation service ready' line" >&2; exit 1; }
+  echo "overload smoke against $url"
+
+  # Act 1 — per-client rate limiting: one client hammers past 2 rps / burst 2
+  # and must see both admitted traffic and a 429 carrying the full refusal
+  # contract (envelope code, Retry-After, X-Agua-Trace-Id).
+  saw_200=0; saw_429=0
+  for i in $(seq 1 6); do
+    code="$(curl -s -o "$out/rl_body.json" -D "$out/rl_hdr.txt" -w '%{http_code}' \
+            -X POST -H 'X-Agua-Client: rl-smoke' -d '{"row": 0}' "$url/explain")"
+    case "$code" in
+      200) saw_200=1 ;;
+      429) saw_429=1; cp "$out/rl_body.json" "$out/refusal_body.json"
+           cp "$out/rl_hdr.txt" "$out/refusal_hdr.txt" ;;
+      *) echo "rate-limit act: unexpected status $code" >&2; cat "$out/rl_body.json"; exit 1 ;;
+    esac
+  done
+  [ "$saw_200" = 1 ] || { echo "rate limiter admitted nothing" >&2; exit 1; }
+  [ "$saw_429" = 1 ] || { echo "rate limiter never refused a 6-request burst at 2 rps" >&2; exit 1; }
+  python3 - "$out/refusal_body.json" "$out/refusal_hdr.txt" <<'PY'
+import json, sys
+body = json.load(open(sys.argv[1]))
+err = body["error"]
+assert err["code"] == "rate_limited", err
+assert err["retry_after_ms"] >= 1, err
+headers = {}
+for line in open(sys.argv[2]):
+    if ":" in line:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+assert int(headers["retry-after"]) >= 1, headers
+assert len(headers.get("x-agua-trace-id", "")) == 32, headers
+print(f"rate-limit act OK: 429 envelope, Retry-After {headers['retry-after']}s, "
+      f"trace {headers['x-agua-trace-id'][:8]}...")
+PY
+
+  # Act 2 — SLO burn -> brownout: distinct clients (fresh buckets) cycle cold
+  # rows; every cold request misses the 1 ms objective, the burn evaluator
+  # flips, and within a couple of 250 ms evaluation windows responses must
+  # come back degraded.
+  degraded=""
+  for i in $(seq 1 400); do
+    curl -s -o /dev/null -D "$out/burn_hdr.txt" \
+      -X POST -H "X-Agua-Client: burn-$i" -d "{\"row\": $((i % 60))}" \
+      "$url/explain"
+    if grep -qi '^x-agua-degraded:' "$out/burn_hdr.txt"; then
+      degraded="$(grep -i '^x-agua-degraded:' "$out/burn_hdr.txt" | tr -d '\r')"
+      break
+    fi
+  done
+  [ -n "$degraded" ] || { cat "$out/cli.log"; echo "burn never degraded responses" >&2; exit 1; }
+  echo "brownout act OK: $degraded"
+  hook_start=""
+  for _ in $(seq 1 50); do
+    if grep -q '^start /explain' "$out/hook.log" 2>/dev/null; then hook_start=1; break; fi
+    sleep 0.1
+  done
+  [ -n "$hook_start" ] || { cat "$out/hook.log" 2>/dev/null; echo "--slo-hook never fired on burn start" >&2; exit 1; }
+  echo "alert-hook act OK: $(head -n1 "$out/hook.log")"
+
+  # Act 3 — the plane is observable: /statusz renders the overload section,
+  # /metrics exports the refusal counters.
+  curl -fsS "$url/statusz" > "$out/statusz.txt"
+  for needle in 'admission:' 'rate limit:' 'breaker:' 'brownout: tier'; do
+    grep -qF "$needle" "$out/statusz.txt" \
+      || { cat "$out/statusz.txt"; echo "/statusz missing '$needle'" >&2; exit 1; }
+  done
+  curl -fsS "$url/metrics" > "$out/metrics.prom"
+  python3 - "$out/metrics.prom" <<'PY'
+import sys
+limited = tier = None
+for line in open(sys.argv[1]):
+    if line.startswith("agua_overload_rate_limited"):
+        limited = float(line.split()[1])
+    if line.startswith("agua_overload_brownout_tier"):
+        tier = float(line.split()[1])
+assert limited and limited >= 1, f"agua_overload_rate_limited = {limited}"
+assert tier is not None and tier >= 1, f"agua_overload_brownout_tier = {tier}"
+print(f"observability act OK: rate_limited={limited:.0f}, brownout_tier={tier:.0f}")
+PY
+
+  # Act 4 — recovery: cache-hit traffic (fast, under the objective) dilutes
+  # the burn windows; once the burn clears and the brownout's exit streak
+  # completes, responses must lose X-Agua-Degraded and the hook must log the
+  # burn end. Finally the server must still exit 0: without --slo-exit-nonzero
+  # a burned SLO is reported, not fatal.
+  recovered=""
+  for i in $(seq 1 2000); do
+    code="$(curl -s -o /dev/null -D "$out/rec_hdr.txt" -w '%{http_code}' \
+            -X POST -H "X-Agua-Client: recover-$i" -d '{"row": 0}' "$url/explain")"
+    if [ "$code" = 200 ] && ! grep -qi '^x-agua-degraded:' "$out/rec_hdr.txt"; then
+      recovered=1
+      break
+    fi
+  done
+  [ -n "$recovered" ] || { cat "$out/cli.log"; echo "brownout never recovered after the flood stopped" >&2; exit 1; }
+  hook_end=""
+  for _ in $(seq 1 50); do
+    if grep -q '^end /explain' "$out/hook.log"; then hook_end=1; break; fi
+    sleep 0.1
+  done
+  [ -n "$hook_end" ] || { cat "$out/hook.log"; echo "--slo-hook never fired on burn end" >&2; exit 1; }
+  echo "recovery act OK: degradation cleared, burn-end hook fired"
+  curl -fsS -X POST "$url/quitquitquit" > /dev/null \
+    || { echo "quit endpoint unreachable" >&2; exit 1; }
+  wait "$cli_pid"; rc=$?
+  cli_pid=""
+  [ "$rc" -eq 0 ] || { cat "$out/cli.log"; echo "agua_cli exited rc=$rc (want 0: no --slo-exit-nonzero)" >&2; exit 1; }
+  echo "overload mode OK (clean shutdown, rc=0)"
+  exit 0
+fi
+
 if [ "$mode" = "docs" ]; then
   # Documentation lint, two checks. First: every intra-repo markdown link
   # (relative [text](path) target) must point at a file that exists. Second:
@@ -417,7 +579,7 @@ if [ "$preset" = "tsan" ]; then
   # TSan doubles build time and the race surface is the pool + obs layer +
   # fault registry + serving plane; build and run only those suites (the
   # test preset filters to match).
-  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry test_tracing test_fault test_serve
+  cmake --build --preset "$preset" -j "$jobs" --target test_thread_pool test_obs test_events test_telemetry test_tracing test_fault test_serve test_overload
 else
   cmake --build --preset "$preset" -j "$jobs"
 fi

@@ -305,6 +305,7 @@ std::string_view status_reason(int status) {
     case 404: return "Not Found";
     case 408: return "Request Timeout";
     case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
     case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -453,6 +454,9 @@ void HttpServer::dispatch_connection(int fd) {
   rejected_.fetch_add(1, std::memory_order_relaxed);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   HttpResponse shed = HttpResponse::text(503, "server busy\n");
+  // Shed responses must always be retryable-by-contract: Retry-After plus a
+  // joinable trace id, same as the serving plane's overload 503s.
+  shed.extra_headers.emplace_back("Retry-After", "1");
   shed.extra_headers.emplace_back("X-Agua-Trace-Id",
                                   generate_trace_context().trace_id_hex());
   write_all(fd, render_response(shed));
@@ -527,7 +531,9 @@ HttpResponse HttpServer::run_handler(const Handler& handler, const HttpRequest& 
   if (result.wait_for(std::chrono::milliseconds(options_.handler_deadline_ms)) !=
       std::future_status::ready) {
     handler_timeouts_.fetch_add(1, std::memory_order_relaxed);
-    return HttpResponse::text(503, "handler deadline exceeded\n");
+    HttpResponse timeout = HttpResponse::text(503, "handler deadline exceeded\n");
+    timeout.extra_headers.emplace_back("Retry-After", "1");
+    return timeout;
   }
   try {
     return result.get();
@@ -574,6 +580,17 @@ void HttpServer::serve_connection(int fd) {
         parse_traceparent(*traceparent, trace);
       }
       request.trace = trace;
+      // Numeric peer address for per-client accounting (rate limiting). Best
+      // effort: a failed getpeername just leaves the field empty.
+      sockaddr_in peer_addr{};
+      socklen_t peer_len = sizeof peer_addr;
+      char peer_text[INET_ADDRSTRLEN] = {};
+      if (::getpeername(fd, reinterpret_cast<sockaddr*>(&peer_addr), &peer_len) == 0 &&
+          peer_addr.sin_family == AF_INET &&
+          ::inet_ntop(AF_INET, &peer_addr.sin_addr, peer_text, sizeof peer_text) !=
+              nullptr) {
+        request.peer = peer_text;
+      }
       if (const std::string* length = request.header("content-length")) {
         // Body bytes that rode in with the head are already in `raw`; pull
         // the rest under the request's remaining deadline budget.

@@ -83,6 +83,10 @@ struct HttpRequest {
   std::string version;  ///< e.g. "HTTP/1.1"
   std::vector<std::pair<std::string, std::string>> headers;  ///< lower-cased names
   std::string body;     ///< Content-Length bytes (empty when none was sent)
+  /// Client address (numeric IP, no port), for per-client accounting such as
+  /// the serving plane's rate limiter. Empty when the request never crossed
+  /// a socket (tests / benchmarks calling handlers directly).
+  std::string peer;
   /// Request-scoped trace context: parsed from `traceparent` when present
   /// and well-formed, otherwise generated. Always valid() inside a handler.
   TraceContext trace;

@@ -34,6 +34,9 @@ bool fail(std::string* error, const std::string& message) {
   return false;
 }
 
+std::mutex g_burn_hook_mutex;
+std::function<void(const SloSnapshot&)> g_burn_hook;  // guarded by g_burn_hook_mutex
+
 }  // namespace
 
 bool parse_slo_spec(std::string_view text, SloSpec& out, std::string* error) {
@@ -155,6 +158,12 @@ SloSnapshot SloTracker::snapshot_at(std::int64_t ts_ns) {
                        {{"fast_burn", snap.fast.burn_rate},
                         {"slow_burn", snap.slow.burn_rate},
                         {"objective", spec_.objective}});
+    std::function<void(const SloSnapshot&)> hook;
+    {
+      std::lock_guard<std::mutex> lock(g_burn_hook_mutex);
+      hook = g_burn_hook;
+    }
+    if (hook) hook(snap);
   }
   return snap;
 }
@@ -200,6 +209,11 @@ std::vector<SloSnapshot> SloRegistry::snapshot() {
 void SloRegistry::clear_for_testing() {
   std::lock_guard<std::mutex> lock(mutex_);
   trackers_.clear();
+}
+
+void set_burn_hook(std::function<void(const SloSnapshot&)> hook) {
+  std::lock_guard<std::mutex> lock(g_burn_hook_mutex);
+  g_burn_hook = std::move(hook);
 }
 
 void slo_observe(std::string_view endpoint, double latency_s, int status) {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -142,6 +143,14 @@ class SloRegistry {
 /// This is the single call the serving paths make — unconfigured SLOs cost
 /// one registry lookup.
 void slo_observe(std::string_view endpoint, double latency_s, int status);
+
+/// Process-wide burn-transition hook (`agua_cli --slo-hook`): invoked after
+/// any tracker's burning state flips, with the snapshot that flipped it
+/// (`snapshot.burning` distinguishes start from end). Called outside the
+/// tracker's lock, on whatever thread ran the snapshot — the hook must not
+/// block (spawn, enqueue, or detach instead). Set once at startup; an empty
+/// function clears it.
+void set_burn_hook(std::function<void(const SloSnapshot&)> hook);
 
 /// Render the registry as an operator table for /statusz (endpoint,
 /// objective, windows, burn rates, state).

@@ -1,0 +1,422 @@
+#include "serve/overload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/events.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+
+namespace agua::serve {
+
+using obs::detail::json_escape;
+
+net::HttpResponse error_response(int status, std::string_view code,
+                                 const std::string& message,
+                                 std::int64_t retry_after_ms) {
+  std::ostringstream os;
+  os << "{\"error\":{\"code\":\"" << json_escape(std::string(code))
+     << "\",\"message\":\"" << json_escape(message) << "\"";
+  if (retry_after_ms >= 0) os << ",\"retry_after_ms\":" << retry_after_ms;
+  os << "}}\n";
+  net::HttpResponse response = net::HttpResponse::json(status, os.str());
+  if (retry_after_ms >= 0) {
+    // Whole seconds on the wire (RFC 9110 delay-seconds); never advertise 0,
+    // which some clients read as "immediately".
+    const std::int64_t seconds = std::max<std::int64_t>(1, (retry_after_ms + 999) / 1000);
+    response.extra_headers.emplace_back("Retry-After", std::to_string(seconds));
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// CoDelController
+
+CoDelController::Transition CoDelController::on_dequeue(std::int64_t sojourn_us,
+                                                        std::int64_t now_us,
+                                                        bool tighten) {
+  if (!enabled()) return Transition::kNone;
+  last_sojourn_us_.store(sojourn_us, std::memory_order_relaxed);
+  const std::int64_t target = tighten ? std::max<std::int64_t>(1, options_.target_us / 2)
+                                      : options_.target_us;
+  if (sojourn_us < target) {
+    // One fast dequeue proves the standing backlog is gone.
+    first_above_us_.store(-1, std::memory_order_relaxed);
+    if (shedding_.exchange(false, std::memory_order_relaxed)) {
+      return Transition::kShedEnd;
+    }
+    return Transition::kNone;
+  }
+  const std::int64_t first_above = first_above_us_.load(std::memory_order_relaxed);
+  if (first_above < 0) {
+    first_above_us_.store(now_us, std::memory_order_relaxed);
+    return Transition::kNone;
+  }
+  if (now_us - first_above >= options_.interval_us &&
+      !shedding_.exchange(true, std::memory_order_relaxed)) {
+    return Transition::kShedStart;
+  }
+  return Transition::kNone;
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucketLimiter
+
+TokenBucketLimiter::TokenBucketLimiter(RateLimitOptions options) : options_(options) {
+  burst_ = options_.burst > 0.0 ? options_.burst : std::max(1.0, options_.rate_per_s);
+  if (options_.max_clients == 0) options_.max_clients = 1;
+}
+
+TokenBucketLimiter::Decision TokenBucketLimiter::allow(std::string_view client,
+                                                       std::int64_t now_ns) {
+  if (!enabled()) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(std::string(client));
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= options_.max_clients) {
+      // Bounded table: forget the least-recently-seen client. Its next
+      // request starts a fresh (full) bucket — brief over-admission beats
+      // unbounded memory.
+      const std::string& victim = lru_.back();
+      buckets_.erase(victim);
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.push_front(std::string(client));
+    Bucket bucket;
+    bucket.tokens = burst_;
+    bucket.refilled_ns = now_ns;
+    bucket.lru = lru_.begin();
+    it = buckets_.emplace(std::string(client), bucket).first;
+  } else if (it->second.lru != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+  }
+  Bucket& bucket = it->second;
+  const double elapsed_s =
+      static_cast<double>(std::max<std::int64_t>(0, now_ns - bucket.refilled_ns)) * 1e-9;
+  bucket.tokens = std::min(burst_, bucket.tokens + elapsed_s * options_.rate_per_s);
+  bucket.refilled_ns = now_ns;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    ++allowed_;
+    return {};
+  }
+  ++limited_;
+  Decision decision;
+  decision.allowed = false;
+  decision.retry_after_ms = static_cast<std::int64_t>(
+      std::ceil((1.0 - bucket.tokens) / options_.rate_per_s * 1000.0));
+  decision.retry_after_ms = std::max<std::int64_t>(1, decision.retry_after_ms);
+  return decision;
+}
+
+TokenBucketLimiter::Stats TokenBucketLimiter::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {buckets_.size(), allowed_, limited_, evictions_};
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  backoff_ms_ = options_.backoff_ms;
+}
+
+CircuitBreaker::Decision CircuitBreaker::admit(std::int64_t now_ns) {
+  if (!enabled()) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kOpen) {
+    if (now_ns < open_until_ns_) {
+      ++rejected_;
+      Decision decision;
+      decision.allowed = false;
+      decision.retry_after_ms =
+          std::max<std::int64_t>(1, (open_until_ns_ - now_ns) / 1'000'000);
+      return decision;
+    }
+    state_ = State::kHalfOpen;
+    probes_in_flight_ = 0;
+  }
+  if (state_ == State::kHalfOpen) {
+    if (probes_in_flight_ >= options_.half_open_probes) {
+      // Probe quota in flight; everyone else keeps backing off.
+      ++rejected_;
+      Decision decision;
+      decision.allowed = false;
+      decision.retry_after_ms = std::max<std::int64_t>(1, backoff_ms_);
+      return decision;
+    }
+    ++probes_in_flight_;
+    Decision decision;
+    decision.probe = true;
+    return decision;
+  }
+  return {};
+}
+
+CircuitBreaker::Transition CircuitBreaker::record_success(std::int64_t) {
+  if (!enabled()) return Transition::kNone;
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    // The probe proved the fan-out healthy; close fully and forget the
+    // accumulated backoff.
+    state_ = State::kClosed;
+    probes_in_flight_ = 0;
+    backoff_ms_ = options_.backoff_ms;
+    return Transition::kClosed;
+  }
+  return Transition::kNone;
+}
+
+CircuitBreaker::Transition CircuitBreaker::record_failure(std::int64_t now_ns) {
+  if (!enabled()) return Transition::kNone;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kOpen;
+    probes_in_flight_ = 0;
+    backoff_ms_ = std::min(options_.max_backoff_ms, backoff_ms_ * 2);
+    open_until_ns_ = now_ns + backoff_ms_ * 1'000'000;
+    consecutive_failures_ = 0;
+    ++opens_;
+    return Transition::kOpened;
+  }
+  if (state_ == State::kClosed) {
+    if (++consecutive_failures_ >= options_.failure_threshold) {
+      state_ = State::kOpen;
+      open_until_ns_ = now_ns + backoff_ms_ * 1'000'000;
+      consecutive_failures_ = 0;
+      ++opens_;
+      return Transition::kOpened;
+    }
+  }
+  return Transition::kNone;
+}
+
+void CircuitBreaker::abort_probe() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen && probes_in_flight_ > 0) --probes_in_flight_;
+}
+
+CircuitBreaker::State CircuitBreaker::state_at(std::int64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kOpen && now_ns >= open_until_ns_) return State::kHalfOpen;
+  return state_;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {state_, consecutive_failures_, backoff_ms_, opens_, rejected_};
+}
+
+// ---------------------------------------------------------------------------
+// BrownoutController
+
+BrownoutController::Result BrownoutController::evaluate(bool burning) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Result result;
+  result.previous_tier = tier_.load(std::memory_order_relaxed);
+  result.tier = result.previous_tier;
+  if (!options_.enabled) return result;
+  if (burning) {
+    clear_streak_ = 0;
+    if (++burn_streak_ >= options_.enter_after && result.tier < options_.max_tier) {
+      ++result.tier;
+      burn_streak_ = 0;
+    }
+  } else {
+    burn_streak_ = 0;
+    if (++clear_streak_ >= options_.exit_after && result.tier > 0) {
+      --result.tier;
+      clear_streak_ = 0;
+    }
+  }
+  tier_.store(result.tier, std::memory_order_relaxed);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// OverloadControl
+
+namespace {
+
+const char* breaker_state_name(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace
+
+OverloadControl::OverloadControl(OverloadOptions options)
+    : options_(options),
+      codel_(options.codel),
+      limiter_(options.rate_limit),
+      breaker_(options.breaker),
+      brownout_(options.brownout) {}
+
+std::optional<net::HttpResponse> OverloadControl::check_rate_limit(
+    const net::HttpRequest& request, std::int64_t now_ns) {
+  if (!limiter_.enabled()) return std::nullopt;
+  std::string_view client = "unknown";
+  if (const std::string* header = request.header("x-agua-client")) {
+    client = *header;
+  } else if (!request.peer.empty()) {
+    client = request.peer;
+  }
+  const TokenBucketLimiter::Decision decision = limiter_.allow(client, now_ns);
+  if (decision.allowed) return std::nullopt;
+  obs::MetricsRegistry::instance().counter("agua.overload.rate_limited").add(1);
+  return error_response(429, "rate_limited",
+                        "client '" + std::string(client) + "' is over its request rate",
+                        decision.retry_after_ms);
+}
+
+std::optional<net::HttpResponse> OverloadControl::check_admission(std::int64_t,
+                                                                  bool queue_empty) {
+  if (!codel_.should_shed()) return std::nullopt;
+  if (queue_empty) {
+    // The backlog drained but no dequeue has observed that yet (an empty
+    // queue produces no dequeues). Admit this request as a drain probe; its
+    // own dequeue will see a near-zero sojourn and close the shed window.
+    return std::nullopt;
+  }
+  obs::MetricsRegistry::instance().counter("agua.overload.shed").add(1);
+  return error_response(503, "overload_shed",
+                        "admission queue has a standing backlog; backing off",
+                        codel_.retry_after_ms());
+}
+
+std::optional<net::HttpResponse> OverloadControl::check_breaker(std::int64_t now_ns,
+                                                                bool& probe) {
+  probe = false;
+  if (!breaker_.enabled()) return std::nullopt;
+  const CircuitBreaker::Decision decision = breaker_.admit(now_ns);
+  if (decision.allowed) {
+    probe = decision.probe;
+    return std::nullopt;
+  }
+  obs::MetricsRegistry::instance().counter("agua.overload.breaker_rejected").add(1);
+  return error_response(503, "breaker_open",
+                        "explanation backend circuit breaker is open",
+                        decision.retry_after_ms);
+}
+
+void OverloadControl::on_dequeue(std::int64_t sojourn_us, std::int64_t now_us) {
+  obs::MetricsRegistry::instance().histogram("agua.overload.sojourn")
+      .record(static_cast<double>(sojourn_us) * 1e-6);
+  const CoDelController::Transition transition =
+      codel_.on_dequeue(sojourn_us, now_us, brownout_.tier() >= 2);
+  if (transition == CoDelController::Transition::kShedStart) {
+    obs::MetricsRegistry::instance().gauge("agua.overload.shedding").set(1.0);
+    obs::event_log().append("overload.shed",
+                            {{"sojourn_us", static_cast<double>(sojourn_us)}});
+  } else if (transition == CoDelController::Transition::kShedEnd) {
+    obs::MetricsRegistry::instance().gauge("agua.overload.shedding").set(0.0);
+    obs::event_log().append("overload.recovered",
+                            {{"sojourn_us", static_cast<double>(sojourn_us)}});
+  }
+}
+
+void OverloadControl::record_outcome(bool failure, std::int64_t now_ns) {
+  const CircuitBreaker::Transition transition =
+      failure ? breaker_.record_failure(now_ns) : breaker_.record_success(now_ns);
+  if (transition == CircuitBreaker::Transition::kOpened) {
+    const CircuitBreaker::Stats stats = breaker_.stats();
+    obs::MetricsRegistry::instance().gauge("agua.overload.breaker_open").set(1.0);
+    obs::event_log().append("breaker.open",
+                            {{"backoff_ms", static_cast<double>(stats.backoff_ms)},
+                             {"opens", static_cast<double>(stats.opens)}});
+  } else if (transition == CircuitBreaker::Transition::kClosed) {
+    obs::MetricsRegistry::instance().gauge("agua.overload.breaker_open").set(0.0);
+    obs::event_log().append("breaker.close", {});
+  }
+}
+
+void OverloadControl::maybe_evaluate_brownout(std::int64_t now_ns) {
+  if (!options_.brownout.enabled) return;
+  const std::int64_t interval_ns = options_.brownout.eval_interval_ms * 1'000'000;
+  std::int64_t last = last_brownout_eval_ns_.load(std::memory_order_relaxed);
+  if (now_ns - last < interval_ns) return;
+  if (!last_brownout_eval_ns_.compare_exchange_strong(last, now_ns,
+                                                      std::memory_order_relaxed)) {
+    return;  // another handler is sampling this interval
+  }
+  obs::SloTracker* tracker = obs::SloRegistry::instance().find("/explain");
+  if (tracker == nullptr) return;
+  evaluate_brownout(tracker->snapshot().burning);
+}
+
+void OverloadControl::evaluate_brownout(bool burning) {
+  const BrownoutController::Result result = brownout_.evaluate(burning);
+  if (!result.changed()) return;
+  obs::MetricsRegistry::instance().gauge("agua.overload.brownout_tier")
+      .set(static_cast<double>(result.tier));
+  obs::event_log().append(
+      result.tier > result.previous_tier ? "brownout.enter" : "brownout.exit",
+      {{"tier", static_cast<double>(result.tier)},
+       {"previous_tier", static_cast<double>(result.previous_tier)}});
+}
+
+std::size_t OverloadControl::effective_top_k(std::size_t requested) const {
+  if (brownout_.tier() < 1) return requested;
+  return std::min(requested, options_.brownout.degraded_top_k);
+}
+
+std::size_t OverloadControl::effective_queue_capacity(std::size_t configured) const {
+  if (brownout_.tier() < 2) return configured;
+  return std::max<std::size_t>(1, configured / 2);
+}
+
+std::string OverloadControl::status_section() const {
+  std::ostringstream os;
+  if (codel_.enabled()) {
+    os << "admission: " << (codel_.should_shed() ? "SHEDDING" : "ok")
+       << ", last sojourn " << codel_.last_sojourn_us() << " us, target "
+       << codel_.options().target_us << " us / interval "
+       << codel_.options().interval_us << " us\n";
+  } else {
+    os << "admission: codel disabled\n";
+  }
+  if (limiter_.enabled()) {
+    const TokenBucketLimiter::Stats limiter = limiter_.stats();
+    os << "rate limit: " << limiter_.options().rate_per_s << "/s per client, "
+       << limiter.clients << "/" << limiter_.options().max_clients << " clients, allowed "
+       << limiter.allowed << ", limited " << limiter.limited << ", evicted "
+       << limiter.evictions << "\n";
+  } else {
+    os << "rate limit: disabled\n";
+  }
+  if (breaker_.enabled()) {
+    const CircuitBreaker::Stats breaker = breaker_.stats();
+    os << "breaker: " << breaker_state_name(breaker.state) << ", consecutive failures "
+       << breaker.consecutive_failures << "/" << breaker_.options().failure_threshold
+       << ", backoff " << breaker.backoff_ms << " ms, opens " << breaker.opens
+       << ", rejected " << breaker.rejected << "\n";
+  } else {
+    os << "breaker: disabled\n";
+  }
+  const int tier = brownout_.tier();
+  if (options_.brownout.enabled) {
+    os << "brownout: tier " << tier << "/" << options_.brownout.max_tier;
+    if (tier >= 1) {
+      os << " (top_k capped at " << options_.brownout.degraded_top_k
+         << ", stale cache hits allowed" << (tier >= 2 ? ", admission tightened" : "")
+         << ")";
+    }
+    os << "\n";
+  } else {
+    os << "brownout: disabled\n";
+  }
+  os << "deadline margin: " << options_.deadline_margin_us << " us\n";
+  return os.str();
+}
+
+}  // namespace agua::serve

@@ -1,0 +1,339 @@
+// Overload-control plane for the explanation service (DESIGN.md §8): four
+// small state machines that together keep /explain useful when offered load
+// exceeds capacity, instead of letting the admission queue fill and every
+// late request time out.
+//
+//   CoDelController      adaptive admission: watch the sojourn time of
+//                        requests the dispatcher dequeues; when sojourn has
+//                        stayed above a target for a full interval the queue
+//                        is standing (not bursting), so shed new arrivals
+//                        with 503 + Retry-After until a dequeue sees the
+//                        queue drained below target again. Sheds the newest
+//                        work — the requests most likely to miss their
+//                        deadlines anyway — and keeps the pipe short.
+//   TokenBucketLimiter   per-client fairness: one token bucket per client
+//                        key (X-Agua-Client header, else peer address) so a
+//                        single flooding client gets 429 + Retry-After
+//                        before it can crowd out everyone else. The client
+//                        table is bounded; the least-recently-seen client is
+//                        evicted when it overflows.
+//   CircuitBreaker       fail fast when the model fan-out itself is sick:
+//                        consecutive handler failures/timeouts open the
+//                        breaker (everything sheds instantly), half-open
+//                        probes test recovery after an exponentially
+//                        backed-off cool-down, one probe success closes it.
+//   BrownoutController   SLO-driven degradation tiers: consecutive burning
+//                        snapshots from obs/slo escalate the tier (shrink
+//                        top_k, allow slightly-stale cache hits, tighten
+//                        admission); consecutive clear snapshots — more of
+//                        them, hysteresis — step back down.
+//
+// All four take explicit timestamps (*_at-style parameters) so unit tests
+// replay hours of traffic in microseconds with no sleeps; production callers
+// pass obs::now_ns() / steady_clock readings. OverloadControl bundles them,
+// owns the agua.overload.* metrics and overload.* flight-recorder events,
+// and renders the /statusz "overload" section.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "net/http.hpp"
+
+namespace agua::serve {
+
+/// The serving plane's uniform error shape (docs/API.md "Errors"): every
+/// 4xx/5xx JSON body is `{"error":{"code":...,"message":...}}`, with
+/// `retry_after_ms` inside the envelope and a whole-second `Retry-After`
+/// header (ceil, min 1 s) whenever `retry_after_ms` >= 0.
+net::HttpResponse error_response(int status, std::string_view code,
+                                 const std::string& message,
+                                 std::int64_t retry_after_ms = -1);
+
+// ---------------------------------------------------------------------------
+// CoDel-style adaptive admission
+
+struct CoDelOptions {
+  std::int64_t target_us = 25'000;    ///< acceptable standing sojourn; 0 disables
+  std::int64_t interval_us = 100'000; ///< sojourn must exceed target this long
+};
+
+/// Controlled-delay admission: the dispatcher feeds every dequeue's sojourn
+/// (time spent waiting in the admission queue); handlers ask should_shed()
+/// on arrival. Single writer (the dispatcher) + lock-free readers, so the
+/// hot-path check is one relaxed atomic load.
+class CoDelController {
+ public:
+  explicit CoDelController(CoDelOptions options = {}) : options_(options) {}
+
+  bool enabled() const { return options_.target_us > 0 && options_.interval_us > 0; }
+
+  /// State change reported by on_dequeue, for event emission by the caller.
+  enum class Transition { kNone, kShedStart, kShedEnd };
+
+  /// Record one dequeue. `tighten` (brownout tier >= 2) halves the target.
+  /// Dispatcher thread only.
+  Transition on_dequeue(std::int64_t sojourn_us, std::int64_t now_us, bool tighten = false);
+
+  /// Cheap admission check: true while the queue has a standing backlog.
+  bool should_shed() const { return shedding_.load(std::memory_order_relaxed); }
+
+  /// Suggested client back-off when shedding: one interval.
+  std::int64_t retry_after_ms() const { return options_.interval_us / 1000 + 1; }
+
+  std::int64_t last_sojourn_us() const {
+    return last_sojourn_us_.load(std::memory_order_relaxed);
+  }
+  const CoDelOptions& options() const { return options_; }
+
+ private:
+  CoDelOptions options_;
+  std::atomic<bool> shedding_{false};
+  std::atomic<std::int64_t> last_sojourn_us_{0};
+  /// Written by on_dequeue only (normally the dispatcher; tests drive it
+  /// directly too, hence atomic), relaxed order throughout.
+  std::atomic<std::int64_t> first_above_us_{-1};
+};
+
+// ---------------------------------------------------------------------------
+// Per-client token buckets
+
+struct RateLimitOptions {
+  double rate_per_s = 0.0;       ///< sustained tokens/s per client; 0 disables
+  double burst = 0.0;            ///< bucket depth; <= 0 → max(1, rate_per_s)
+  std::size_t max_clients = 1024; ///< bounded table; LRU client evicted beyond
+};
+
+/// Classic token bucket per client key, refilled lazily on access. One mutex
+/// around an unordered_map + LRU list: the serving plane's request rate is
+/// thousands/s, far below contention territory, and bounded memory matters
+/// more here than lock-free cleverness.
+class TokenBucketLimiter {
+ public:
+  struct Decision {
+    bool allowed = true;
+    std::int64_t retry_after_ms = 0;  ///< when !allowed: time until one token
+  };
+  struct Stats {
+    std::size_t clients = 0;
+    std::uint64_t allowed = 0;
+    std::uint64_t limited = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  explicit TokenBucketLimiter(RateLimitOptions options = {});
+
+  bool enabled() const { return options_.rate_per_s > 0.0; }
+
+  /// Charge one token to `client` at time `now_ns`.
+  Decision allow(std::string_view client, std::int64_t now_ns);
+
+  Stats stats() const;
+  const RateLimitOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::int64_t refilled_ns = 0;
+    std::list<std::string>::iterator lru;  ///< position in lru_ (front = newest)
+  };
+
+  RateLimitOptions options_;
+  double burst_ = 1.0;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Bucket> buckets_;  // guarded by mutex_
+  std::list<std::string> lru_;                       // guarded by mutex_
+  std::uint64_t allowed_ = 0;                        // guarded by mutex_
+  std::uint64_t limited_ = 0;                        // guarded by mutex_
+  std::uint64_t evictions_ = 0;                      // guarded by mutex_
+};
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+
+struct BreakerOptions {
+  int failure_threshold = 5;          ///< consecutive failures to open; 0 disables
+  std::int64_t backoff_ms = 1000;     ///< first open duration; doubles per reopen
+  std::int64_t max_backoff_ms = 30'000;
+  int half_open_probes = 1;           ///< concurrent probes allowed half-open
+};
+
+/// closed → (threshold consecutive failures) → open → (backoff elapses) →
+/// half-open → one probe success closes / one probe failure reopens with the
+/// backoff doubled (capped). Outcomes are reported by the dispatcher after
+/// the fan-out; admission calls admit() first and abort_probe() if a request
+/// that was admitted as a probe dies before reaching the fan-out.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  enum class Transition { kNone, kOpened, kClosed };
+  struct Decision {
+    bool allowed = true;
+    bool probe = false;               ///< caller must resolve or abort_probe()
+    std::int64_t retry_after_ms = 0;  ///< when !allowed: remaining open time
+  };
+  struct Stats {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    std::int64_t backoff_ms = 0;
+    std::uint64_t opens = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  bool enabled() const { return options_.failure_threshold > 0; }
+
+  Decision admit(std::int64_t now_ns);
+  Transition record_success(std::int64_t now_ns);
+  Transition record_failure(std::int64_t now_ns);
+  /// Release a probe slot granted by admit() when the request never reached
+  /// the fan-out (e.g. the queue was full).
+  void abort_probe();
+
+  State state_at(std::int64_t now_ns) const;
+  Stats stats() const;
+  const BreakerOptions& options() const { return options_; }
+
+ private:
+  BreakerOptions options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;        // guarded by mutex_
+  int consecutive_failures_ = 0;        // guarded by mutex_
+  int probes_in_flight_ = 0;            // guarded by mutex_
+  std::int64_t backoff_ms_ = 0;         // guarded by mutex_
+  std::int64_t open_until_ns_ = 0;      // guarded by mutex_
+  std::uint64_t opens_ = 0;             // guarded by mutex_
+  std::uint64_t rejected_ = 0;          // guarded by mutex_
+};
+
+// ---------------------------------------------------------------------------
+// SLO-driven brownout
+
+struct BrownoutOptions {
+  bool enabled = true;
+  int max_tier = 2;
+  int enter_after = 2;  ///< consecutive burning evaluations to go up one tier
+  int exit_after = 4;   ///< consecutive clear evaluations to come down one (hysteresis)
+  std::size_t degraded_top_k = 3;    ///< top_k cap while tier >= 1
+  std::int64_t eval_interval_ms = 250;  ///< min spacing of burn-state samples
+};
+
+/// Tier ladder driven by burn-state samples. Tier 0 = healthy. Tier 1:
+/// top_k capped and slightly-stale (previous model fingerprint) cache hits
+/// allowed. Tier 2: additionally halve the admission queue and tighten the
+/// CoDel target. Escalation needs `enter_after` consecutive burning samples,
+/// de-escalation `exit_after` consecutive clear ones — crossing a burn
+/// boundary repeatedly cannot make the tier oscillate per sample.
+class BrownoutController {
+ public:
+  struct Result {
+    int tier = 0;
+    int previous_tier = 0;
+    bool changed() const { return tier != previous_tier; }
+  };
+
+  explicit BrownoutController(BrownoutOptions options = {}) : options_(options) {}
+
+  /// Feed one burn-state sample; returns the tier before/after.
+  Result evaluate(bool burning);
+
+  int tier() const { return tier_.load(std::memory_order_relaxed); }
+  const BrownoutOptions& options() const { return options_; }
+
+ private:
+  BrownoutOptions options_;
+  std::atomic<int> tier_{0};
+  std::mutex mutex_;
+  int burn_streak_ = 0;   // guarded by mutex_
+  int clear_streak_ = 0;  // guarded by mutex_
+};
+
+// ---------------------------------------------------------------------------
+// Bundle
+
+struct OverloadOptions {
+  CoDelOptions codel;
+  RateLimitOptions rate_limit;
+  BreakerOptions breaker;
+  BrownoutOptions brownout;
+  /// Batch-aware deadline scheduling: close a lingering batch early when the
+  /// oldest member's deadline is within this margin, so the batch completes
+  /// before the member 408s. 0 disables.
+  std::int64_t deadline_margin_us = 20'000;
+};
+
+/// Owns the four controllers plus their metrics/events, and implements the
+/// admission-path checks the ExplainService calls in order:
+/// check_rate_limit → (parse/validate/cache in the service) →
+/// check_admission → check_breaker. Each check returns a ready-to-send
+/// error response when the request is refused, or nullopt to continue.
+class OverloadControl {
+ public:
+  explicit OverloadControl(OverloadOptions options = {});
+
+  /// 429 for over-rate clients. Key = X-Agua-Client header, else the peer
+  /// address, else "unknown" (direct explain_http calls).
+  std::optional<net::HttpResponse> check_rate_limit(const net::HttpRequest& request,
+                                                    std::int64_t now_ns);
+
+  /// 503 `overload_shed` while CoDel reports a standing backlog. Pass
+  /// `queue_empty` so a fully-drained queue admits one request as a drain
+  /// probe even while shedding: CoDel only clears on a below-target dequeue,
+  /// and an empty queue produces no dequeues — without the probe the shed
+  /// state would latch on after the backlog it detected is long gone.
+  std::optional<net::HttpResponse> check_admission(std::int64_t now_ns,
+                                                   bool queue_empty = false);
+
+  /// 503 `breaker_open` while the fan-out is presumed sick. On admission,
+  /// `probe` tells the caller this request is a half-open probe (resolve it
+  /// via record_outcome, or abort via breaker().abort_probe()).
+  std::optional<net::HttpResponse> check_breaker(std::int64_t now_ns, bool& probe);
+
+  /// Dispatcher feed: sojourn accounting + shed-state transitions/events.
+  void on_dequeue(std::int64_t sojourn_us, std::int64_t now_us);
+
+  /// Batch outcome → breaker bookkeeping. failure = 5xx or abandoned (408).
+  void record_outcome(bool failure, std::int64_t now_ns);
+
+  /// Sample the "/explain" SLO burn state (at most every eval_interval_ms)
+  /// and step the brownout ladder. Called from the admission path; cheap
+  /// when gated out.
+  void maybe_evaluate_brownout(std::int64_t now_ns);
+  /// Feed one explicit burn-state sample (tests, and the gated sampler).
+  void evaluate_brownout(bool burning);
+
+  int brownout_tier() const { return brownout_.tier(); }
+  /// top_k cap while degraded (tier >= 1).
+  std::size_t effective_top_k(std::size_t requested) const;
+  /// Queue bound tightening at tier >= 2 (half, min 1).
+  std::size_t effective_queue_capacity(std::size_t configured) const;
+  /// Stale-fingerprint cache hits allowed while tier >= 1.
+  bool stale_allowed() const { return brownout_.tier() >= 1; }
+
+  CoDelController& codel() { return codel_; }
+  TokenBucketLimiter& limiter() { return limiter_; }
+  CircuitBreaker& breaker() { return breaker_; }
+  BrownoutController& brownout() { return brownout_; }
+  const OverloadOptions& options() const { return options_; }
+
+  /// Operator text for the /statusz "overload" section.
+  std::string status_section() const;
+
+ private:
+  OverloadOptions options_;
+  CoDelController codel_;
+  TokenBucketLimiter limiter_;
+  CircuitBreaker breaker_;
+  BrownoutController brownout_;
+  std::atomic<std::int64_t> last_brownout_eval_ns_{0};
+};
+
+}  // namespace agua::serve

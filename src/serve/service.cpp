@@ -21,9 +21,9 @@ using obs::detail::json_number;
 
 constexpr std::size_t kFactual = static_cast<std::size_t>(-1);
 
-net::HttpResponse error_json(int status, const std::string& message) {
-  return net::HttpResponse::json(status,
-                                 "{\"error\":\"" + json_escape(message) + "\"}\n");
+std::int64_t steady_us(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(tp.time_since_epoch())
+      .count();
 }
 
 /// Non-negative integer from a JSON number, rejecting fractions and
@@ -81,7 +81,8 @@ std::string render_explanation(const core::Explanation& exp, const ModelInfo& in
 
 ExplainService::ExplainService(ExplainServiceOptions options)
     : options_(options),
-      cache_(options.cache_capacity, options.cache_shards) {}
+      cache_(options.cache_capacity, options.cache_shards),
+      overload_(options.overload) {}
 
 ExplainService::~ExplainService() { stop(); }
 
@@ -94,6 +95,11 @@ ModelInfo ExplainService::install_model(core::AguaModel model, std::string sourc
   {
     std::lock_guard<std::mutex> lock(model_mutex_);
     entry->info.generation = next_generation_++;
+    // Remember the outgoing fingerprint: during a brownout the service may
+    // serve its still-cached (slightly stale) renderings rather than recompute.
+    if (model_ && model_->info.fingerprint != entry->info.fingerprint) {
+      previous_fingerprint_ = model_->info.fingerprint;
+    }
     model_ = entry;
   }
   obs::MetricsRegistry::instance().gauge("agua.serve.model.generation")
@@ -182,7 +188,8 @@ void ExplainService::stop() {
     leftovers.swap(queue_);
   }
   for (const std::shared_ptr<Pending>& pending : leftovers) {
-    fulfill(*pending, error_json(503, "serving plane is shutting down"));
+    fulfill(*pending, error_response(503, "shutting_down",
+                                     "serving plane is shutting down"));
   }
 }
 
@@ -222,89 +229,155 @@ net::HttpResponse ExplainService::handle_explain_inner(const net::HttpRequest& r
                                                        const obs::TraceId& trace) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::instance();
   metrics.counter("agua.serve.requests").add(1);
+  const std::int64_t admit_ns = obs::now_ns();
+  overload_.maybe_evaluate_brownout(admit_ns);
+
+  // Rate limiting runs before any parsing: a flooding client must not buy
+  // JSON parsing with requests that will be refused anyway.
+  if (auto limited = overload_.check_rate_limit(request, admit_ns)) {
+    return std::move(*limited);
+  }
 
   const JsonParseResult parsed = json_parse(request.body);
-  if (!parsed.ok) return error_json(400, "malformed JSON: " + parsed.error);
-  if (!parsed.value.is_object()) return error_json(400, "request body must be a JSON object");
+  if (!parsed.ok) {
+    return error_response(400, "bad_request", "malformed JSON: " + parsed.error);
+  }
+  if (!parsed.value.is_object()) {
+    return error_response(400, "bad_request", "request body must be a JSON object");
+  }
 
   // Snapshot the model + rows once; everything below works on this snapshot
   // even if a hot-swap lands mid-request.
   std::shared_ptr<ModelEntry> entry;
   std::shared_ptr<const std::vector<std::vector<double>>> rows;
+  std::string previous_fingerprint;
   {
     std::lock_guard<std::mutex> lock(model_mutex_);
     entry = model_;
     rows = rows_;
+    previous_fingerprint = previous_fingerprint_;
   }
-  if (!entry) return error_json(503, "no model installed");
+  if (!entry) return error_response(503, "no_model", "no model installed");
   const std::size_t C = entry->model.num_concepts();
 
   // Resolve the input: inline features xor a datastore row id.
   const JsonValue* input = parsed.value.find("input");
   const JsonValue* row = parsed.value.find("row");
   if ((input == nullptr) == (row == nullptr)) {
-    return error_json(400, "provide exactly one of \"input\" or \"row\"");
+    return error_response(400, "bad_request",
+                          "provide exactly one of \"input\" or \"row\"");
   }
   std::vector<double> embedding;
   if (input != nullptr) {
-    if (!input->is_array()) return error_json(400, "\"input\" must be an array of numbers");
+    if (!input->is_array()) {
+      return error_response(400, "bad_request", "\"input\" must be an array of numbers");
+    }
     embedding.reserve(input->array.size());
     for (const JsonValue& v : input->array) {
-      if (!v.is_number()) return error_json(400, "\"input\" must be an array of numbers");
+      if (!v.is_number()) {
+        return error_response(400, "bad_request",
+                              "\"input\" must be an array of numbers");
+      }
       embedding.push_back(v.number);
     }
   } else {
     std::size_t index = 0;
-    if (!to_index(*row, index)) return error_json(400, "\"row\" must be a non-negative integer");
-    if (!rows || index >= rows->size()) return error_json(404, "row id out of range");
+    if (!to_index(*row, index)) {
+      return error_response(400, "bad_request", "\"row\" must be a non-negative integer");
+    }
+    if (!rows || index >= rows->size()) {
+      return error_response(404, "not_found", "row id out of range");
+    }
     embedding = (*rows)[index];
   }
   if (embedding.size() != entry->embedding_dim) {
-    return error_json(400, "input has " + std::to_string(embedding.size()) +
-                               " features, model expects " +
-                               std::to_string(entry->embedding_dim));
+    return error_response(400, "bad_request",
+                          "input has " + std::to_string(embedding.size()) +
+                              " features, model expects " +
+                              std::to_string(entry->embedding_dim));
   }
 
   // Factual by default; "output_class" asks the counterfactual question.
   std::size_t output_class = kFactual;
   if (const JsonValue* target = parsed.value.find("output_class")) {
     if (!to_index(*target, output_class)) {
-      return error_json(400, "\"output_class\" must be a non-negative integer");
+      return error_response(400, "bad_request",
+                            "\"output_class\" must be a non-negative integer");
     }
     if (output_class >= entry->model.num_outputs()) {
-      return error_json(400, "\"output_class\" out of range (model has " +
-                                 std::to_string(entry->model.num_outputs()) +
-                                 " outputs)");
+      return error_response(400, "bad_request",
+                            "\"output_class\" out of range (model has " +
+                                std::to_string(entry->model.num_outputs()) +
+                                " outputs)");
     }
   }
   std::size_t top_k = 5;
   if (const JsonValue* k = parsed.value.find("top_k")) {
     if (!to_index(*k, top_k) || top_k == 0) {
-      return error_json(400, "\"top_k\" must be a positive integer");
+      return error_response(400, "bad_request", "\"top_k\" must be a positive integer");
     }
     if (top_k > C) top_k = C;
   }
+  // Brownout tier >= 1 shrinks the answer to shed rendering + fan-out work;
+  // the response says so via X-Agua-Degraded.
+  const int tier = overload_.brownout_tier();
+  if (tier >= 1) top_k = overload_.effective_top_k(top_k);
 
-  // Cache key: exact bytes of everything the rendered body depends on.
-  std::string key;
-  key.reserve(entry->info.fingerprint.size() + 32 + embedding.size() * sizeof(double));
-  key += entry->info.fingerprint;
-  key += '\x1f';
-  key += output_class == kFactual ? std::string("f") : "c" + std::to_string(output_class);
-  key += '\x1f';
-  key += std::to_string(top_k);
-  key += '\x1f';
-  key.append(reinterpret_cast<const char*>(embedding.data()),
-             embedding.size() * sizeof(double));
+  // Cache key: exact bytes of everything the rendered body depends on. The
+  // fingerprint-free suffix is kept separate so a brownout can re-probe the
+  // cache under the pre-swap model's fingerprint.
+  std::string suffix;
+  suffix.reserve(32 + embedding.size() * sizeof(double));
+  suffix += '\x1f';
+  suffix += output_class == kFactual ? std::string("f") : "c" + std::to_string(output_class);
+  suffix += '\x1f';
+  suffix += std::to_string(top_k);
+  suffix += '\x1f';
+  suffix.append(reinterpret_cast<const char*>(embedding.data()),
+                embedding.size() * sizeof(double));
+  std::string key = entry->info.fingerprint + suffix;
 
   std::string cached_body;
   if (cache_.get(key, cached_body)) {
     metrics.counter("agua.serve.cache.hits").add(1);
     net::HttpResponse response = net::HttpResponse::json(200, std::move(cached_body));
     response.extra_headers.emplace_back("X-Agua-Cache", "hit");
+    if (tier >= 1) {
+      response.extra_headers.emplace_back("X-Agua-Degraded",
+                                          "brownout-tier" + std::to_string(tier));
+    }
+    return response;
+  }
+  if (tier >= 1 && overload_.stale_allowed() && !previous_fingerprint.empty() &&
+      cache_.get(previous_fingerprint + suffix, cached_body)) {
+    // Degraded mode: an answer rendered by the pre-swap model is slightly
+    // stale but well-formed, and serving it sheds a whole fan-out of work.
+    metrics.counter("agua.serve.cache.hits").add(1);
+    metrics.counter("agua.overload.stale_served").add(1);
+    net::HttpResponse response = net::HttpResponse::json(200, std::move(cached_body));
+    response.extra_headers.emplace_back("X-Agua-Cache", "hit");
+    response.extra_headers.emplace_back(
+        "X-Agua-Degraded", "brownout-tier" + std::to_string(tier) + ",stale");
     return response;
   }
   metrics.counter("agua.serve.cache.misses").add(1);
+
+  // Overload gates, cheapest rejection first: CoDel shed while the queue has
+  // a standing backlog, then the breaker while the fan-out is presumed sick.
+  // Both run after the cache probes on purpose — cached answers stay
+  // servable however overloaded the batcher is.
+  bool queue_empty = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_empty = queue_.empty();
+  }
+  if (auto shed = overload_.check_admission(admit_ns, queue_empty)) {
+    return std::move(*shed);
+  }
+  bool breaker_probe = false;
+  if (auto open = overload_.check_breaker(admit_ns, breaker_probe)) {
+    return std::move(*open);
+  }
 
   auto pending = std::make_shared<Pending>();
   pending->embedding = std::move(embedding);
@@ -312,16 +385,22 @@ net::HttpResponse ExplainService::handle_explain_inner(const net::HttpRequest& r
   pending->top_k = top_k;
   pending->cache_key = std::move(key);
   pending->trace = trace;
-  pending->deadline = std::chrono::steady_clock::now() +
-                      std::chrono::milliseconds(options_.request_deadline_ms);
+  pending->enqueued = std::chrono::steady_clock::now();
+  pending->deadline =
+      pending->enqueued + std::chrono::milliseconds(options_.request_deadline_ms);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (stop_) return error_json(503, "serving plane is shutting down");
-    if (queue_.size() >= options_.queue_capacity) {
+    if (stop_) {
+      if (breaker_probe) overload_.breaker().abort_probe();
+      return error_response(503, "shutting_down", "serving plane is shutting down");
+    }
+    if (queue_.size() >= overload_.effective_queue_capacity(options_.queue_capacity)) {
+      if (breaker_probe) overload_.breaker().abort_probe();
       metrics.counter("agua.serve.queue_full").add(1);
-      return error_json(503, "admission queue full");
+      return error_response(503, "queue_full", "admission queue full", 1000);
     }
     queue_.push_back(pending);
+    metrics.gauge("agua.overload.queue_depth").set(static_cast<double>(queue_.size()));
   }
   queue_cv_.notify_all();
 
@@ -331,9 +410,14 @@ net::HttpResponse ExplainService::handle_explain_inner(const net::HttpRequest& r
     // connection stops waiting.
     pending->abandoned.store(true, std::memory_order_relaxed);
     metrics.counter("agua.serve.deadline_expired").add(1);
-    return error_json(408, "explanation deadline expired");
+    return error_response(408, "deadline_expired", "explanation deadline expired");
   }
-  return std::move(pending->response);
+  net::HttpResponse response = std::move(pending->response);
+  if (response.status == 200 && tier >= 1) {
+    response.extra_headers.emplace_back("X-Agua-Degraded",
+                                        "brownout-tier" + std::to_string(tier));
+  }
+  return response;
 }
 
 net::HttpResponse ExplainService::handle_modelz(const net::HttpRequest&) {
@@ -344,7 +428,7 @@ net::HttpResponse ExplainService::handle_modelz(const net::HttpRequest&) {
     entry = model_;
     if (rows_) rows = rows_->size();
   }
-  if (!entry) return error_json(503, "no model installed");
+  if (!entry) return error_response(503, "no_model", "no model installed");
   const CacheStats cache = cache_.stats();
   std::ostringstream os;
   os << "{\"generation\":" << entry->info.generation << ",\"fingerprint\":\""
@@ -367,12 +451,16 @@ net::HttpResponse ExplainService::handle_reloadz(const net::HttpRequest& request
   std::string path;
   if (!request.body.empty()) {
     const JsonParseResult parsed = json_parse(request.body);
-    if (!parsed.ok) return error_json(400, "malformed JSON: " + parsed.error);
+    if (!parsed.ok) {
+      return error_response(400, "bad_request", "malformed JSON: " + parsed.error);
+    }
     if (!parsed.value.is_object()) {
-      return error_json(400, "request body must be a JSON object");
+      return error_response(400, "bad_request", "request body must be a JSON object");
     }
     if (const JsonValue* p = parsed.value.find("path")) {
-      if (!p->is_string()) return error_json(400, "\"path\" must be a string");
+      if (!p->is_string()) {
+        return error_response(400, "bad_request", "\"path\" must be a string");
+      }
       path = p->string;
     }
   }
@@ -381,15 +469,15 @@ net::HttpResponse ExplainService::handle_reloadz(const net::HttpRequest& request
     path = default_model_path_;
   }
   if (path.empty()) {
-    return error_json(400, "no \"path\" given and no default model path configured");
+    return error_response(400, "bad_request",
+                          "no \"path\" given and no default model path configured");
   }
   core::LoadModelResult loaded = core::load_model_file_ex(path);
   if (!loaded) {
     obs::MetricsRegistry::instance().counter("agua.serve.reload_failures").add(1);
     const int status = loaded.error.code == core::LoadErrorCode::kIoError ? 404 : 500;
-    return net::HttpResponse::json(
-        status, "{\"error\":\"" + json_escape(loaded.error.detail) + "\",\"code\":\"" +
-                    core::load_error_name(loaded.error.code) + "\"}\n");
+    return error_response(status, core::load_error_name(loaded.error.code),
+                          loaded.error.detail);
   }
   const ModelInfo info = install_model(std::move(*loaded.model), path);
   obs::MetricsRegistry::instance().counter("agua.serve.reloads").add(1);
@@ -409,30 +497,64 @@ void ExplainService::dispatcher_loop() {
       if (stop_) return;  // stop() flushes what's left
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      obs::MetricsRegistry::instance().gauge("agua.overload.queue_depth")
+          .set(static_cast<double>(queue_.size()));
+    }
+    {
+      // Feed CoDel the sojourn (admission → dequeue) of everything dequeued;
+      // a standing backlog here is what turns admission shedding on.
+      const auto now = std::chrono::steady_clock::now();
+      overload_.on_dequeue(steady_us(now) - steady_us(batch.front()->enqueued),
+                           steady_us(now));
     }
     if (collect_hook_) collect_hook_();
+    bool deadline_close = false;
     if (batch.size() < options_.max_batch) {
       // Linger: trade a bounded sliver of latency for coalescing whatever
       // arrives in the window into one pool fan-out.
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      const auto linger_end = std::chrono::steady_clock::now() +
-                              std::chrono::microseconds(options_.batch_linger_us);
+      auto linger_end = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(options_.batch_linger_us);
+      // Batch-aware deadline scheduling: never linger into the oldest
+      // member's deadline — close early, leaving margin for the fan-out, so
+      // a would-be 408 becomes a served response.
+      const std::int64_t margin_us = options_.overload.deadline_margin_us;
+      if (margin_us > 0) {
+        const auto latest = batch.front()->deadline - std::chrono::microseconds(margin_us);
+        if (latest < linger_end) {
+          linger_end = latest;
+          deadline_close = true;
+        }
+      }
       while (batch.size() < options_.max_batch && !stop_) {
         if (!queue_.empty()) {
+          const auto now = std::chrono::steady_clock::now();
+          overload_.on_dequeue(steady_us(now) - steady_us(queue_.front()->enqueued),
+                               steady_us(now));
           batch.push_back(std::move(queue_.front()));
           queue_.pop_front();
+          obs::MetricsRegistry::instance().gauge("agua.overload.queue_depth")
+              .set(static_cast<double>(queue_.size()));
           continue;
         }
         if (options_.batch_linger_us <= 0) break;
         if (queue_cv_.wait_until(lock, linger_end) == std::cv_status::timeout) {
           // Drain arrivals that raced the timeout, then close the batch.
           while (!queue_.empty() && batch.size() < options_.max_batch) {
+            const auto now = std::chrono::steady_clock::now();
+            overload_.on_dequeue(steady_us(now) - steady_us(queue_.front()->enqueued),
+                                 steady_us(now));
             batch.push_back(std::move(queue_.front()));
             queue_.pop_front();
           }
+          obs::MetricsRegistry::instance().gauge("agua.overload.queue_depth")
+              .set(static_cast<double>(queue_.size()));
           break;
         }
       }
+    }
+    if (deadline_close) {
+      obs::MetricsRegistry::instance().counter("agua.overload.deadline_close").add(1);
     }
     run_batch(batch);
   }
@@ -446,7 +568,7 @@ void ExplainService::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
   }
   if (!entry) {
     for (const std::shared_ptr<Pending>& pending : batch) {
-      fulfill(*pending, error_json(503, "no model installed"));
+      fulfill(*pending, error_response(503, "no_model", "no model installed"));
     }
     return;
   }
@@ -473,33 +595,66 @@ void ExplainService::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
     }
     // Only this thread ever runs forward passes on the entry's model; a
     // concurrent /reloadz swaps the shared_ptr but never touches this one.
-    const core::EachExplainResult each =
-        core::explain_each_isolated(entry->model, embeddings, classes);
-
-    // Per-slot error messages, recovered in index order.
-    std::vector<const std::string*> slot_error(batch.size(), nullptr);
-    for (const core::SlotError& e : each.errors) {
-      if (e.index < slot_error.size()) slot_error[e.index] = &e.message;
+    // A throwing fan-out (resource exhaustion, poisoned model) fails the
+    // whole batch — each member counts against the circuit breaker.
+    core::EachExplainResult each;
+    bool fanout_threw = false;
+    try {
+      each = core::explain_each_isolated(entry->model, embeddings, classes);
+    } catch (const std::exception& e) {
+      fanout_threw = true;
+      metrics.counter("agua.serve.errors").add(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        responses[i] = error_response(500, "explain_failed",
+                                      std::string("explanation backend threw: ") +
+                                          e.what());
+      }
+    } catch (...) {
+      fanout_threw = true;
+      metrics.counter("agua.serve.errors").add(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        responses[i] = error_response(500, "explain_failed", "explanation backend threw");
+      }
     }
 
+    if (!fanout_threw) {
+      // Per-slot error messages, recovered in index order.
+      std::vector<const std::string*> slot_error(batch.size(), nullptr);
+      for (const core::SlotError& e : each.errors) {
+        if (e.index < slot_error.size()) slot_error[e.index] = &e.message;
+      }
+
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Pending& pending = *batch[i];
+        if (!each.ok[i]) {
+          metrics.counter("agua.serve.errors").add(1);
+          const std::string message = slot_error[i] ? *slot_error[i] : "explanation failed";
+          // Poisoned input is the client's fault; anything else is ours.
+          const bool client_fault = message == "non-finite embedding";
+          responses[i] = error_response(client_fault ? 400 : 500,
+                                        client_fault ? "bad_request" : "explain_failed",
+                                        message);
+          continue;
+        }
+        std::string body = render_explanation(each.slots[i], entry->info, pending.top_k);
+        // Cache even when the requester already gave up (408): the work is done,
+        // the next identical request should hit.
+        if (cache_.put(pending.cache_key, body)) {
+          metrics.counter("agua.serve.cache.evictions").add(1);
+        }
+        responses[i] = net::HttpResponse::json(200, std::move(body));
+        responses[i].extra_headers.emplace_back("X-Agua-Cache", "miss");
+      }
+    }
+  }
+  // Circuit-breaker bookkeeping: a 5xx or an abandoned (timed-out) member is
+  // evidence the fan-out is sick; anything else is evidence it is healthy.
+  {
+    const std::int64_t now_ns = obs::now_ns();
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      const Pending& pending = *batch[i];
-      if (!each.ok[i]) {
-        metrics.counter("agua.serve.errors").add(1);
-        const std::string message = slot_error[i] ? *slot_error[i] : "explanation failed";
-        // Poisoned input is the client's fault; anything else is ours.
-        const int status = message == "non-finite embedding" ? 400 : 500;
-        responses[i] = error_json(status, message);
-        continue;
-      }
-      std::string body = render_explanation(each.slots[i], entry->info, pending.top_k);
-      // Cache even when the requester already gave up (408): the work is done,
-      // the next identical request should hit.
-      if (cache_.put(pending.cache_key, body)) {
-        metrics.counter("agua.serve.cache.evictions").add(1);
-      }
-      responses[i] = net::HttpResponse::json(200, std::move(body));
-      responses[i].extra_headers.emplace_back("X-Agua-Cache", "miss");
+      const bool failure = responses[i].status >= 500 ||
+                           batch[i]->abandoned.load(std::memory_order_relaxed);
+      overload_.record_outcome(failure, now_ns);
     }
   }
   // The batch span closes — and lands in every member's trace index — before

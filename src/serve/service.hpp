@@ -52,6 +52,7 @@
 #include "net/http.hpp"
 #include "obs/trace.hpp"
 #include "serve/cache.hpp"
+#include "serve/overload.hpp"
 
 namespace agua::serve {
 
@@ -71,6 +72,9 @@ struct ExplainServiceOptions {
   /// Result cache budget in entries (0 disables caching) and shard count.
   std::size_t cache_capacity = 1024;
   std::size_t cache_shards = 8;
+  /// Overload-control plane (serve/overload.hpp): CoDel admission, per-client
+  /// rate limiting, circuit breaking, SLO brownout, deadline-aware batching.
+  OverloadOptions overload;
 };
 
 /// Identity of the installed model, as reported by /modelz.
@@ -133,6 +137,13 @@ class ExplainService {
   /// installed model identity plus cache and batcher state. Thread-safe.
   std::string status_section() const;
 
+  /// The overload-control plane: admission/rate-limit/breaker/brownout state.
+  /// Exposed for tests (drive the state machines directly) and the CLI
+  /// (register overload_section on /statusz).
+  OverloadControl& overload() { return overload_; }
+  /// Operator text for the /statusz "overload" section. Thread-safe.
+  std::string overload_section() const { return overload_.status_section(); }
+
   // --- test seams (set before mount(); not thread-safe afterwards) ---
   /// Runs on the dispatcher right after it pops the first request of a
   /// batch, before lingering. Tests block here to force coalescing.
@@ -157,6 +168,7 @@ class ExplainService {
     std::size_t top_k = 5;
     std::string cache_key;
     obs::TraceId trace;  ///< requester's trace id; the batch span indexes under it
+    std::chrono::steady_clock::time_point enqueued;  ///< admission time (sojourn basis)
     std::chrono::steady_clock::time_point deadline;
     std::mutex mutex;
     std::condition_variable cv;
@@ -176,9 +188,11 @@ class ExplainService {
 
   ExplainServiceOptions options_;
   ShardedLruCache cache_;
+  OverloadControl overload_;
 
   mutable std::mutex model_mutex_;
   std::shared_ptr<ModelEntry> model_;                       // guarded by model_mutex_
+  std::string previous_fingerprint_;                        // same; pre-swap model
   std::shared_ptr<const std::vector<std::vector<double>>> rows_;  // same
   std::string default_model_path_;                          // same
   std::uint64_t next_generation_ = 1;                       // same

@@ -465,7 +465,10 @@ TEST_F(ServeTest, ReloadzMissingFileAnswers404) {
   EXPECT_EQ(response.status, 404);
   const JsonParseResult parsed = json_parse(response.body);
   ASSERT_TRUE(parsed.ok);
-  EXPECT_EQ(parsed.value.find("code")->string, "io_error");
+  const JsonValue* envelope = parsed.value.find("error");
+  ASSERT_NE(envelope, nullptr);
+  EXPECT_EQ(envelope->find("code")->string, "io_error");
+  EXPECT_TRUE(envelope->find("message")->is_string());
 }
 
 TEST_F(ServeTest, TracedExplainJoinsSpanIndexBatchSpanAndSlo) {
